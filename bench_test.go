@@ -1,0 +1,231 @@
+// Benchmarks regenerating the paper's evaluation figures (Section 5), one
+// benchmark family per figure. Wall time is the benchmark measurement
+// itself; the paper's other reported quantities (compaction cost in keys,
+// cost/LOPT ratios) are attached with b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the same series the figures plot. Workload sizes default to a
+// laptop-friendly fraction of the paper's (full scale is a flag away in
+// cmd/compactsim); the comparisons and shapes are what matter.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/compaction"
+	"repro/internal/simulator"
+	"repro/internal/ycsb"
+)
+
+const (
+	benchOperationCount = 30000
+	benchRecordCount    = 1000
+	benchMemtableKeys   = 1000
+	benchWorkers        = 4
+)
+
+func benchWorkload(updatePct int, dist ycsb.Distribution, opCount int, seed int64) simulator.Config {
+	return simulator.Config{
+		Workload: ycsb.Config{
+			RecordCount:      benchRecordCount,
+			OperationCount:   opCount,
+			UpdateProportion: float64(updatePct) / 100,
+			InsertProportion: 1 - float64(updatePct)/100,
+			Distribution:     dist,
+			Seed:             seed,
+		},
+		MemtableKeys: benchMemtableKeys,
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: for each update percentage and each
+// evaluated strategy, the benchmark time is the compaction completion time
+// (7b) and the reported cost_keys metric is the compaction cost (7a).
+func BenchmarkFig7(b *testing.B) {
+	for _, pct := range []int{0, 20, 40, 60, 80, 100} {
+		inst, err := simulator.GenerateTables(benchWorkload(pct, ycsb.Latest, benchOperationCount, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, strat := range compaction.EvaluatedStrategies() {
+			b.Run(fmt.Sprintf("update=%d/strategy=%s", pct, strat), func(b *testing.B) {
+				var lastCost int
+				for i := 0; i < b.N; i++ {
+					res, err := simulator.RunStrategy(inst, strat, 2, int64(i), benchWorkers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					lastCost = res.CostActual
+				}
+				b.ReportMetric(float64(lastCost), "cost_keys")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: BT(I) against the Σ|A_i| lower bound
+// as the memtable size sweeps decades; the cost_over_LOPT metric is the
+// constant factor the paper's log-log plot shows.
+func BenchmarkFig8(b *testing.B) {
+	for _, dist := range []ycsb.Distribution{ycsb.Uniform, ycsb.Zipfian, ycsb.Latest} {
+		for _, ms := range []int{10, 100, 1000} {
+			opCount := ms*100 - benchRecordCount
+			if opCount < 0 {
+				opCount = 0
+			}
+			cfg := simulator.Config{
+				Workload: ycsb.Config{
+					RecordCount:      benchRecordCount,
+					OperationCount:   opCount,
+					UpdateProportion: 0.6,
+					InsertProportion: 0.4,
+					Distribution:     dist,
+					Seed:             8,
+				},
+				MemtableKeys: ms,
+			}
+			inst, err := simulator.GenerateTables(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("dist=%s/memtable=%d", dist, ms), func(b *testing.B) {
+				var ratio float64
+				for i := 0; i < b.N; i++ {
+					res, err := simulator.RunStrategy(inst, "BT(I)", 2, 1, benchWorkers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ratio = float64(res.CostSimple) / float64(res.LowerBound)
+				}
+				b.ReportMetric(ratio, "cost_over_LOPT")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9a regenerates Figure 9a: SI's time (the benchmark
+// measurement) against its cost (the metric) as the update percentage
+// sweeps, for all three distributions — the near-linear relation validates
+// the cost model.
+func BenchmarkFig9a(b *testing.B) {
+	for _, dist := range []ycsb.Distribution{ycsb.Uniform, ycsb.Zipfian, ycsb.Latest} {
+		for _, pct := range []int{0, 50, 100} {
+			inst, err := simulator.GenerateTables(benchWorkload(pct, dist, benchOperationCount, 9))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("dist=%s/update=%d", dist, pct), func(b *testing.B) {
+				var cost int
+				for i := 0; i < b.N; i++ {
+					res, err := simulator.RunStrategy(inst, "SI", 2, 1, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cost = res.CostActual
+				}
+				b.ReportMetric(float64(cost), "cost_keys")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9b regenerates Figure 9b: SI's time against cost as the
+// operation count (data size) grows at the 60:40 update:insert mix.
+func BenchmarkFig9b(b *testing.B) {
+	for _, dist := range []ycsb.Distribution{ycsb.Uniform, ycsb.Zipfian, ycsb.Latest} {
+		for _, ops := range []int{10000, 20000, 40000} {
+			inst, err := simulator.GenerateTables(benchWorkload(60, dist, ops, 10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("dist=%s/ops=%d", dist, ops), func(b *testing.B) {
+				var cost int
+				for i := 0; i < b.N; i++ {
+					res, err := simulator.RunStrategy(inst, "SI", 2, 1, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cost = res.CostActual
+				}
+				b.ReportMetric(float64(cost), "cost_keys")
+			})
+		}
+	}
+}
+
+// BenchmarkOptimalGap is the extension experiment: the exact DP solver
+// against the heuristics on a small instance; the metric reports how far
+// SI lands from true optimal.
+func BenchmarkOptimalGap(b *testing.B) {
+	inst, err := simulator.GenerateTables(simulator.Config{
+		Workload: ycsb.Config{
+			RecordCount:      500,
+			OperationCount:   4500,
+			UpdateProportion: 0.5,
+			InsertProportion: 0.5,
+			Distribution:     ycsb.Latest,
+			Seed:             11,
+		},
+		MemtableKeys: 500,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if inst.N() > compaction.MaxOptimalN {
+		b.Fatalf("instance too large for DP: %d", inst.N())
+	}
+	b.Run("optimal-DP", func(b *testing.B) {
+		var opt int
+		for i := 0; i < b.N; i++ {
+			sc, err := compaction.OptimalBinary(inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt = sc.CostSimple()
+		}
+		b.ReportMetric(float64(opt), "cost_keys")
+	})
+	optSched, err := compaction.OptimalBinary(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := float64(optSched.CostSimple())
+	for _, strat := range []string{"SI", "SO", "BT(I)", "RANDOM"} {
+		b.Run("strategy="+strat, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res, err := simulator.RunStrategy(inst, strat, 2, int64(i), 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = float64(res.CostSimple) / opt
+			}
+			b.ReportMetric(ratio, "cost_over_OPT")
+		})
+	}
+}
+
+// BenchmarkMajorCompactionPlanning isolates pure strategy overhead (merge
+// scheduling without executing merges is impossible in the greedy loop, so
+// this measures plan+merge against merge-only replay).
+func BenchmarkMajorCompactionPlanning(b *testing.B) {
+	inst, err := simulator.GenerateTables(benchWorkload(40, ycsb.Latest, benchOperationCount, 12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []string{"SI", "SO", "SO(exact)"} {
+		b.Run("strategy="+strat, func(b *testing.B) {
+			var overheadMs float64
+			for i := 0; i < b.N; i++ {
+				res, err := simulator.RunStrategy(inst, strat, 2, 1, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				overheadMs = float64(res.Overhead().Microseconds()) / 1000
+			}
+			b.ReportMetric(overheadMs, "overhead_ms")
+		})
+	}
+}

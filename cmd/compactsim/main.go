@@ -1,0 +1,251 @@
+// Command compactsim regenerates the paper's evaluation figures from the
+// simulator. Each figure prints as an aligned text table; -csv additionally
+// writes machine-readable data.
+//
+// Usage:
+//
+//	compactsim -fig 7            # Figures 7a and 7b (cost & time vs update %)
+//	compactsim -fig 8            # Figure 8 (BT(I) vs lower bound)
+//	compactsim -fig 9a -runs 3   # Figure 9a (SI cost vs time, update sweep)
+//	compactsim -fig 9b           # Figure 9b (SI cost vs time, data sweep)
+//	compactsim -fig optgap       # extension: heuristics vs exact optimum
+//	compactsim -fig all          # everything
+//
+// The defaults reproduce the paper's Section 5.2 parameters (operationcount
+// 100K, recordcount 1000, memtable 1000 keys, 3 runs, k=2, latest
+// distribution).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/compaction"
+	"repro/internal/experiments"
+	"repro/internal/simulator"
+	"repro/internal/ycsb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "compactsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 7, 7a, 7b, 8, 9a, 9b, optgap, ablation, all")
+		ops     = flag.Int("ops", 100000, "YCSB operationcount")
+		records = flag.Int("records", 1000, "YCSB recordcount")
+		mem     = flag.Int("memtable", 1000, "memtable capacity in distinct keys")
+		runs    = flag.Int("runs", 3, "independent runs to average")
+		k       = flag.Int("k", 2, "sstables merged per iteration")
+		workers = flag.Int("workers", 0, "merge parallelism for BT (0 = GOMAXPROCS)")
+		dist    = flag.String("dist", "latest", "key distribution for figure 7: uniform, zipfian, latest")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		csvDir  = flag.String("csv", "", "directory to also write CSV files into")
+		tables  = flag.Int("optgap-tables", 10, "sstable count for the optimality-gap experiment")
+		trials  = flag.Int("optgap-trials", 5, "trials for the optimality-gap experiment")
+		score   = flag.String("score", "", "score an instance file (one table per line, keys or lo-hi ranges) with every strategy and exit")
+		dump    = flag.String("dump", "", "generate one workload instance (using -ops/-records/-memtable/-dist) and write it to this file, then exit")
+	)
+	flag.Parse()
+
+	d, err := ycsb.ParseDistribution(*dist)
+	if err != nil {
+		return err
+	}
+	p := experiments.Params{
+		OperationCount: *ops,
+		RecordCount:    *records,
+		MemtableKeys:   *mem,
+		Runs:           *runs,
+		K:              *k,
+		Workers:        *workers,
+		Distribution:   d,
+		Seed:           *seed,
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if *score != "" {
+		return scoreFile(*score, *k, *seed)
+	}
+	if *dump != "" {
+		return dumpInstance(*dump, p)
+	}
+
+	want := func(names ...string) bool {
+		for _, n := range names {
+			if *fig == n {
+				return true
+			}
+		}
+		return *fig == "all"
+	}
+	ran := false
+
+	if want("7", "7a", "7b") {
+		ran = true
+		rows, err := experiments.Fig7(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig7(rows))
+		if err := writeCSV(*csvDir, "fig7.csv", func(f *os.File) error {
+			return experiments.WriteFig7CSV(f, rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("8") {
+		ran = true
+		rows, err := experiments.Fig8(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig8(rows))
+		if err := writeCSV(*csvDir, "fig8.csv", func(f *os.File) error {
+			return experiments.WriteFig8CSV(f, rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("9a") {
+		ran = true
+		rows, err := experiments.Fig9a(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig9("Figure 9a: SI cost vs time, update percentage sweep", "update%", rows))
+		if err := writeCSV(*csvDir, "fig9a.csv", func(f *os.File) error {
+			return experiments.WriteFig9CSV(f, "update_pct", rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("9b") {
+		ran = true
+		rows, err := experiments.Fig9b(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig9("Figure 9b: SI cost vs time, operationcount sweep", "opcount", rows))
+		if err := writeCSV(*csvDir, "fig9b.csv", func(f *os.File) error {
+			return experiments.WriteFig9CSV(f, "operation_count", rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("optgap") {
+		ran = true
+		rows, err := experiments.OptGap(p, *tables, *trials)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatOptGap(rows))
+	}
+	if want("ablation") {
+		ran = true
+		ks, err := experiments.KSweep(p, 40, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatKSweep(ks))
+		hs, err := experiments.HLLSweep(p, 40, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatHLLSweep(hs))
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q (want 7, 7a, 7b, 8, 9a, 9b, optgap, ablation, all)", *fig)
+	}
+	return nil
+}
+
+// scoreFile scores an instance file with every strategy (and the exact
+// optimum when feasible), printing simple and actual costs.
+func scoreFile(path string, k int, seed int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	inst, err := compaction.ParseInstance(f)
+	if err != nil {
+		return err
+	}
+	scores, err := compaction.ScoreInstance(inst, k, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance: %d tables, %d distinct keys, LOPT = %d\n\n",
+		inst.N(), inst.Universe().Len(), inst.LowerBound())
+	names := make([]string, 0, len(scores))
+	for name := range scores {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return scores[names[i]][0] < scores[names[j]][0] })
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tcost (eq 2.1)\tcostactual")
+	for _, name := range names {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", name, scores[name][0], scores[name][1])
+	}
+	return tw.Flush()
+}
+
+// dumpInstance generates one phase-one instance from the workload
+// parameters and writes it in the instance text format.
+func dumpInstance(path string, p experiments.Params) error {
+	inst, err := simulator.GenerateTables(simulator.Config{
+		Workload: ycsb.Config{
+			RecordCount:      p.RecordCount,
+			OperationCount:   p.OperationCount,
+			UpdateProportion: 0.6,
+			InsertProportion: 0.4,
+			Distribution:     p.Distribution,
+			Seed:             p.Seed,
+		},
+		MemtableKeys: p.MemtableKeys,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := compaction.WriteInstance(f, inst); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tables to %s\n", inst.N(), path)
+	return nil
+}
+
+// writeCSV writes one CSV file into dir when dir is non-empty.
+func writeCSV(dir, name string, fn func(*os.File) error) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

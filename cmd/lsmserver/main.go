@@ -1,0 +1,81 @@
+// Command lsmserver serves an LSM store over TCP with the kvnet protocol —
+// the single-node NoSQL server of the paper's setting: writes buffer in a
+// memtable backed by a WAL, sstables accumulate on disk, minor compactions
+// (size-tiered by default, the Cassandra policy the paper's related work
+// describes) keep the table count bounded, and clients can trigger a major
+// compaction with any of the paper's strategies.
+//
+// Usage:
+//
+//	lsmserver -dir /var/lib/lsm -listen 127.0.0.1:7700 -auto size-tiered
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/kvnet"
+	"repro/internal/lsm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lsmserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dir     = flag.String("dir", "", "database directory (required)")
+		listen  = flag.String("listen", "127.0.0.1:7700", "listen address")
+		auto    = flag.String("auto", "size-tiered", "auto minor compaction: size-tiered, threshold, none")
+		memSize = flag.Int("memtable", 4<<20, "memtable flush threshold in bytes")
+		sync    = flag.Bool("sync", false, "fsync the WAL on every write")
+	)
+	flag.Parse()
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+
+	opts := lsm.Options{MemtableBytes: *memSize, SyncWAL: *sync}
+	switch *auto {
+	case "size-tiered":
+		opts.AutoCompact = lsm.SizeTieredPolicy{}
+	case "threshold":
+		opts.AutoCompact = lsm.ThresholdPolicy{}
+	case "none":
+	default:
+		return fmt.Errorf("unknown auto policy %q", *auto)
+	}
+	db, err := lsm.Open(*dir, opts)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := kvnet.NewServer(db)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "lsmserver: shutting down")
+		srv.Close()
+	}()
+
+	fmt.Printf("lsmserver: serving %s on %s (auto=%s)\n", *dir, ln.Addr(), *auto)
+	err = srv.Serve(ln)
+	if err == net.ErrClosed {
+		return nil
+	}
+	return err
+}

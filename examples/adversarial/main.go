@@ -1,0 +1,72 @@
+// adversarial: the worst-case families from the paper's analysis, run for
+// real. Lemma 4.2's instance separates BALANCETREE from SMALLESTINPUT by a
+// log n factor; Lemma 4.5's disjoint singletons pin SI/SO exactly at
+// (log n + 1)·LOPT; and the Section 4.3.4 nested family sends LARGESTMATCH
+// to an Ω(n) gap while SI stays optimal.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/compaction"
+)
+
+func run(inst *compaction.Instance, name string) *compaction.Schedule {
+	chooser, err := compaction.NewChooserByName(name, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := compaction.Run(inst, 2, chooser)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sched
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adversarial: ")
+
+	// Lemma 4.2 — BT's approximation bound is tight.
+	{
+		const n = 64
+		inst := compaction.AdversarialBalanceTree(n)
+		bt := run(inst, "BT(I)")
+		si := run(inst, "SI")
+		fmt.Printf("Lemma 4.2 instance (n=%d: %d×{1} plus {1..%d}):\n", n, n-1, n)
+		fmt.Printf("  BT cost = %d   (≥ n(log n + 1) = %d)\n", bt.CostSimple(), n*(int(math.Log2(n))+1))
+		fmt.Printf("  SI cost = %d   (= optimal chain 4n-3 = %d)\n", si.CostSimple(), 4*n-3)
+		fmt.Printf("  BT/SI   = %.2f — the Ω(log n) gap\n\n", float64(bt.CostSimple())/float64(si.CostSimple()))
+	}
+
+	// Lemma 4.5 — the LOPT analysis is tight: SI/SO = (log n + 1)·LOPT.
+	{
+		const n = 32
+		inst := compaction.DisjointSingletons(n)
+		si := run(inst, "SI")
+		fmt.Printf("Lemma 4.5 instance (n=%d disjoint singletons):\n", n)
+		fmt.Printf("  SI cost = %d = n·log n + n (LOPT = %d, ratio = %.2f = log n + 1)\n",
+			si.CostSimple(), inst.LowerBound(), float64(si.CostSimple())/float64(inst.LowerBound()))
+		opt, err := compaction.OptimalBinary(compaction.DisjointSingletons(12))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ...but the optimum is no better (n=12 check: OPT=%d, SI=%d):\n",
+			opt.CostSimple(), run(compaction.DisjointSingletons(12), "SI").CostSimple())
+		fmt.Printf("  the looseness is in the LOPT bound, not the heuristics.\n\n")
+	}
+
+	// Section 4.3.4 — LARGESTMATCH is Ω(n) from optimal.
+	{
+		const n = 12
+		inst := compaction.AdversarialLargestMatch(n)
+		lm := run(inst, "LM")
+		si := run(inst, "SI")
+		fmt.Printf("LARGESTMATCH instance (n=%d nested sets A_i = {1..2^(i-1)}):\n", n)
+		fmt.Printf("  LM cost = %d   (≥ 2^(n-1)·(n-1) = %d)\n", lm.CostSimple(), (1<<(n-1))*(n-1))
+		fmt.Printf("  SI cost = %d   (= optimal chain 2^(n+1)-3 = %d)\n", si.CostSimple(), 1<<(n+1)-3)
+		fmt.Printf("  LM/SI   = %.1f — the Ω(n) gap grows linearly with n\n", float64(lm.CostSimple())/float64(si.CostSimple()))
+	}
+}

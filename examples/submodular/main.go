@@ -1,0 +1,92 @@
+// submodular: the SUBMODULARMERGING extension of Section 2. The same merge
+// schedule is priced under three monotone submodular cost functions — plain
+// cardinality, cardinality plus a fixed per-sstable initialization cost,
+// and weighted keys (entry sizes) — showing how the framework generalizes
+// beyond counting keys, and how the best strategy can change when opening
+// a new sstable costs something.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/compaction"
+	"repro/internal/keyset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("submodular: ")
+
+	// A skewed instance: a few hot keys carried by most tables, with
+	// heavy-tailed entry sizes.
+	r := rand.New(rand.NewSource(3))
+	sets := make([]keyset.Set, 12)
+	for i := range sets {
+		keys := []uint64{1, 2, 3} // hot keys everywhere
+		for j := 0; j < 20+r.Intn(60); j++ {
+			keys = append(keys, uint64(4+r.Intn(500)))
+		}
+		sets[i] = keyset.New(keys...)
+	}
+	inst := compaction.NewInstance(sets...)
+
+	weights := keyset.Weights{}
+	for k := uint64(1); k <= 503; k++ {
+		weights[k] = 1 + float64(r.Intn(16)) // entry sizes 1..16
+	}
+
+	costFns := []struct {
+		name string
+		fn   keyset.CostFn
+	}{
+		{"cardinality", keyset.CardinalityCost},
+		{"init+card (init=50)", keyset.InitPlusCardinalityCost(50)},
+		{"weighted keys", keyset.WeightedCost(weights)},
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprint(tw, "strategy")
+	for _, cf := range costFns {
+		fmt.Fprintf(tw, "\t%s", cf.name)
+	}
+	fmt.Fprintln(tw, "\tmerges")
+
+	for _, name := range []string{"SI", "SO(exact)", "BT(I)", "LM", "RANDOM"} {
+		chooser, err := compaction.NewChooserByName(name, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched, err := compaction.Run(inst, 2, chooser)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s", name)
+		for _, cf := range costFns {
+			fmt.Fprintf(tw, "\t%.0f", sched.CostSubmodular(cf.fn))
+		}
+		fmt.Fprintf(tw, "\t%d\n", len(sched.Steps))
+	}
+	// k-way merging cuts the number of merge steps, which matters once
+	// each output sstable carries a fixed initialization cost.
+	for _, k := range []int{3, 5} {
+		sched, err := compaction.Run(inst, k, compaction.NewSmallestInput())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "SI k=%d", k)
+		for _, cf := range costFns {
+			fmt.Fprintf(tw, "\t%.0f", sched.CostSubmodular(cf.fn))
+		}
+		fmt.Fprintf(tw, "\t%d\n", len(sched.Steps))
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nNote: with a per-merge init cost, fewer merges (larger k) win even")
+	fmt.Println("when pure cardinality cost is similar — the paper's motivation for")
+	fmt.Println("the K-WAYMERGING generalization.")
+}

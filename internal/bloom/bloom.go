@@ -1,0 +1,170 @@
+// Package bloom implements a classic Bloom filter with double hashing,
+// used by the LSM engine's sstable read path to skip tables that cannot
+// contain a key. A Bloom filter answers "definitely absent" or "possibly
+// present"; it never produces false negatives.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Filter is a Bloom filter over arbitrary byte keys. The zero value is not
+// usable; construct with New or NewWithEstimates.
+type Filter struct {
+	bits   []uint64
+	nbits  uint64
+	hashes uint32
+	count  uint64 // number of Add calls, informational
+}
+
+// New creates a filter with nbits bits (rounded up to a multiple of 64) and
+// the given number of hash functions. nbits and hashes must be positive.
+func New(nbits uint64, hashes uint32) *Filter {
+	if nbits == 0 {
+		nbits = 64
+	}
+	if hashes == 0 {
+		hashes = 1
+	}
+	words := (nbits + 63) / 64
+	return &Filter{
+		bits:   make([]uint64, words),
+		nbits:  words * 64,
+		hashes: hashes,
+	}
+}
+
+// NewWithEstimates sizes a filter for n expected keys and a target false
+// positive rate p, using the standard formulas m = -n·ln p / (ln 2)² and
+// k = (m/n)·ln 2.
+func NewWithEstimates(n uint64, p float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	k := uint32(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k == 0 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// fnv1a64 is the 64-bit FNV-1a hash; implemented inline to avoid an
+// allocation per probe from hash.Hash64.
+func fnv1a64(data []byte, seed uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ seed
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// indices derives hash probe positions with Kirsch–Mitzenmacher double
+// hashing: g_i(x) = h1(x) + i·h2(x).
+func (f *Filter) probe(key []byte, i uint32) uint64 {
+	h1 := fnv1a64(key, 0)
+	h2 := fnv1a64(key, 0x9e3779b97f4a7c15)
+	return (h1 + uint64(i)*h2) % f.nbits
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key []byte) {
+	for i := uint32(0); i < f.hashes; i++ {
+		pos := f.probe(key, i)
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.count++
+}
+
+// AddUint64 inserts a fixed-width integer key.
+func (f *Filter) AddUint64(key uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], key)
+	f.Add(buf[:])
+}
+
+// MayContain reports whether key is possibly in the filter. A false return
+// is definitive: the key was never added.
+func (f *Filter) MayContain(key []byte) bool {
+	for i := uint32(0); i < f.hashes; i++ {
+		pos := f.probe(key, i)
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MayContainUint64 is MayContain for fixed-width integer keys.
+func (f *Filter) MayContainUint64(key uint64) bool {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], key)
+	return f.MayContain(buf[:])
+}
+
+// Count returns the number of keys added.
+func (f *Filter) Count() uint64 { return f.count }
+
+// NumBits returns the filter's bit capacity.
+func (f *Filter) NumBits() uint64 { return f.nbits }
+
+// NumHashes returns the number of hash probes per key.
+func (f *Filter) NumHashes() uint32 { return f.hashes }
+
+// EstimatedFalsePositiveRate returns the expected false positive rate given
+// the number of added keys: (1 - e^{-kn/m})^k.
+func (f *Filter) EstimatedFalsePositiveRate() float64 {
+	k, n, m := float64(f.hashes), float64(f.count), float64(f.nbits)
+	return math.Pow(1-math.Exp(-k*n/m), k)
+}
+
+// Marshal serializes the filter to a compact binary form:
+//
+//	hashes   uint32
+//	count    uint64
+//	nwords   uint32
+//	words    nwords × uint64
+func (f *Filter) Marshal() []byte {
+	out := make([]byte, 4+8+4+8*len(f.bits))
+	binary.LittleEndian.PutUint32(out[0:4], f.hashes)
+	binary.LittleEndian.PutUint64(out[4:12], f.count)
+	binary.LittleEndian.PutUint32(out[12:16], uint32(len(f.bits)))
+	for i, w := range f.bits {
+		binary.LittleEndian.PutUint64(out[16+8*i:], w)
+	}
+	return out
+}
+
+// ErrCorrupt reports a malformed serialized filter.
+var ErrCorrupt = errors.New("bloom: corrupt filter encoding")
+
+// Unmarshal reconstructs a filter serialized by Marshal.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < 16 {
+		return nil, ErrCorrupt
+	}
+	hashes := binary.LittleEndian.Uint32(data[0:4])
+	count := binary.LittleEndian.Uint64(data[4:12])
+	nwords := binary.LittleEndian.Uint32(data[12:16])
+	if hashes == 0 || nwords == 0 {
+		return nil, ErrCorrupt
+	}
+	if uint64(len(data)) != 16+8*uint64(nwords) {
+		return nil, ErrCorrupt
+	}
+	bits := make([]uint64, nwords)
+	for i := range bits {
+		bits[i] = binary.LittleEndian.Uint64(data[16+8*i:])
+	}
+	return &Filter{bits: bits, nbits: uint64(nwords) * 64, hashes: hashes, count: count}, nil
+}

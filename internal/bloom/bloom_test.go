@@ -1,0 +1,153 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewWithEstimates(1000, 0.01)
+	for i := uint64(0); i < 1000; i++ {
+		f.AddUint64(i)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !f.MayContainUint64(i) {
+			t.Fatalf("false negative for key %d", i)
+		}
+	}
+	if f.Count() != 1000 {
+		t.Errorf("Count = %d, want 1000", f.Count())
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 10000
+	const target = 0.01
+	f := NewWithEstimates(n, target)
+	for i := uint64(0); i < n; i++ {
+		f.AddUint64(i)
+	}
+	fp := 0
+	const probes = 20000
+	for i := uint64(n); i < n+probes; i++ {
+		if f.MayContainUint64(i) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 5*target {
+		t.Errorf("false positive rate %.4f far above target %.4f", rate, target)
+	}
+	if est := f.EstimatedFalsePositiveRate(); est > 5*target {
+		t.Errorf("estimated fp rate %.4f far above target", est)
+	}
+}
+
+func TestDegenerateConstruction(t *testing.T) {
+	f := New(0, 0)
+	f.AddUint64(42)
+	if !f.MayContainUint64(42) {
+		t.Errorf("degenerate filter lost a key")
+	}
+	if f.NumBits() == 0 || f.NumHashes() == 0 {
+		t.Errorf("degenerate construction produced zero capacity")
+	}
+	g := NewWithEstimates(0, -1)
+	g.Add([]byte("x"))
+	if !g.MayContain([]byte("x")) {
+		t.Errorf("defaulted estimates filter lost a key")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := NewWithEstimates(500, 0.02)
+	r := rand.New(rand.NewSource(7))
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = r.Uint64()
+		f.AddUint64(keys[i])
+	}
+	g, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if g.NumBits() != f.NumBits() || g.NumHashes() != f.NumHashes() || g.Count() != f.Count() {
+		t.Errorf("metadata mismatch after round trip")
+	}
+	for _, k := range keys {
+		if !g.MayContainUint64(k) {
+			t.Fatalf("round-tripped filter lost key %d", k)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		make([]byte, 16), // zero hashes/words
+		make([]byte, 15), // short header
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d: Unmarshal accepted corrupt input", i)
+		}
+	}
+	// Truncated body: valid header claiming more words than present.
+	f := New(256, 3)
+	f.AddUint64(1)
+	enc := f.Marshal()
+	if _, err := Unmarshal(enc[:len(enc)-8]); err == nil {
+		t.Errorf("Unmarshal accepted truncated body")
+	}
+}
+
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f := func(keys []uint64) bool {
+		fl := NewWithEstimates(uint64(len(keys)+1), 0.01)
+		for _, k := range keys {
+			fl.AddUint64(k)
+		}
+		for _, k := range keys {
+			if !fl.MayContainUint64(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteAndUint64KeysAgree(t *testing.T) {
+	f := New(1024, 4)
+	f.AddUint64(99)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], 99)
+	if !f.MayContain(buf[:]) {
+		t.Errorf("byte-encoded probe should hit for key added via AddUint64")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := NewWithEstimates(uint64(b.N)+1, 0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AddUint64(uint64(i))
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := NewWithEstimates(100000, 0.01)
+	for i := uint64(0); i < 100000; i++ {
+		f.AddUint64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.MayContainUint64(uint64(i))
+	}
+}

@@ -1,0 +1,124 @@
+// Package cache implements a byte-bounded LRU block cache shared by all
+// sstable readers of a store. Compaction rewrites cold data constantly; a
+// block cache keeps the hot read path from paying disk reads for
+// frequently accessed blocks, which is how production LSM engines
+// (RocksDB, Cassandra) keep read latency flat while compaction churns in
+// the background.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one cached block: a reader-unique table ID plus the
+// block's file offset.
+type Key struct {
+	Table  uint64
+	Offset uint64
+}
+
+type entry struct {
+	key   Key
+	value []byte
+}
+
+// LRU is a thread-safe least-recently-used cache bounded by total cached
+// bytes. The zero value is unusable; construct with New.
+type LRU struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+	ll       *list.List // front = most recent
+	index    map[Key]*list.Element
+
+	hits, misses uint64
+}
+
+// New creates a cache bounded to capacity bytes (of cached values; keys
+// and bookkeeping are not counted). capacity must be positive.
+func New(capacity int) *LRU {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached block and whether it was present. The returned
+// slice is shared: callers must not modify it.
+func (c *LRU) Get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// Put inserts or refreshes a block. Values larger than the whole cache are
+// ignored. The cache takes ownership of value; callers must not modify it
+// afterwards.
+func (c *LRU) Put(k Key, value []byte) {
+	if len(value) > c.capacity {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		c.used += len(value) - len(el.Value.(*entry).value)
+		el.Value.(*entry).value = value
+		c.ll.MoveToFront(el)
+	} else {
+		c.index[k] = c.ll.PushFront(&entry{key: k, value: value})
+		c.used += len(value)
+	}
+	for c.used > c.capacity {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*entry)
+		c.used -= len(e.value)
+		delete(c.index, e.key)
+		c.ll.Remove(oldest)
+	}
+}
+
+// DropTable evicts every block belonging to table; called when an sstable
+// is deleted after compaction so its blocks stop occupying cache space.
+func (c *LRU) DropTable(table uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if e.key.Table == table {
+			c.used -= len(e.value)
+			delete(c.index, e.key)
+			c.ll.Remove(el)
+		}
+		el = next
+	}
+}
+
+// Stats reports cumulative hit/miss counts and current occupancy.
+func (c *LRU) Stats() (hits, misses uint64, usedBytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.used
+}
+
+// Len returns the number of cached blocks.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(100)
+	k := Key{Table: 1, Offset: 0}
+	if _, ok := c.Get(k); ok {
+		t.Errorf("empty cache hit")
+	}
+	c.Put(k, []byte("hello"))
+	v, ok := c.Get(k)
+	if !ok || string(v) != "hello" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	hits, misses, used := c.Stats()
+	if hits != 1 || misses != 1 || used != 5 {
+		t.Errorf("stats = %d/%d/%d", hits, misses, used)
+	}
+}
+
+func TestEvictionByBytes(t *testing.T) {
+	c := New(30)
+	for i := 0; i < 5; i++ {
+		c.Put(Key{Table: 1, Offset: uint64(i)}, make([]byte, 10))
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (30 bytes / 10)", c.Len())
+	}
+	// Oldest entries evicted.
+	if _, ok := c.Get(Key{Table: 1, Offset: 0}); ok {
+		t.Errorf("oldest entry survived")
+	}
+	if _, ok := c.Get(Key{Table: 1, Offset: 4}); !ok {
+		t.Errorf("newest entry evicted")
+	}
+}
+
+func TestLRUOrderOnAccess(t *testing.T) {
+	c := New(20)
+	a, b, d := Key{1, 0}, Key{1, 1}, Key{1, 2}
+	c.Put(a, make([]byte, 10))
+	c.Put(b, make([]byte, 10))
+	c.Get(a) // refresh a; b is now oldest
+	c.Put(d, make([]byte, 10))
+	if _, ok := c.Get(b); ok {
+		t.Errorf("b should have been evicted")
+	}
+	if _, ok := c.Get(a); !ok {
+		t.Errorf("refreshed a was evicted")
+	}
+}
+
+func TestOversizedValueIgnored(t *testing.T) {
+	c := New(10)
+	c.Put(Key{1, 0}, make([]byte, 11))
+	if c.Len() != 0 {
+		t.Errorf("oversized value cached")
+	}
+}
+
+func TestPutReplaceAdjustsBytes(t *testing.T) {
+	c := New(100)
+	k := Key{1, 0}
+	c.Put(k, make([]byte, 50))
+	c.Put(k, make([]byte, 20))
+	if _, _, used := c.Stats(); used != 20 {
+		t.Errorf("used = %d, want 20", used)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c := New(1000)
+	for i := 0; i < 5; i++ {
+		c.Put(Key{Table: 1, Offset: uint64(i)}, make([]byte, 10))
+		c.Put(Key{Table: 2, Offset: uint64(i)}, make([]byte, 10))
+	}
+	c.DropTable(1)
+	if c.Len() != 5 {
+		t.Errorf("Len after drop = %d, want 5", c.Len())
+	}
+	if _, ok := c.Get(Key{Table: 1, Offset: 0}); ok {
+		t.Errorf("dropped table's block still cached")
+	}
+	if _, ok := c.Get(Key{Table: 2, Offset: 0}); !ok {
+		t.Errorf("other table's block lost")
+	}
+	if _, _, used := c.Stats(); used != 50 {
+		t.Errorf("used = %d, want 50", used)
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	c := New(0)
+	c.Put(Key{1, 0}, []byte{1})
+	if c.Len() != 1 {
+		t.Errorf("capacity clamp failed")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := Key{Table: uint64(w % 4), Offset: uint64(i % 64)}
+				if i%3 == 0 {
+					c.Put(k, []byte(fmt.Sprint(i)))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := New(1 << 20)
+	k := Key{1, 42}
+	c.Put(k, make([]byte, 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(k); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkPutEvict(b *testing.B) {
+	c := New(1 << 16)
+	block := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(Key{Table: 1, Offset: uint64(i)}, block)
+	}
+}

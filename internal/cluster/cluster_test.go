@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/kvnet"
+	"repro/internal/lsm"
+)
+
+func TestRingLookupStable(t *testing.T) {
+	r := NewRing(64)
+	r.AddNode("a")
+	r.AddNode("b")
+	r.AddNode("c")
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if r.Lookup(key) != r.Lookup(key) {
+			t.Fatalf("lookup not deterministic")
+		}
+	}
+	if got := len(r.Nodes()); got != 3 {
+		t.Errorf("Nodes = %d", got)
+	}
+	r.AddNode("a") // idempotent
+	if got := len(r.Nodes()); got != 3 {
+		t.Errorf("Nodes after duplicate add = %d", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(128)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		r.AddNode(n)
+	}
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup([]byte(fmt.Sprintf("user%08d", i)))]++
+	}
+	for node, c := range counts {
+		share := float64(c) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s owns %.1f%% of keys; want roughly balanced", node, share*100)
+		}
+	}
+}
+
+func TestRingRemoveNodeRedistributesMinimally(t *testing.T) {
+	r := NewRing(128)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		r.AddNode(n)
+	}
+	before := map[string]string{}
+	const keys = 5000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%06d", i)
+		before[k] = r.Lookup([]byte(k))
+	}
+	r.RemoveNode("d")
+	moved, fromD := 0, 0
+	for k, owner := range before {
+		now := r.Lookup([]byte(k))
+		if owner == "d" {
+			fromD++
+			if now == "d" {
+				t.Fatalf("removed node still owns %s", k)
+			}
+			continue
+		}
+		if now != owner {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed node moved; consistent hashing should move none", moved)
+	}
+	if fromD == 0 {
+		t.Errorf("removed node owned no keys before removal")
+	}
+	r.RemoveNode("d") // idempotent
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Lookup([]byte("k")); got != "" {
+		t.Errorf("Lookup on empty ring = %q", got)
+	}
+}
+
+// startCluster brings up n servers and a router over them.
+func startCluster(t *testing.T, n int) *Router {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		db, err := lsm.Open(t.TempDir(), lsm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := kvnet.NewServer(db)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() {
+			srv.Close()
+			db.Close()
+		})
+		addrs = append(addrs, ln.Addr().String())
+	}
+	rt, err := DialCluster(addrs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+func TestRouterCRUD(t *testing.T) {
+	rt := startCluster(t, 3)
+	const n = 600
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		if err := rt.Put(k, []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		v, err := rt.Get(k)
+		if err != nil || string(v) != fmt.Sprint(i) {
+			t.Fatalf("Get(%s) = %q, %v", k, v, err)
+		}
+	}
+	if err := rt.Delete([]byte("key-00042")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Get([]byte("key-00042")); err != kvnet.ErrNotFound {
+		t.Errorf("deleted key Get = %v", err)
+	}
+	// Keys actually spread across nodes.
+	stats, err := rt.StatsAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats from %d nodes", len(stats))
+	}
+	if err := rt.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = rt.StatsAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesWithData := 0
+	for _, st := range stats {
+		if st.Tables > 0 {
+			nodesWithData++
+		}
+	}
+	if nodesWithData != 3 {
+		t.Errorf("only %d/3 nodes hold data", nodesWithData)
+	}
+}
+
+func TestRouterCompactAll(t *testing.T) {
+	rt := startCluster(t, 3)
+	for gen := 0; gen < 3; gen++ {
+		for i := 0; i < 300; i++ {
+			k := []byte(fmt.Sprintf("key-%05d", i))
+			if err := rt.Put(k, []byte(fmt.Sprintf("v%d", gen))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rt.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := rt.CompactAll("BT(I)", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("compacted %d nodes", len(infos))
+	}
+	compactions := 0
+	for _, info := range infos {
+		if info.TablesBefore >= 2 {
+			compactions++
+			if info.Merges == 0 || info.BytesWritten == 0 {
+				t.Errorf("empty compaction result: %+v", info)
+			}
+		}
+	}
+	if compactions == 0 {
+		t.Errorf("no node had enough tables to compact")
+	}
+	stats, err := rt.StatsAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, st := range stats {
+		if st.Tables > 1 {
+			t.Errorf("node %s still has %d tables", node, st.Tables)
+		}
+	}
+	// Reads still correct after cluster-wide compaction.
+	v, err := rt.Get([]byte("key-00123"))
+	if err != nil || string(v) != "v2" {
+		t.Errorf("Get after compact = %q, %v", v, err)
+	}
+}
+
+func TestRouterScanMergesSorted(t *testing.T) {
+	rt := startCluster(t, 3)
+	for i := 0; i < 200; i++ {
+		if err := rt.Put([]byte(fmt.Sprintf("p:%04d", i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Put([]byte(fmt.Sprintf("q:%04d", i)), []byte("y")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := rt.Scan([]byte("p:"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 200 {
+		t.Fatalf("scan returned %d entries", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if string(entries[i-1].Key) >= string(entries[i].Key) {
+			t.Fatalf("merged scan out of order")
+		}
+	}
+	limited, err := rt.Scan(nil, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 50 {
+		t.Errorf("limited cluster scan = %d", len(limited))
+	}
+}
+
+func TestDialClusterErrors(t *testing.T) {
+	if _, err := DialCluster(nil, 8); err == nil {
+		t.Errorf("empty cluster accepted")
+	}
+	if _, err := DialCluster([]string{"127.0.0.1:1"}, 8); err == nil {
+		t.Errorf("unreachable node accepted")
+	}
+}

@@ -1,0 +1,102 @@
+// Package cluster shards a key space over multiple kvnet servers with
+// consistent hashing — the deployment shape the paper assumes: "A given
+// server stores multiple keys" and runs compaction locally over its own
+// sstables (Section 1). The Router forwards CRUD operations to the owning
+// node and can fan out maintenance operations (flush, major compaction)
+// cluster-wide, so the compaction strategies can be exercised per node.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. It is not safe for
+// concurrent mutation; Router guards it.
+type Ring struct {
+	replicas int
+	vnodes   []vnode
+	nodes    map[string]bool
+}
+
+type vnode struct {
+	hash uint64
+	node string
+}
+
+// NewRing creates a ring with the given number of virtual nodes per
+// physical node; more virtual nodes smooth the key distribution. replicas
+// must be positive (64 is a reasonable default).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
+}
+
+func ringHash(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	// Finalize for better avalanche on similar strings.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// AddNode inserts a node (idempotent).
+func (r *Ring) AddNode(name string) {
+	if r.nodes[name] {
+		return
+	}
+	r.nodes[name] = true
+	for i := 0; i < r.replicas; i++ {
+		r.vnodes = append(r.vnodes, vnode{hash: ringHash(fmt.Sprintf("%s#%d", name, i)), node: name})
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool { return r.vnodes[a].hash < r.vnodes[b].hash })
+}
+
+// RemoveNode deletes a node and its virtual nodes (idempotent).
+func (r *Ring) RemoveNode(name string) {
+	if !r.nodes[name] {
+		return
+	}
+	delete(r.nodes, name)
+	kept := r.vnodes[:0]
+	for _, v := range r.vnodes {
+		if v.node != name {
+			kept = append(kept, v)
+		}
+	}
+	r.vnodes = kept
+}
+
+// Nodes returns the node names, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the node owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key []byte) string {
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	h := ringHash(string(key))
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return r.vnodes[i].node
+}

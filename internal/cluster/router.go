@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/kvnet"
+)
+
+// Router is a cluster client: it owns one kvnet.Client per node and routes
+// each key to its owner via the ring. Safe for concurrent use.
+type Router struct {
+	mu    sync.RWMutex
+	ring  *Ring
+	conns map[string]*kvnet.Client
+}
+
+// DialCluster connects to every address and builds a router. Node names
+// are the addresses themselves.
+func DialCluster(addrs []string, vnodesPerNode int) (*Router, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no addresses")
+	}
+	rt := &Router{ring: NewRing(vnodesPerNode), conns: make(map[string]*kvnet.Client)}
+	for _, addr := range addrs {
+		c, err := kvnet.Dial(addr)
+		if err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		rt.conns[addr] = c
+		rt.ring.AddNode(addr)
+	}
+	return rt, nil
+}
+
+// Close closes every node connection.
+func (rt *Router) Close() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var first error
+	for _, c := range rt.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	rt.conns = map[string]*kvnet.Client{}
+	return first
+}
+
+// Owner returns the node name that owns key.
+func (rt *Router) Owner(key []byte) string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring.Lookup(key)
+}
+
+func (rt *Router) clientFor(key []byte) (*kvnet.Client, string, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	node := rt.ring.Lookup(key)
+	c, ok := rt.conns[node]
+	if !ok {
+		return nil, "", fmt.Errorf("cluster: no connection for node %q", node)
+	}
+	return c, node, nil
+}
+
+// Put routes a write to the owning node.
+func (rt *Router) Put(key, value []byte) error {
+	c, _, err := rt.clientFor(key)
+	if err != nil {
+		return err
+	}
+	return c.Put(key, value)
+}
+
+// Get routes a read to the owning node.
+func (rt *Router) Get(key []byte) ([]byte, error) {
+	c, _, err := rt.clientFor(key)
+	if err != nil {
+		return nil, err
+	}
+	return c.Get(key)
+}
+
+// Delete routes a delete to the owning node.
+func (rt *Router) Delete(key []byte) error {
+	c, _, err := rt.clientFor(key)
+	if err != nil {
+		return err
+	}
+	return c.Delete(key)
+}
+
+// forAll runs fn against every node concurrently and collects per-node
+// errors.
+func (rt *Router) forAll(fn func(node string, c *kvnet.Client) error) map[string]error {
+	rt.mu.RLock()
+	conns := make(map[string]*kvnet.Client, len(rt.conns))
+	for n, c := range rt.conns {
+		conns[n] = c
+	}
+	rt.mu.RUnlock()
+
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		errs = make(map[string]error, len(conns))
+	)
+	for node, c := range conns {
+		wg.Add(1)
+		go func(node string, c *kvnet.Client) {
+			defer wg.Done()
+			err := fn(node, c)
+			emu.Lock()
+			errs[node] = err
+			emu.Unlock()
+		}(node, c)
+	}
+	wg.Wait()
+	return errs
+}
+
+// FlushAll flushes every node's memtable; the first error is returned.
+func (rt *Router) FlushAll() error {
+	for node, err := range rt.forAll(func(_ string, c *kvnet.Client) error { return c.Flush() }) {
+		if err != nil {
+			return fmt.Errorf("cluster: flush %s: %w", node, err)
+		}
+	}
+	return nil
+}
+
+// CompactAll triggers a major compaction on every node with the given
+// strategy, returning per-node results.
+func (rt *Router) CompactAll(strategy string, k int) (map[string]*kvnet.CompactInfo, error) {
+	var (
+		mu  sync.Mutex
+		out = make(map[string]*kvnet.CompactInfo)
+	)
+	errs := rt.forAll(func(node string, c *kvnet.Client) error {
+		info, err := c.Compact(strategy, k)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		out[node] = info
+		mu.Unlock()
+		return nil
+	})
+	for node, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("cluster: compact %s: %w", node, err)
+		}
+	}
+	return out, nil
+}
+
+// StatsAll fetches statistics from every node.
+func (rt *Router) StatsAll() (map[string]*kvnet.StatsInfo, error) {
+	var (
+		mu  sync.Mutex
+		out = make(map[string]*kvnet.StatsInfo)
+	)
+	errs := rt.forAll(func(node string, c *kvnet.Client) error {
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		out[node] = st
+		mu.Unlock()
+		return nil
+	})
+	for node, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("cluster: stats %s: %w", node, err)
+		}
+	}
+	return out, nil
+}
+
+// Scan gathers up to limit prefix-matching entries from every node and
+// returns them merged in global key order.
+func (rt *Router) Scan(prefix []byte, limit int) ([]kvnet.ScanEntry, error) {
+	var (
+		mu  sync.Mutex
+		all []kvnet.ScanEntry
+	)
+	errs := rt.forAll(func(node string, c *kvnet.Client) error {
+		entries, err := c.Scan(prefix, limit)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		all = append(all, entries...)
+		mu.Unlock()
+		return nil
+	})
+	for node, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: scan %s: %w", node, err)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return bytes.Compare(all[i].Key, all[j].Key) < 0 })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all, nil
+}

@@ -1,0 +1,43 @@
+package compaction
+
+import "sort"
+
+// Chain merges tables strictly left to right in input order, producing the
+// caterpillar-shaped tree of Section 3 (Figure 3). It is the optimal
+// schedule on several of the paper's analytic families — the Lemma 4.2
+// instance (cost 4n−3) and the nested LARGESTMATCH family (cost 2^(n+1)−3)
+// — and serves as the "no reordering" baseline: what an engine gets by
+// always folding the next sstable into the running result.
+type Chain struct {
+	k       int
+	pending []*Node // input order, head is the running accumulator
+}
+
+// NewChain returns a fresh left-to-right chooser.
+func NewChain() *Chain { return &Chain{} }
+
+// Name implements Chooser.
+func (c *Chain) Name() string { return "CHAIN" }
+
+// Init implements Chooser.
+func (c *Chain) Init(leaves []*Node, k int) error {
+	c.k = k
+	c.pending = append([]*Node(nil), leaves...)
+	sort.Slice(c.pending, func(i, j int) bool { return c.pending[i].TableID < c.pending[j].TableID })
+	return nil
+}
+
+// Choose implements Chooser: the running accumulator (or the first two
+// tables) plus the next k−1 inputs.
+func (c *Chain) Choose() ([]*Node, error) {
+	g := groupSize(c.k, len(c.pending))
+	group := append([]*Node(nil), c.pending[:g]...)
+	c.pending = c.pending[g:]
+	return group, nil
+}
+
+// Observe implements Chooser: the merged result becomes the accumulator at
+// the head of the remaining inputs.
+func (c *Chain) Observe(merged *Node) {
+	c.pending = append([]*Node{merged}, c.pending...)
+}

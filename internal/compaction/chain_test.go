@@ -1,0 +1,85 @@
+package compaction
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestChainProducesCaterpillar(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	inst := randomInstance(r, 10, 50, 10)
+	sc, err := Run(inst, 2, NewChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Height(); got != 9 {
+		t.Errorf("chain height = %d, want n-1 = 9", got)
+	}
+	if got := MaxParallelism(sc); got != 1 {
+		t.Errorf("chain parallelism = %d, want 1", got)
+	}
+}
+
+func TestChainOptimalOnAdversarialFamilies(t *testing.T) {
+	// Lemma 4.2: chain cost = 4n−3.
+	const n = 64
+	sc, err := Run(AdversarialBalanceTree(n), 2, NewChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.CostSimple(); got != 4*n-3 {
+		t.Errorf("chain on Lemma 4.2 instance = %d, want 4n-3 = %d", got, 4*n-3)
+	}
+	// §4.3.4: chain cost = 2^(m+1)−3.
+	const m = 10
+	sc, err = Run(AdversarialLargestMatch(m), 2, NewChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.CostSimple(); got != 1<<(m+1)-3 {
+		t.Errorf("chain on LM instance = %d, want 2^(m+1)-3 = %d", got, 1<<(m+1)-3)
+	}
+}
+
+func TestChainMatchesCaterpillarAssignment(t *testing.T) {
+	// CHAIN must equal AssignTree on the caterpillar with the identity
+	// permutation.
+	r := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + r.Intn(8)
+		inst := randomInstance(r, n, 40, 10)
+		chain, err := Run(inst, 2, NewChain())
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		fixed, err := AssignTree(inst, CaterpillarTree(n), perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chain.CostSimple() != fixed.CostSimple() {
+			t.Errorf("n=%d: chain %d != caterpillar assignment %d", n, chain.CostSimple(), fixed.CostSimple())
+		}
+	}
+}
+
+func TestChainKWay(t *testing.T) {
+	r := rand.New(rand.NewSource(89))
+	inst := randomInstance(r, 10, 50, 10)
+	sc, err := Run(inst, 4, NewChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sc.Steps); got != 3 {
+		t.Errorf("k=4 chain steps = %d, want 3", got)
+	}
+}

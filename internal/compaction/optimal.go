@@ -1,0 +1,218 @@
+package compaction
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxOptimalN bounds the instance size accepted by the exact solvers: the
+// subset dynamic program enumerates all 3^n (subset, split) pairs, which is
+// practical up to n = 16 for binary merging.
+const MaxOptimalN = 16
+
+// maxOptimalKWayN bounds the k-way solver, whose extra partition dimension
+// multiplies the work by k.
+const maxOptimalKWayN = 14
+
+// OptimalBinary computes an exact optimal BINARYMERGING schedule (k = 2)
+// by dynamic programming over subsets of tables:
+//
+//	opt({i}) = |A_i|
+//	opt(S)   = |∪S| + min over proper splits S = T ⊎ (S∖T) of opt(T)+opt(S∖T)
+//
+// Union cardinalities for all 2^n subsets are computed with a sum-over-
+// subsets transform on element membership masks, so the DP never
+// materializes intermediate sets. The problem is NP-hard (Section 3), so
+// exponential time here is expected; the solver exists to measure how close
+// the greedy heuristics come to true optimality on small instances — a
+// comparison the paper itself had to approximate with the Σ|A_i| lower
+// bound (Section 5.3).
+func OptimalBinary(inst *Instance) (*Schedule, error) {
+	return OptimalKWay(inst, 2)
+}
+
+// OptimalKWay computes an exact optimal K-WAYMERGING schedule: every merge
+// combines between 2 and k sets, and the cost charged per merge is the
+// cardinality of its output (plus the constant leaf sizes, matching
+// CostSimple). Instances are limited to MaxOptimalN tables (14 for k > 2).
+func OptimalKWay(inst *Instance, k int) (*Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("compaction: k = %d, need k >= 2", k)
+	}
+	n := inst.N()
+	limit := MaxOptimalN
+	if k > 2 {
+		limit = maxOptimalKWayN
+	}
+	if n > limit {
+		return nil, fmt.Errorf("compaction: exact solver limited to %d tables, got %d", limit, n)
+	}
+	if n == 1 {
+		leaf := &Node{ID: 0, Set: inst.Table(0).Set, TableID: 0, Level: 1}
+		return &Schedule{Strategy: "OPT", K: k, Root: leaf, Leaves: []*Node{leaf}}, nil
+	}
+
+	unionLen := subsetUnionSizes(inst)
+	full := (1 << n) - 1
+
+	// opt[S]: minimal CostSimple of merging the tables in S into one set.
+	// For singletons this is the leaf size; for larger S it adds |∪S| plus
+	// the cheapest partition of S into 2..k blocks.
+	const unset = -1
+	// part[j][S]: minimal Σ opt(block) over partitions of S into exactly
+	// j+1 blocks (part[0][S] doubles as the opt(S) memo).
+	part := make([][]int64, k)
+	choice := make([][]int, k) // chosen first block (containing lowbit)
+	for j := range part {
+		part[j] = make([]int64, full+1)
+		choice[j] = make([]int, full+1)
+		for s := range part[j] {
+			part[j][s] = unset
+		}
+	}
+	blocks := make([]int, full+1) // number of blocks opt(S) splits into
+
+	var solveOpt func(s int) int64
+	var solvePart func(j, s int) int64
+
+	solveOpt = func(s int) int64 {
+		if part[0][s] != unset {
+			return part[0][s]
+		}
+		if bits.OnesCount(uint(s)) == 1 {
+			i := bits.TrailingZeros(uint(s))
+			part[0][s] = int64(inst.Table(i).Set.Len())
+			return part[0][s]
+		}
+		best := int64(-1)
+		bestJ := 0
+		maxBlocks := k
+		if c := bits.OnesCount(uint(s)); c < maxBlocks {
+			maxBlocks = c
+		}
+		for j := 2; j <= maxBlocks; j++ {
+			if v := solvePart(j-1, s); best < 0 || v < best {
+				best, bestJ = v, j
+			}
+		}
+		part[0][s] = int64(unionLen[s]) + best
+		blocks[s] = bestJ
+		return part[0][s]
+	}
+
+	// solvePart(j, s) = min over partitions of s into exactly j+1 blocks of
+	// Σ opt(block); j >= 1. The first block always contains the lowest set
+	// bit of s to avoid counting permutations of the same partition.
+	solvePart = func(j, s int) int64 {
+		if j == 0 {
+			return solveOpt(s)
+		}
+		if part[j][s] != unset {
+			return part[j][s]
+		}
+		low := s & (-s)
+		best := int64(-1)
+		bestT := 0
+		// Enumerate submasks T of s that contain low and leave at least j
+		// elements for the remaining blocks.
+		rest := s ^ low
+		for sub := rest; ; sub = (sub - 1) & rest {
+			t := sub | low
+			remainder := s ^ t
+			if bits.OnesCount(uint(remainder)) >= j {
+				v := solveOpt(t) + solvePart(j-1, remainder)
+				if best < 0 || v < best {
+					best, bestT = v, t
+				}
+			}
+			if sub == 0 {
+				break
+			}
+		}
+		part[j][s] = best
+		choice[j][s] = bestT
+		return best
+	}
+
+	solveOpt(full)
+
+	// Reconstruct the merge tree, emitting steps in post-order so children
+	// are produced before parents.
+	sc := &Schedule{Strategy: "OPT", K: k}
+	sc.Leaves = make([]*Node, n)
+	for i, t := range inst.Tables() {
+		sc.Leaves[i] = &Node{ID: i, Set: t.Set, TableID: i, Level: 1}
+	}
+	nextID := n
+	var build func(s int) *Node
+	build = func(s int) *Node {
+		if bits.OnesCount(uint(s)) == 1 {
+			return sc.Leaves[bits.TrailingZeros(uint(s))]
+		}
+		nblocks := blocks[s]
+		var children []*Node
+		remaining := s
+		for j := nblocks - 1; j >= 1; j-- {
+			t := choice[j][remaining]
+			children = append(children, build(t))
+			remaining ^= t
+		}
+		children = append(children, build(remaining))
+		maxLevel := 0
+		union := children[0].Set
+		for _, c := range children[1:] {
+			union = union.Union(c.Set)
+		}
+		for _, c := range children {
+			if c.Level > maxLevel {
+				maxLevel = c.Level
+			}
+		}
+		out := &Node{ID: nextID, Set: union, Children: children, TableID: -1, Level: maxLevel + 1}
+		nextID++
+		sc.Steps = append(sc.Steps, Step{Inputs: children, Output: out})
+		return out
+	}
+	sc.Root = build(full)
+	return sc, nil
+}
+
+// subsetUnionSizes returns, for every subset S of tables (as a bitmask),
+// the cardinality of the union of the sets in S. It folds identical
+// element membership masks together and applies a sum-over-subsets
+// transform: |∪S| = m − #{x : mask(x) ∩ S = ∅} = m − Σ_{mask ⊆ ~S} count.
+func subsetUnionSizes(inst *Instance) []int {
+	n := inst.N()
+	full := (1 << n) - 1
+	maskCount := make(map[uint64]int)
+	masks := make(map[uint64]uint64) // element -> membership mask
+	for i, t := range inst.Tables() {
+		for _, x := range t.Set.Keys() {
+			masks[x] |= 1 << uint(i)
+		}
+	}
+	m := len(masks)
+	for _, mask := range masks {
+		maskCount[mask]++
+	}
+	// g[T] = number of elements whose mask is a subset of T.
+	g := make([]int, full+1)
+	for mask, c := range maskCount {
+		g[mask] += c
+	}
+	for bit := 0; bit < n; bit++ {
+		for s := 0; s <= full; s++ {
+			if s&(1<<bit) != 0 {
+				g[s] += g[s^(1<<bit)]
+			}
+		}
+	}
+	out := make([]int, full+1)
+	for s := 0; s <= full; s++ {
+		out[s] = m - g[full^s]
+	}
+	return out
+}

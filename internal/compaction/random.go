@@ -1,0 +1,47 @@
+package compaction
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Random implements the RANDOM strawman of Section 5.1: each iteration
+// merges k sets chosen uniformly at random. "This represents the case when
+// there is no compaction strategy" and anchors the comparison in Figure 7.
+type Random struct {
+	k     int
+	rng   *rand.Rand
+	alive []*Node
+}
+
+// NewRandom returns a random chooser seeded for reproducibility.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Chooser.
+func (r *Random) Name() string { return "RANDOM" }
+
+// Init implements Chooser.
+func (r *Random) Init(leaves []*Node, k int) error {
+	r.k = k
+	r.alive = append([]*Node(nil), leaves...)
+	sort.Slice(r.alive, func(i, j int) bool { return r.alive[i].ID < r.alive[j].ID })
+	return nil
+}
+
+// Choose implements Chooser.
+func (r *Random) Choose() ([]*Node, error) {
+	g := groupSize(r.k, len(r.alive))
+	r.rng.Shuffle(len(r.alive), func(i, j int) {
+		r.alive[i], r.alive[j] = r.alive[j], r.alive[i]
+	})
+	group := append([]*Node(nil), r.alive[:g]...)
+	r.alive = r.alive[g:]
+	return group, nil
+}
+
+// Observe implements Chooser.
+func (r *Random) Observe(merged *Node) {
+	r.alive = append(r.alive, merged)
+}

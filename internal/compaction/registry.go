@@ -1,0 +1,52 @@
+package compaction
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultHLLPrecision is the sketch precision used by the SO and BT(O)
+// strategies when constructed by name (2^12 registers, ≈1.6% error).
+const DefaultHLLPrecision = 12
+
+// NewChooserByName constructs a fresh chooser for one run. Recognized
+// names: "SI", "SO" (HyperLogLog-estimated), "SO(exact)", "BT" (arbitrary
+// within-level order), "BT(I)", "BT(O)", "LM", "CHAIN" (left-to-right
+// baseline), "RANDOM". seed is used by RANDOM only.
+func NewChooserByName(name string, seed int64) (Chooser, error) {
+	switch name {
+	case "SI":
+		return NewSmallestInput(), nil
+	case "SO":
+		return NewSmallestOutput(NewHLLEstimator(DefaultHLLPrecision)), nil
+	case "SO(exact)":
+		return NewSmallestOutput(ExactEstimator{}), nil
+	case "BT":
+		return NewBalanceTree(OrderArbitrary, nil), nil
+	case "BT(I)":
+		return NewBalanceTree(OrderSmallestInput, nil), nil
+	case "BT(O)":
+		return NewBalanceTree(OrderSmallestOutput, NewHLLEstimator(DefaultHLLPrecision)), nil
+	case "LM":
+		return NewLargestMatch(), nil
+	case "CHAIN":
+		return NewChain(), nil
+	case "RANDOM":
+		return NewRandom(seed), nil
+	default:
+		return nil, fmt.Errorf("compaction: unknown strategy %q", name)
+	}
+}
+
+// StrategyNames returns the names accepted by NewChooserByName, sorted.
+func StrategyNames() []string {
+	names := []string{"SI", "SO", "SO(exact)", "BT", "BT(I)", "BT(O)", "LM", "CHAIN", "RANDOM"}
+	sort.Strings(names)
+	return names
+}
+
+// EvaluatedStrategies returns the five strategies compared in the paper's
+// Figure 7, in the paper's presentation order.
+func EvaluatedStrategies() []string {
+	return []string{"SI", "SO", "BT(I)", "BT(O)", "RANDOM"}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNumSteps(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{1, 2, 0},
+		{2, 2, 1},
+		{16, 2, 15},
+		{16, 4, 5},
+		{9, 4, 3},
+		{5, 8, 1},
+	}
+	for _, c := range cases {
+		if got := numSteps(c.n, c.k); got != c.want {
+			t.Errorf("numSteps(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestKSweepLargerKCheaper(t *testing.T) {
+	p := smallParams()
+	p.Runs = 1
+	rows, err := KSweep(p, 20, []int{2, 4, 8})
+	if err != nil {
+		t.Fatalf("KSweep: %v", err)
+	}
+	if len(rows) != 6 { // 2 strategies × 3 k values
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byStrat := map[string][]KSweepRow{}
+	for _, r := range rows {
+		byStrat[r.Strategy] = append(byStrat[r.Strategy], r)
+	}
+	for strat, rs := range byStrat {
+		// Cost and step count must fall monotonically with k.
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Cost.Mean > rs[i-1].Cost.Mean {
+				t.Errorf("%s: cost rose from k=%d (%.0f) to k=%d (%.0f)",
+					strat, rs[i-1].K, rs[i-1].Cost.Mean, rs[i].K, rs[i].Cost.Mean)
+			}
+			if rs[i].Steps.Mean >= rs[i-1].Steps.Mean {
+				t.Errorf("%s: steps did not fall with k", strat)
+			}
+		}
+		if rs[0].CostVsLOPT < 1 {
+			t.Errorf("%s: cost below LOPT", strat)
+		}
+	}
+	if _, err := KSweep(p, 20, []int{1}); err == nil {
+		t.Errorf("k=1 accepted")
+	}
+}
+
+func TestHLLSweepPrecisionImprovesCost(t *testing.T) {
+	p := smallParams()
+	p.Runs = 1
+	p.OperationCount = 15000
+	rows, err := HLLSweep(p, 40, []uint8{6, 14})
+	if err != nil {
+		t.Fatalf("HLLSweep: %v", err)
+	}
+	if len(rows) != 3 { // exact + 2 precisions
+		t.Fatalf("rows = %d", len(rows))
+	}
+	exact, low, high := rows[0], rows[1], rows[2]
+	if exact.Precision != 0 || exact.CostVsExact != 1 {
+		t.Errorf("exact row = %+v", exact)
+	}
+	// Higher precision must not be materially worse than lower precision,
+	// and no estimator should beat exact by more than noise.
+	if high.CostVsExact > low.CostVsExact*1.02 {
+		t.Errorf("p=14 (%.4f) worse than p=6 (%.4f)", high.CostVsExact, low.CostVsExact)
+	}
+	for _, r := range rows[1:] {
+		if r.CostVsExact < 0.98 {
+			t.Errorf("p=%d beat exact by %.4f — estimator bug?", r.Precision, r.CostVsExact)
+		}
+	}
+}
+
+func TestFormatAblations(t *testing.T) {
+	ks := []KSweepRow{{Strategy: "SI", K: 2, CostVsLOPT: 2}}
+	if out := FormatKSweep(ks); !strings.Contains(out, "fan-in") || !strings.Contains(out, "SI") {
+		t.Errorf("FormatKSweep = %q", out)
+	}
+	hs := []HLLSweepRow{{Precision: 0, CostVsExact: 1}, {Precision: 12, CostVsExact: 1.01}}
+	out := FormatHLLSweep(hs)
+	if !strings.Contains(out, "exact") || !strings.Contains(out, "HLL p=12") {
+		t.Errorf("FormatHLLSweep = %q", out)
+	}
+}

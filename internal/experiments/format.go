@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatFig7 renders Figure 7's data as two aligned text tables (cost, then
+// time), one row per update percentage and one column per strategy.
+func FormatFig7(rows []Fig7Row) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	strategies := rows[0].Strategies
+
+	writeTable := func(title, unit string, cell func(Fig7Cell) Stat) {
+		fmt.Fprintf(&b, "%s (%s)\n", title, unit)
+		tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+		fmt.Fprint(tw, "update%")
+		for _, s := range strategies {
+			fmt.Fprintf(tw, "\t%s", s)
+		}
+		fmt.Fprintln(tw, "\tsstables")
+		for _, row := range rows {
+			fmt.Fprintf(tw, "%d", row.UpdatePct)
+			for _, s := range strategies {
+				fmt.Fprintf(tw, "\t%s", cell(row.Cells[s]))
+			}
+			fmt.Fprintf(tw, "\t%.0f\n", row.Tables.Mean)
+		}
+		tw.Flush()
+		b.WriteByte('\n')
+	}
+	writeTable("Figure 7a: compaction cost vs update percentage", "keys, costactual", func(c Fig7Cell) Stat { return c.Cost })
+	writeTable("Figure 7b: compaction time vs update percentage", "ms", func(c Fig7Cell) Stat { return c.TimeMs })
+	return b.String()
+}
+
+// FormatFig8 renders Figure 8's data: BT(I) cost versus the optimal lower
+// bound per memtable size and distribution.
+func FormatFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 8: BT(I) cost vs lower bound on optimal (keys, log-log in the paper)")
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "dist\tmemtable\tsstables\tBT(I) cost\tLOPT\tcost/LOPT")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%s\t%s\t%.2f\n",
+			r.Distribution, r.MemtableKeys, r.Tables.Mean, r.Cost, r.LowerBound, r.Ratio)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// FormatFig9 renders Figure 9's scatter data with the given axis label.
+func FormatFig9(title, xlabel string, rows []Fig9Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "dist\t%s\tcost (keys)\ttime (ms)\n", xlabel)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.2f ± %.2f\n", r.Distribution, r.X, r.Cost, r.TimeMs.Mean, r.TimeMs.Std)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// FormatOptGap renders the optimality-gap extension experiment.
+func FormatOptGap(rows []OptGapRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Optimality gap vs exact DP optimum (extension; ratio 1.00 = optimal)")
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tmean cost/OPT\tworst cost/OPT\tmean cost/LOPT\ttrials")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%d\n", r.Strategy, r.MeanRatio, r.WorstRatio, r.MeanLOPTRatio, r.Trials)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// WriteFig7CSV emits Figure 7's data as CSV with one row per
+// (update%, strategy).
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	if _, err := fmt.Fprintln(w, "update_pct,strategy,cost_mean,cost_std,time_ms_mean,time_ms_std"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		for _, s := range row.Strategies {
+			c := row.Cells[s]
+			if _, err := fmt.Fprintf(w, "%d,%s,%.1f,%.1f,%.3f,%.3f\n",
+				row.UpdatePct, s, c.Cost.Mean, c.Cost.Std, c.TimeMs.Mean, c.TimeMs.Std); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFig8CSV emits Figure 8's data as CSV.
+func WriteFig8CSV(w io.Writer, rows []Fig8Row) error {
+	if _, err := fmt.Fprintln(w, "distribution,memtable_keys,tables,cost_mean,cost_std,lopt_mean,lopt_std,ratio"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.0f,%.1f,%.1f,%.1f,%.1f,%.3f\n",
+			r.Distribution, r.MemtableKeys, r.Tables.Mean, r.Cost.Mean, r.Cost.Std,
+			r.LowerBound.Mean, r.LowerBound.Std, r.Ratio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig9CSV emits Figure 9's data as CSV with the given x-column name.
+func WriteFig9CSV(w io.Writer, xlabel string, rows []Fig9Row) error {
+	if _, err := fmt.Fprintf(w, "distribution,%s,cost_mean,cost_std,time_ms_mean,time_ms_std\n", xlabel); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.1f,%.1f,%.3f,%.3f\n",
+			r.Distribution, r.X, r.Cost.Mean, r.Cost.Std, r.TimeMs.Mean, r.TimeMs.Std); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+// Package hll implements the HyperLogLog cardinality estimator of
+// Flajolet, Fusy, Gandouet and Meunier (AofA 2007).
+//
+// The paper's practical SMALLESTOUTPUT compaction strategy keeps one sketch
+// per sstable and estimates the cardinality of a candidate merge output by
+// merging sketches — "Calculating the cardinality of an output sstable
+// without actually merging the input sstables is non-trivial. We estimate
+// cardinality of the output sstable using Hyperloglog" (Section 5.1).
+// Sketch union is exact for HLL (a pointwise register max), so estimating
+// |A ∪ B| costs O(m) register operations instead of a full merge.
+package hll
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// MinPrecision and MaxPrecision bound the sketch precision parameter p;
+// the sketch uses m = 2^p registers.
+const (
+	MinPrecision = 4
+	MaxPrecision = 18
+)
+
+// Sketch is a HyperLogLog cardinality estimator. It is not safe for
+// concurrent mutation.
+type Sketch struct {
+	p         uint8
+	registers []uint8
+}
+
+// New creates a sketch with precision p (m = 2^p registers). The standard
+// relative error is about 1.04/√m; p = 14 gives ≈0.8%.
+func New(p uint8) (*Sketch, error) {
+	if p < MinPrecision || p > MaxPrecision {
+		return nil, fmt.Errorf("hll: precision %d out of range [%d,%d]", p, MinPrecision, MaxPrecision)
+	}
+	return &Sketch{p: p, registers: make([]uint8, 1<<p)}, nil
+}
+
+// MustNew is New but panics on an invalid precision. Intended for package
+// initialization with constant arguments.
+func MustNew(p uint8) *Sketch {
+	s, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Precision returns the sketch's precision parameter p.
+func (s *Sketch) Precision() uint8 { return s.p }
+
+// hash64 mixes a 64-bit key (splitmix64 finalizer); HLL needs well-mixed
+// bits since it reads both the top p bits and the trailing-pattern rank.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// AddUint64 observes a 64-bit key.
+func (s *Sketch) AddUint64(key uint64) {
+	s.addHash(hash64(key))
+}
+
+// Add observes an arbitrary byte key.
+func (s *Sketch) Add(key []byte) {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	s.addHash(hash64(h))
+}
+
+func (s *Sketch) addHash(h uint64) {
+	idx := h >> (64 - s.p)
+	rest := h << s.p
+	// Rank: position of the leftmost 1-bit in the remaining 64-p bits.
+	rank := uint8(bits.LeadingZeros64(rest|1)) + 1
+	if max := uint8(64 - s.p + 1); rank > max {
+		rank = max
+	}
+	if rank > s.registers[idx] {
+		s.registers[idx] = rank
+	}
+}
+
+func alpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+}
+
+// Estimate returns the estimated number of distinct keys observed, with the
+// standard small-range (linear counting) and large-range corrections.
+func (s *Sketch) Estimate() float64 {
+	m := float64(len(s.registers))
+	sum := 0.0
+	zeros := 0
+	for _, r := range s.registers {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	raw := alpha(len(s.registers)) * m * m / sum
+	if raw <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/float64(zeros))
+	}
+	const two32 = 1 << 32
+	if raw > two32/30 {
+		return -two32 * math.Log(1-raw/two32)
+	}
+	return raw
+}
+
+// EstimateInt returns Estimate rounded to the nearest integer, never
+// negative.
+func (s *Sketch) EstimateInt() int {
+	e := s.Estimate()
+	if e < 0 {
+		return 0
+	}
+	return int(e + 0.5)
+}
+
+// ErrPrecisionMismatch reports an attempt to merge sketches of different
+// precision.
+var ErrPrecisionMismatch = errors.New("hll: precision mismatch")
+
+// Merge folds other into s so that s estimates the cardinality of the union
+// of both observed multisets. Merging is exact: the result equals the
+// sketch that would have observed both streams.
+func (s *Sketch) Merge(other *Sketch) error {
+	if s.p != other.p {
+		return ErrPrecisionMismatch
+	}
+	for i, r := range other.registers {
+		if r > s.registers[i] {
+			s.registers[i] = r
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the sketch.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{p: s.p, registers: make([]uint8, len(s.registers))}
+	copy(c.registers, s.registers)
+	return c
+}
+
+// UnionEstimate estimates |A ∪ B| from the sketches of A and B without
+// mutating either. This is the primitive the SMALLESTOUTPUT strategy calls
+// per candidate pair.
+func UnionEstimate(a, b *Sketch) (float64, error) {
+	if a.p != b.p {
+		return 0, ErrPrecisionMismatch
+	}
+	c := a.Clone()
+	if err := c.Merge(b); err != nil {
+		return 0, err
+	}
+	return c.Estimate(), nil
+}
+
+// StdError returns the theoretical relative standard error 1.04/√m of the
+// sketch.
+func (s *Sketch) StdError() float64 {
+	return 1.04 / math.Sqrt(float64(len(s.registers)))
+}
+
+// Marshal serializes the sketch: one byte of precision, then the registers.
+func (s *Sketch) Marshal() []byte {
+	out := make([]byte, 1+len(s.registers))
+	out[0] = s.p
+	copy(out[1:], s.registers)
+	return out
+}
+
+// Unmarshal reconstructs a sketch serialized by Marshal.
+func Unmarshal(data []byte) (*Sketch, error) {
+	if len(data) < 1 {
+		return nil, errors.New("hll: empty encoding")
+	}
+	p := data[0]
+	if p < MinPrecision || p > MaxPrecision {
+		return nil, fmt.Errorf("hll: invalid precision %d", p)
+	}
+	if len(data) != 1+(1<<p) {
+		return nil, fmt.Errorf("hll: encoding length %d does not match precision %d", len(data), p)
+	}
+	s := &Sketch{p: p, registers: make([]uint8, 1<<p)}
+	copy(s.registers, data[1:])
+	return s, nil
+}
+
+// SketchOfUint64s builds a sketch of precision p over the given keys;
+// convenience for tests and for sketching whole sstables.
+func SketchOfUint64s(p uint8, keys []uint64) (*Sketch, error) {
+	s, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		s.AddUint64(k)
+	}
+	return s, nil
+}

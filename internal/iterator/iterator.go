@@ -1,0 +1,182 @@
+// Package iterator defines the entry and iterator abstractions shared by
+// memtables, sstables and the LSM engine, plus combinators: a k-way heap
+// merging iterator (the core of compaction's merge-sort) and a dedup filter
+// that keeps only the newest version of each key and optionally drops
+// tombstones (the behaviour of a major compaction, where deleted keys are
+// purged).
+package iterator
+
+import "bytes"
+
+// Entry is a single versioned key-value record. Tombstone entries mark
+// deletions; they carry no value.
+type Entry struct {
+	Key       []byte
+	Value     []byte
+	Seq       uint64 // monotonically increasing write sequence number
+	Tombstone bool
+}
+
+// Iterator yields entries in non-decreasing key order. Multiple entries may
+// share a key (different versions); sources must yield them in descending
+// Seq order if they contain several, though typically each source holds at
+// most one version per key.
+type Iterator interface {
+	// Valid reports whether the iterator is positioned at an entry.
+	Valid() bool
+	// Entry returns the current entry. Only valid when Valid() is true.
+	Entry() Entry
+	// Next advances to the following entry.
+	Next()
+}
+
+// SliceIterator iterates over an in-memory, pre-sorted slice of entries.
+type SliceIterator struct {
+	entries []Entry
+	pos     int
+}
+
+// NewSlice wraps entries, which must already be sorted by (Key asc, Seq desc).
+func NewSlice(entries []Entry) *SliceIterator {
+	return &SliceIterator{entries: entries}
+}
+
+// Valid implements Iterator.
+func (it *SliceIterator) Valid() bool { return it.pos < len(it.entries) }
+
+// Entry implements Iterator.
+func (it *SliceIterator) Entry() Entry { return it.entries[it.pos] }
+
+// Next implements Iterator.
+func (it *SliceIterator) Next() { it.pos++ }
+
+// Merging merges any number of sorted child iterators into one sorted
+// stream. When two children are positioned at equal keys, the child with
+// the lower index wins ties first (callers order children newest-first so
+// the freshest version surfaces before older ones).
+type Merging struct {
+	children []Iterator
+	heap     []int // indices into children, ordered as a binary min-heap
+}
+
+// NewMerging builds a merging iterator over children. Children that are
+// initially invalid are skipped.
+func NewMerging(children ...Iterator) *Merging {
+	m := &Merging{children: children}
+	for i, c := range children {
+		if c.Valid() {
+			m.heap = append(m.heap, i)
+		}
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m
+}
+
+// less orders child i before child j by (key, child index).
+func (m *Merging) less(i, j int) bool {
+	a, b := m.heap[i], m.heap[j]
+	cmp := bytes.Compare(m.children[a].Entry().Key, m.children[b].Entry().Key)
+	if cmp != 0 {
+		return cmp < 0
+	}
+	return a < b
+}
+
+func (m *Merging) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(m.heap) && m.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(m.heap) && m.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		m.heap[i], m.heap[smallest] = m.heap[smallest], m.heap[i]
+		i = smallest
+	}
+}
+
+// Valid implements Iterator.
+func (m *Merging) Valid() bool { return len(m.heap) > 0 }
+
+// Entry implements Iterator.
+func (m *Merging) Entry() Entry { return m.children[m.heap[0]].Entry() }
+
+// Next implements Iterator.
+func (m *Merging) Next() {
+	top := m.heap[0]
+	m.children[top].Next()
+	if !m.children[top].Valid() {
+		m.heap[0] = m.heap[len(m.heap)-1]
+		m.heap = m.heap[:len(m.heap)-1]
+	}
+	if len(m.heap) > 0 {
+		m.siftDown(0)
+	}
+}
+
+// Dedup filters a sorted stream so each key appears once, keeping the
+// highest-Seq (newest) version within each run of equal keys. If
+// dropTombstones is set, keys whose newest version is a deletion are
+// omitted entirely — the semantics of a major compaction producing the
+// single final sstable.
+type Dedup struct {
+	src            Iterator
+	dropTombstones bool
+	cur            Entry
+	valid          bool
+}
+
+// NewDedup wraps src. dropTombstones selects major-compaction semantics.
+func NewDedup(src Iterator, dropTombstones bool) *Dedup {
+	d := &Dedup{src: src, dropTombstones: dropTombstones}
+	d.advance()
+	return d
+}
+
+// advance consumes the next run of equal keys from src and positions d at
+// the winning version, skipping dropped tombstones.
+func (d *Dedup) advance() {
+	for d.src.Valid() {
+		best := d.src.Entry()
+		d.src.Next()
+		for d.src.Valid() && bytes.Equal(d.src.Entry().Key, best.Key) {
+			if e := d.src.Entry(); e.Seq > best.Seq {
+				best = e
+			}
+			d.src.Next()
+		}
+		if best.Tombstone && d.dropTombstones {
+			continue
+		}
+		d.cur = best
+		d.valid = true
+		return
+	}
+	d.valid = false
+}
+
+// Valid implements Iterator.
+func (d *Dedup) Valid() bool { return d.valid }
+
+// Entry implements Iterator.
+func (d *Dedup) Entry() Entry { return d.cur }
+
+// Next implements Iterator.
+func (d *Dedup) Next() { d.advance() }
+
+// Drain reads all remaining entries from it into a slice; convenience for
+// tests and small merges.
+func Drain(it Iterator) []Entry {
+	var out []Entry
+	for ; it.Valid(); it.Next() {
+		out = append(out, it.Entry())
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package keyset
+
+// Weights assigns a non-negative weight to each key, modeling the paper's
+// SUBMODULARMERGING extension where "keys can have a non-negative weight
+// (e.g., size of an entry corresponding to that key), and the merge cost of
+// two sstables can be defined as the sum of the weights of the keys in the
+// resultant merged sstable" (Section 2).
+type Weights map[uint64]float64
+
+// WeightOf returns the weight of a set under w: Σ_{k∈s} w(k). Keys missing
+// from w weigh 1, so a nil Weights reduces to plain cardinality.
+func (w Weights) WeightOf(s Set) float64 {
+	if w == nil {
+		return float64(s.Len())
+	}
+	total := 0.0
+	for _, k := range s.Keys() {
+		if wt, ok := w[k]; ok {
+			total += wt
+		} else {
+			total++
+		}
+	}
+	return total
+}
+
+// CostFn maps a merged set to its merge cost. The paper requires cost
+// functions to be monotone submodular; the constructors in this package all
+// satisfy that.
+type CostFn func(Set) float64
+
+// CardinalityCost is the BINARYMERGING cost: f(X) = |X|.
+func CardinalityCost(s Set) float64 { return float64(s.Len()) }
+
+// WeightedCost returns the submodular cost f(X) = Σ_{k∈X} w(k).
+func WeightedCost(w Weights) CostFn {
+	return func(s Set) float64 { return w.WeightOf(s) }
+}
+
+// InitPlusCardinalityCost returns f(X) = init + |X|, the paper's example of
+// "a constant cost ... involved with initializing a new sstable". Monotone
+// and submodular for init >= 0.
+func InitPlusCardinalityCost(init float64) CostFn {
+	return func(s Set) float64 { return init + float64(s.Len()) }
+}

@@ -1,0 +1,132 @@
+package kvnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrNotFound reports a missing key, mirroring lsm.ErrNotFound across the
+// wire.
+var ErrNotFound = errors.New("kvnet: key not found")
+
+// Client is a connection to one server. It is safe for concurrent use;
+// requests are serialized over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("kvnet: dial: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful with net.Pipe in
+// tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.w, EncodeRequest(req)); err != nil {
+		return Response{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Response{}, err
+	}
+	payload, err := readFrame(c.r)
+	if err != nil {
+		return Response{}, err
+	}
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		return Response{}, err
+	}
+	if resp.Status == StatusError {
+		return resp, fmt.Errorf("kvnet: server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Put stores key → value.
+func (c *Client) Put(key, value []byte) error {
+	_, err := c.roundTrip(Request{Op: OpPut, Key: key, Value: value})
+	return err
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	resp, err := c.roundTrip(Request{Op: OpGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == StatusNotFound {
+		return nil, ErrNotFound
+	}
+	return resp.Value, nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(key []byte) error {
+	_, err := c.roundTrip(Request{Op: OpDelete, Key: key})
+	return err
+}
+
+// Scan returns up to limit entries whose keys start with prefix (all keys
+// when prefix is empty), in key order.
+func (c *Client) Scan(prefix []byte, limit int) ([]ScanEntry, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	resp, err := c.roundTrip(Request{Op: OpScan, Prefix: prefix, Limit: uint64(limit)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// Flush forces a memtable flush on the server.
+func (c *Client) Flush() error {
+	_, err := c.roundTrip(Request{Op: OpFlush})
+	return err
+}
+
+// Compact triggers a major compaction scheduled by the named strategy.
+func (c *Client) Compact(strategy string, k int) (*CompactInfo, error) {
+	resp, err := c.roundTrip(Request{Op: OpCompact, Strategy: strategy, K: uint64(k)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Compact == nil {
+		return nil, fmt.Errorf("kvnet: malformed compact response")
+	}
+	return resp.Compact, nil
+}
+
+// Stats fetches server statistics.
+func (c *Client) Stats() (*StatsInfo, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("kvnet: malformed stats response")
+	}
+	return resp.Stats, nil
+}

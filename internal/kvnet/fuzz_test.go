@@ -1,0 +1,39 @@
+package kvnet
+
+import "testing"
+
+// FuzzDecodeRequest ensures arbitrary client bytes cannot panic the
+// server-side decoder.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(EncodeRequest(Request{Op: OpPut, Key: []byte("k"), Value: []byte("v")}))
+	f.Add(EncodeRequest(Request{Op: OpScan, Prefix: []byte("p"), Limit: 9}))
+	f.Add(EncodeRequest(Request{Op: OpCompact, Strategy: "SI", K: 2}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		// Valid decodes must re-encode/decode stably.
+		again, err := DecodeRequest(EncodeRequest(req))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Op != req.Op || again.Strategy != req.Strategy || again.Limit != req.Limit || again.K != req.K {
+			t.Fatalf("request changed across round trip")
+		}
+	})
+}
+
+// FuzzDecodeResponse ensures arbitrary server bytes cannot panic the
+// client-side decoder.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(EncodeResponse(Response{Status: StatusOK, Value: []byte("v")}))
+	f.Add(EncodeResponse(Response{Status: StatusOK, Entries: []ScanEntry{{Key: []byte("k"), Value: []byte("v")}}}))
+	f.Add(EncodeResponse(Response{Status: StatusError, Err: "x"}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeResponse(data)
+	})
+}

@@ -1,0 +1,311 @@
+package kvnet
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lsm"
+)
+
+// startServer spins up a server over a fresh DB on a loopback listener and
+// returns a connected client, the server, and the listen address.
+func startServer(t *testing.T) (*Client, *Server, string) {
+	t.Helper()
+	db, err := lsm.Open(t.TempDir(), lsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		db.Close()
+	})
+	return client, srv, addr
+}
+
+func TestPutGetDeleteOverWire(t *testing.T) {
+	c, _, _ := startServer(t)
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if err := c.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get([]byte("k")); err != ErrNotFound {
+		t.Errorf("Get after delete = %v", err)
+	}
+	if _, err := c.Get([]byte("missing")); err != ErrNotFound {
+		t.Errorf("Get missing = %v", err)
+	}
+}
+
+func TestBinarySafeKeysAndValues(t *testing.T) {
+	c, _, _ := startServer(t)
+	key := []byte{0, 1, 2, 0xff, '\n', 0}
+	val := make([]byte, 100000)
+	for i := range val {
+		val[i] = byte(i * 31)
+	}
+	if err := c.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(key)
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("binary round trip failed: %v", err)
+	}
+}
+
+func TestScanPrefixAndLimit(t *testing.T) {
+	c, _, _ := startServer(t)
+	for i := 0; i < 50; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("a:%03d", i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("b:%03d", i)), []byte("y")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := c.Scan([]byte("a:"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 50 {
+		t.Errorf("prefix scan returned %d entries, want 50", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if bytes.Compare(entries[i-1].Key, entries[i].Key) >= 0 {
+			t.Fatalf("scan out of order")
+		}
+	}
+	limited, err := c.Scan(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 10 {
+		t.Errorf("limited scan returned %d", len(limited))
+	}
+}
+
+func TestCompactOverWire(t *testing.T) {
+	c, _, _ := startServer(t)
+	for gen := 0; gen < 4; gen++ {
+		for i := 0; i < 300; i++ {
+			if err := c.Put([]byte(fmt.Sprintf("key-%04d", i+gen*150)), []byte("value")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tables != 4 {
+		t.Fatalf("tables = %d", st.Tables)
+	}
+	info, err := c.Compact("BT(I)", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TablesBefore != 4 || info.Merges != 3 || info.BytesWritten == 0 || info.CostActual == 0 {
+		t.Errorf("compact info = %+v", info)
+	}
+	st, err = c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tables != 1 {
+		t.Errorf("tables after = %d", st.Tables)
+	}
+	// Unknown strategy surfaces as a server error.
+	if _, err := c.Compact("nope", 2); err == nil {
+		t.Errorf("unknown strategy accepted over wire")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, _, addr := startServer(t)
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("c%d-%04d", w, i))
+				if err := c.Put(k, k); err != nil {
+					errs <- err
+					return
+				}
+				got, err := c.Get(k)
+				if err != nil || !bytes.Equal(got, k) {
+					errs <- fmt.Errorf("get %s: %q, %v", k, got, err)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < clients; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	c, srv, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put([]byte("k"), []byte("v")); err == nil {
+		t.Errorf("Put succeeded after server close")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpPut, Key: []byte("k"), Value: []byte("v")},
+		{Op: OpGet, Key: []byte{0, 1, 2}},
+		{Op: OpDelete, Key: []byte("x")},
+		{Op: OpScan, Prefix: []byte("p"), Limit: 42},
+		{Op: OpFlush},
+		{Op: OpCompact, Strategy: "BT(I)", K: 3},
+		{Op: OpStats},
+	}
+	for _, req := range reqs {
+		got, err := DecodeRequest(EncodeRequest(req))
+		if err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+		if got.Op != req.Op || !bytes.Equal(got.Key, req.Key) || !bytes.Equal(got.Value, req.Value) ||
+			!bytes.Equal(got.Prefix, req.Prefix) || got.Limit != req.Limit ||
+			got.Strategy != req.Strategy || got.K != req.K {
+			t.Errorf("round trip changed request: %+v -> %+v", req, got)
+		}
+	}
+	resps := []Response{
+		{Status: StatusOK, Value: []byte("v")},
+		{Status: StatusNotFound},
+		{Status: StatusError, Err: "boom"},
+		{Status: StatusOK, Entries: []ScanEntry{{Key: []byte("a"), Value: []byte("1")}}},
+		{Status: StatusOK, Compact: &CompactInfo{TablesBefore: 3, Merges: 2, BytesRead: 10, BytesWritten: 5, CostActual: 7, DurationMicro: 99}},
+		{Status: StatusOK, Stats: &StatsInfo{Tables: 1, TableBytes: 2, MemtableKeys: 3, Flushes: 4, MinorCompactions: 5}},
+	}
+	for _, resp := range resps {
+		got, err := DecodeResponse(EncodeResponse(resp))
+		if err != nil {
+			t.Fatalf("%+v: %v", resp, err)
+		}
+		if got.Status != resp.Status || got.Err != resp.Err || !bytes.Equal(got.Value, resp.Value) {
+			t.Errorf("round trip changed response: %+v -> %+v", resp, got)
+		}
+		if resp.Compact != nil && *got.Compact != *resp.Compact {
+			t.Errorf("compact info changed: %+v -> %+v", resp.Compact, got.Compact)
+		}
+		if resp.Stats != nil && *got.Stats != *resp.Stats {
+			t.Errorf("stats changed: %+v -> %+v", resp.Stats, got.Stats)
+		}
+		if len(resp.Entries) > 0 && !bytes.Equal(got.Entries[0].Key, resp.Entries[0].Key) {
+			t.Errorf("entries changed")
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := DecodeRequest(nil); err == nil {
+		t.Errorf("empty request accepted")
+	}
+	if _, err := DecodeRequest([]byte{99}); err == nil {
+		t.Errorf("unknown op accepted")
+	}
+	if _, err := DecodeRequest([]byte{byte(OpPut), 200}); err == nil {
+		t.Errorf("truncated put accepted")
+	}
+	if _, err := DecodeResponse(nil); err == nil {
+		t.Errorf("empty response accepted")
+	}
+	if _, err := DecodeResponse([]byte{byte(StatusOK), 'Z'}); err == nil {
+		t.Errorf("unknown kind accepted")
+	}
+	if _, err := DecodeResponse([]byte{77}); err == nil {
+		t.Errorf("unknown status accepted")
+	}
+}
+
+func BenchmarkRoundTrip(b *testing.B) {
+	db, err := lsm.Open(b.TempDir(), lsm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	srv := NewServer(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	val := bytes.Repeat([]byte("v"), 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := []byte(fmt.Sprintf("key-%09d", i))
+		if err := c.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestQuickProtocolRequests(t *testing.T) {
+	f := func(key, value []byte) bool {
+		req := Request{Op: OpPut, Key: key, Value: value}
+		got, err := DecodeRequest(EncodeRequest(req))
+		return err == nil && bytes.Equal(got.Key, key) && bytes.Equal(got.Value, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,319 @@
+// Package kvnet provides the client/server network layer over the LSM
+// engine: a compact length-prefixed binary protocol, a Server that serves
+// one engine to many concurrent connections, and a Client. This is the
+// "NoSQL database server" shape the paper assumes — each server owns its
+// keys and runs compaction locally in the background — made concrete
+// enough to exercise compaction over the wire.
+//
+// Wire format: every message (either direction) is a u32 little-endian
+// payload length followed by the payload. Requests start with an op byte,
+// responses with a status byte; strings and byte fields are uvarint
+// length-prefixed.
+package kvnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op identifies a request type.
+type Op byte
+
+// Request operations.
+const (
+	OpPut Op = iota + 1
+	OpGet
+	OpDelete
+	OpScan
+	OpFlush
+	OpCompact
+	OpStats
+)
+
+// Status is the first byte of every response.
+type Status byte
+
+// Response statuses.
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusError
+)
+
+// MaxMessageSize bounds a single message; larger frames are rejected as
+// corrupt rather than allocated.
+const MaxMessageSize = 32 << 20
+
+// ErrTooLarge reports a frame exceeding MaxMessageSize.
+var ErrTooLarge = errors.New("kvnet: message too large")
+
+// Request is a decoded client request.
+type Request struct {
+	Op       Op
+	Key      []byte
+	Value    []byte
+	Prefix   []byte
+	Limit    uint64
+	Strategy string
+	K        uint64
+}
+
+// ScanEntry is one key-value pair in a scan response.
+type ScanEntry struct {
+	Key, Value []byte
+}
+
+// CompactInfo summarizes a major compaction over the wire.
+type CompactInfo struct {
+	TablesBefore  uint64
+	Merges        uint64
+	BytesRead     uint64
+	BytesWritten  uint64
+	CostActual    uint64
+	DurationMicro uint64
+}
+
+// StatsInfo mirrors lsm.Stats over the wire.
+type StatsInfo struct {
+	Tables           uint64
+	TableBytes       uint64
+	MemtableKeys     uint64
+	Flushes          uint64
+	MinorCompactions uint64
+}
+
+// Response is a decoded server response.
+type Response struct {
+	Status  Status
+	Value   []byte
+	Err     string
+	Entries []ScanEntry
+	Compact *CompactInfo
+	Stats   *StatsInfo
+}
+
+// writeFrame writes one length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxMessageSize {
+		return ErrTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func readBytes(buf []byte) ([]byte, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || uint64(len(buf[sz:])) < n {
+		return nil, nil, fmt.Errorf("kvnet: truncated field")
+	}
+	buf = buf[sz:]
+	return buf[:n:n], buf[n:], nil
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("kvnet: truncated uvarint")
+	}
+	return v, buf[sz:], nil
+}
+
+// EncodeRequest serializes req into a frame payload.
+func EncodeRequest(req Request) []byte {
+	out := []byte{byte(req.Op)}
+	switch req.Op {
+	case OpPut:
+		out = appendBytes(out, req.Key)
+		out = appendBytes(out, req.Value)
+	case OpGet, OpDelete:
+		out = appendBytes(out, req.Key)
+	case OpScan:
+		out = appendBytes(out, req.Prefix)
+		out = binary.AppendUvarint(out, req.Limit)
+	case OpCompact:
+		out = appendBytes(out, []byte(req.Strategy))
+		out = binary.AppendUvarint(out, req.K)
+	}
+	return out
+}
+
+// DecodeRequest parses a frame payload into a Request.
+func DecodeRequest(buf []byte) (Request, error) {
+	var req Request
+	if len(buf) < 1 {
+		return req, fmt.Errorf("kvnet: empty request")
+	}
+	req.Op = Op(buf[0])
+	buf = buf[1:]
+	var err error
+	switch req.Op {
+	case OpPut:
+		if req.Key, buf, err = readBytes(buf); err != nil {
+			return req, err
+		}
+		if req.Value, _, err = readBytes(buf); err != nil {
+			return req, err
+		}
+	case OpGet, OpDelete:
+		if req.Key, _, err = readBytes(buf); err != nil {
+			return req, err
+		}
+	case OpScan:
+		if req.Prefix, buf, err = readBytes(buf); err != nil {
+			return req, err
+		}
+		if req.Limit, _, err = readUvarint(buf); err != nil {
+			return req, err
+		}
+	case OpCompact:
+		var s []byte
+		if s, buf, err = readBytes(buf); err != nil {
+			return req, err
+		}
+		req.Strategy = string(s)
+		if req.K, _, err = readUvarint(buf); err != nil {
+			return req, err
+		}
+	case OpFlush, OpStats:
+	default:
+		return req, fmt.Errorf("kvnet: unknown op %d", req.Op)
+	}
+	return req, nil
+}
+
+// EncodeResponse serializes resp into a frame payload.
+func EncodeResponse(resp Response) []byte {
+	out := []byte{byte(resp.Status)}
+	switch resp.Status {
+	case StatusError:
+		out = appendBytes(out, []byte(resp.Err))
+		return out
+	case StatusNotFound:
+		return out
+	}
+	switch {
+	case resp.Compact != nil:
+		out = append(out, 'C')
+		c := resp.Compact
+		for _, v := range []uint64{c.TablesBefore, c.Merges, c.BytesRead, c.BytesWritten, c.CostActual, c.DurationMicro} {
+			out = binary.AppendUvarint(out, v)
+		}
+	case resp.Stats != nil:
+		out = append(out, 'S')
+		s := resp.Stats
+		for _, v := range []uint64{s.Tables, s.TableBytes, s.MemtableKeys, s.Flushes, s.MinorCompactions} {
+			out = binary.AppendUvarint(out, v)
+		}
+	case resp.Entries != nil:
+		out = append(out, 'E')
+		out = binary.AppendUvarint(out, uint64(len(resp.Entries)))
+		for _, e := range resp.Entries {
+			out = appendBytes(out, e.Key)
+			out = appendBytes(out, e.Value)
+		}
+	default:
+		out = append(out, 'V')
+		out = appendBytes(out, resp.Value)
+	}
+	return out
+}
+
+// DecodeResponse parses a frame payload into a Response.
+func DecodeResponse(buf []byte) (Response, error) {
+	var resp Response
+	if len(buf) < 1 {
+		return resp, fmt.Errorf("kvnet: empty response")
+	}
+	resp.Status = Status(buf[0])
+	buf = buf[1:]
+	var err error
+	switch resp.Status {
+	case StatusNotFound:
+		return resp, nil
+	case StatusError:
+		var msg []byte
+		if msg, _, err = readBytes(buf); err != nil {
+			return resp, err
+		}
+		resp.Err = string(msg)
+		return resp, nil
+	case StatusOK:
+	default:
+		return resp, fmt.Errorf("kvnet: unknown status %d", resp.Status)
+	}
+	if len(buf) < 1 {
+		return resp, fmt.Errorf("kvnet: truncated OK response")
+	}
+	kind := buf[0]
+	buf = buf[1:]
+	switch kind {
+	case 'V':
+		if resp.Value, _, err = readBytes(buf); err != nil {
+			return resp, err
+		}
+	case 'E':
+		var n uint64
+		if n, buf, err = readUvarint(buf); err != nil {
+			return resp, err
+		}
+		resp.Entries = make([]ScanEntry, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var k, v []byte
+			if k, buf, err = readBytes(buf); err != nil {
+				return resp, err
+			}
+			if v, buf, err = readBytes(buf); err != nil {
+				return resp, err
+			}
+			resp.Entries = append(resp.Entries, ScanEntry{Key: k, Value: v})
+		}
+	case 'C':
+		c := &CompactInfo{}
+		for _, dst := range []*uint64{&c.TablesBefore, &c.Merges, &c.BytesRead, &c.BytesWritten, &c.CostActual, &c.DurationMicro} {
+			if *dst, buf, err = readUvarint(buf); err != nil {
+				return resp, err
+			}
+		}
+		resp.Compact = c
+	case 'S':
+		s := &StatsInfo{}
+		for _, dst := range []*uint64{&s.Tables, &s.TableBytes, &s.MemtableKeys, &s.Flushes, &s.MinorCompactions} {
+			if *dst, buf, err = readUvarint(buf); err != nil {
+				return resp, err
+			}
+		}
+		resp.Stats = s
+	default:
+		return resp, fmt.Errorf("kvnet: unknown response kind %q", kind)
+	}
+	return resp, nil
+}

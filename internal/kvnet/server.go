@@ -1,0 +1,202 @@
+package kvnet
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/lsm"
+)
+
+// Server serves one LSM engine to many concurrent connections. Connection
+// handling is one goroutine per connection; the engine provides its own
+// synchronization.
+type Server struct {
+	db *lsm.DB
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps db. The caller retains ownership of db and closes it
+// after the server shuts down.
+func NewServer(db *lsm.DB) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close is called. It always returns
+// a non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes all connections and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		payload, err := readFrame(r)
+		if err != nil {
+			return // EOF or broken connection: nothing to reply to
+		}
+		req, err := DecodeRequest(payload)
+		var resp Response
+		if err != nil {
+			resp = Response{Status: StatusError, Err: err.Error()}
+		} else {
+			resp = s.execute(req)
+		}
+		if err := writeFrame(w, EncodeResponse(resp)); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func errResponse(err error) Response {
+	if errors.Is(err, lsm.ErrNotFound) {
+		return Response{Status: StatusNotFound}
+	}
+	return Response{Status: StatusError, Err: err.Error()}
+}
+
+func (s *Server) execute(req Request) Response {
+	switch req.Op {
+	case OpPut:
+		if err := s.db.Put(req.Key, req.Value); err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK}
+	case OpGet:
+		v, err := s.db.Get(req.Key)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK, Value: v}
+	case OpDelete:
+		if err := s.db.Delete(req.Key); err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK}
+	case OpScan:
+		limit := req.Limit
+		if limit == 0 || limit > 100000 {
+			limit = 100000
+		}
+		entries := []ScanEntry{}
+		stop := errors.New("scan limit")
+		err := s.db.Scan(func(k, v []byte) error {
+			if len(req.Prefix) > 0 && !bytes.HasPrefix(k, req.Prefix) {
+				if bytes.Compare(k, req.Prefix) > 0 {
+					return stop // sorted scan: past the prefix range
+				}
+				return nil
+			}
+			entries = append(entries, ScanEntry{
+				Key:   append([]byte(nil), k...),
+				Value: append([]byte(nil), v...),
+			})
+			if uint64(len(entries)) >= limit {
+				return stop
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, stop) {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK, Entries: entries}
+	case OpFlush:
+		if err := s.db.Flush(); err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK}
+	case OpCompact:
+		k := int(req.K)
+		if k < 2 {
+			k = 2
+		}
+		res, err := s.db.MajorCompact(req.Strategy, k, 1)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK, Compact: &CompactInfo{
+			TablesBefore:  uint64(res.TablesBefore),
+			Merges:        uint64(len(res.StepStats)),
+			BytesRead:     res.BytesRead,
+			BytesWritten:  res.BytesWritten,
+			CostActual:    uint64(res.CostActual),
+			DurationMicro: uint64(res.Duration.Microseconds()),
+		}}
+	case OpStats:
+		st := s.db.Stats()
+		return Response{Status: StatusOK, Stats: &StatsInfo{
+			Tables:           uint64(st.Tables),
+			TableBytes:       st.TableBytes,
+			MemtableKeys:     uint64(st.MemtableKeys),
+			Flushes:          uint64(st.Flushes),
+			MinorCompactions: uint64(st.MinorCompactions),
+		}}
+	default:
+		return Response{Status: StatusError, Err: fmt.Sprintf("unknown op %d", req.Op)}
+	}
+}
+
+var _ io.Closer = (*Server)(nil)

@@ -1,0 +1,79 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func benchDB(b *testing.B, opts Options) *DB {
+	b.Helper()
+	db, err := Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+func BenchmarkPut(b *testing.B) {
+	db := benchDB(b, Options{})
+	val := bytes.Repeat([]byte("v"), 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%012d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetMixed(b *testing.B) {
+	db := benchDB(b, Options{MemtableBytes: 256 << 10})
+	const n = 20000
+	val := bytes.Repeat([]byte("v"), 100)
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%012d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("key-%012d", i%n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMajorCompact compares real on-disk compaction across
+// strategies: the LSM-engine analogue of Figure 7.
+func BenchmarkMajorCompact(b *testing.B) {
+	for _, strat := range []string{"SI", "SO", "BT(I)", "RANDOM"} {
+		b.Run("strategy="+strat, func(b *testing.B) {
+			val := bytes.Repeat([]byte("v"), 64)
+			var lastIO uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := benchDB(b, Options{})
+				for tab := 0; tab < 8; tab++ {
+					for j := 0; j < 500; j++ {
+						key := fmt.Sprintf("key-%05d", (tab*331+j)%2500)
+						if err := db.Put([]byte(key), val); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := db.Flush(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				res, err := db.MajorCompact(strat, 2, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastIO = res.TotalIO()
+			}
+			b.ReportMetric(float64(lastIO), "io_bytes")
+		})
+	}
+}

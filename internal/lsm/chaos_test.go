@@ -1,0 +1,116 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestChaosRandomOpsWithCrashes runs a long random workload against the
+// store, interleaving crashes (close without flushing), recoveries, minor
+// and major compactions, and checks the store against an in-memory
+// reference map after every recovery and at the end. This is the
+// failure-injection integration test for the whole write path:
+// WAL → memtable → sstables → compactions.
+func TestChaosRandomOpsWithCrashes(t *testing.T) {
+	dir := t.TempDir()
+	r := rand.New(rand.NewSource(97))
+	ref := map[string]string{}
+
+	open := func() *DB {
+		db, err := Open(dir, Options{
+			MemtableBytes: 4 << 10,
+			AutoCompact:   SizeTieredPolicy{MinThreshold: 4},
+			Seed:          int64(r.Int()),
+		})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		return db
+	}
+	verify := func(db *DB, when string) {
+		t.Helper()
+		// Spot-check a sample of the reference map plus some absent keys.
+		checked := 0
+		for k, v := range ref {
+			got, err := db.Get([]byte(k))
+			if err != nil || string(got) != v {
+				t.Fatalf("%s: Get(%s) = %q, %v; want %q", when, k, got, err, v)
+			}
+			checked++
+			if checked >= 80 {
+				break
+			}
+		}
+		if _, err := db.Get([]byte("never-written")); err != ErrNotFound {
+			t.Fatalf("%s: phantom key: %v", when, err)
+		}
+		// Full scan must agree exactly with the reference.
+		count := 0
+		err := db.Scan(func(k, v []byte) error {
+			want, ok := ref[string(k)]
+			if !ok {
+				return fmt.Errorf("scan surfaced deleted/unknown key %q", k)
+			}
+			if string(v) != want {
+				return fmt.Errorf("scan %q = %q, want %q", k, v, want)
+			}
+			count++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", when, err)
+		}
+		if count != len(ref) {
+			t.Fatalf("%s: scan found %d keys, reference has %d", when, count, len(ref))
+		}
+	}
+
+	db := open()
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < 400; i++ {
+			key := fmt.Sprintf("key-%03d", r.Intn(300))
+			switch r.Intn(10) {
+			case 0, 1: // delete
+				if err := db.Delete([]byte(key)); err != nil {
+					t.Fatal(err)
+				}
+				delete(ref, key)
+			default: // put
+				val := fmt.Sprintf("v-%d-%d", round, i)
+				if err := db.Put([]byte(key), []byte(val)); err != nil {
+					t.Fatal(err)
+				}
+				ref[key] = val
+			}
+		}
+		switch round % 3 {
+		case 0: // crash: close without flushing, reopen, recover from WAL
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db = open()
+			verify(db, fmt.Sprintf("round %d after crash-recovery", round))
+		case 1: // major compaction mid-stream
+			strat := []string{"SI", "BT(I)", "RANDOM"}[r.Intn(3)]
+			if _, err := db.MajorCompact(strat, 2+r.Intn(3), int64(round)); err != nil {
+				t.Fatal(err)
+			}
+			verify(db, fmt.Sprintf("round %d after major compaction", round))
+		default: // just flush
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			verify(db, fmt.Sprintf("round %d after flush", round))
+		}
+	}
+	verify(db, "final")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// One last recovery pass.
+	db = open()
+	defer db.Close()
+	verify(db, "after final reopen")
+}

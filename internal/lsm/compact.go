@@ -1,0 +1,192 @@
+package lsm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/compaction"
+	"repro/internal/keyset"
+	"repro/internal/sstable"
+)
+
+// CompactionResult reports what a major compaction did: the abstract
+// schedule costs from the paper's model and the real bytes moved on disk.
+type CompactionResult struct {
+	// Strategy is the chooser that scheduled the merges.
+	Strategy string
+	// TablesBefore is the number of sstables merged.
+	TablesBefore int
+	// StepStats holds per-merge disk I/O, in execution order.
+	StepStats []sstable.MergeStats
+	// BytesRead and BytesWritten total the disk I/O: the concrete
+	// realization of costactual.
+	BytesRead, BytesWritten uint64
+	// CostSimple and CostActual are the abstract schedule costs in keys
+	// (equation 2.1 and Section 2 of the paper).
+	CostSimple, CostActual int
+	// Duration is the wall-clock time of planning plus merging.
+	Duration time.Duration
+}
+
+// TotalIO returns BytesRead + BytesWritten.
+func (r *CompactionResult) TotalIO() uint64 { return r.BytesRead + r.BytesWritten }
+
+// MajorCompact merges all live sstables (after flushing the memtable) into
+// a single table, scheduling the pairwise/k-way merges with the named
+// strategy from the compaction package ("SI", "SO", "BT(I)", ...). The
+// whole store is locked for the duration; this reproduction favors
+// measurement fidelity over concurrency.
+func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResult, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	chooser, err := compaction.NewChooserByName(strategy, seed)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := db.flushLocked(); err != nil {
+		return nil, err
+	}
+	res := &CompactionResult{Strategy: strategy, TablesBefore: len(db.tables)}
+	if len(db.tables) <= 1 {
+		res.Duration = time.Since(start)
+		return res, nil
+	}
+
+	// Phase 1: abstract the sstables as key sets (keys hashed to uint64,
+	// the paper's fixed-size-entry model) and plan the merge schedule.
+	sets := make([]keyset.Set, len(db.tables))
+	for i, th := range db.tables {
+		ks, err := tableKeySet(th.rd)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = ks
+	}
+	inst := compaction.NewInstance(sets...)
+	sched, err := compaction.Run(inst, k, chooser)
+	if err != nil {
+		return nil, err
+	}
+	res.CostSimple = sched.CostSimple()
+	res.CostActual = sched.CostActual()
+
+	// Phase 2: execute the schedule on the real files. Leaf i of the
+	// schedule is db.tables[i]; every step merges its inputs' files into a
+	// fresh sstable. Tombstones survive intermediate merges — dropping one
+	// early would let an older version in a not-yet-merged table
+	// resurface — and are purged only at the root merge, which covers all
+	// data.
+	handles := make(map[int]*tableHandle, len(db.tables)+len(sched.Steps))
+	for i, th := range db.tables {
+		handles[i] = th
+	}
+	var created []*tableHandle
+	cleanup := func() {
+		for _, th := range created {
+			th.rd.Close()
+			os.Remove(filepath.Join(db.dir, th.name))
+		}
+	}
+	for _, step := range sched.Steps {
+		inputs := make([]*sstable.Reader, len(step.Inputs))
+		for j, in := range step.Inputs {
+			h, ok := handles[in.ID]
+			if !ok {
+				cleanup()
+				return nil, fmt.Errorf("lsm: compaction step references unknown node %d", in.ID)
+			}
+			inputs[j] = h.rd
+		}
+		name := fmt.Sprintf("%06d.sst", db.man.nextFileNum)
+		db.man.nextFileNum++
+		path := filepath.Join(db.dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("lsm: compaction output: %w", err)
+		}
+		dropTombstones := step.Output.ID == sched.Root.ID
+		stats, err := sstable.MergeCompressed(f, dropTombstones, db.opts.Compression, inputs...)
+		if err != nil {
+			f.Close()
+			os.Remove(path)
+			cleanup()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			cleanup()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			cleanup()
+			return nil, err
+		}
+		rd, err := db.openTable(name)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		th := &tableHandle{name: name, rd: rd}
+		handles[step.Output.ID] = th
+		created = append(created, th)
+		res.StepStats = append(res.StepStats, stats)
+		res.BytesRead += stats.BytesRead
+		res.BytesWritten += stats.BytesWritten
+	}
+
+	// Install the root as the only live table.
+	rootHandle := handles[sched.Root.ID]
+	old := db.tables
+	intermediates := created[:len(created)-1]
+	db.tables = []*tableHandle{rootHandle}
+	db.man.tables = []string{rootHandle.name}
+	if err := db.man.save(db.dir); err != nil {
+		cleanup()
+		return nil, err
+	}
+	for _, th := range old {
+		th.rd.Close()
+		os.Remove(filepath.Join(db.dir, th.name))
+	}
+	for _, th := range intermediates {
+		th.rd.Close()
+		os.Remove(filepath.Join(db.dir, th.name))
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// tableKeySet scans a table and returns its keys hashed into the uint64
+// universe of the abstract model.
+func tableKeySet(rd *sstable.Reader) (keyset.Set, error) {
+	keys := make([]uint64, 0, rd.EntryCount())
+	it := rd.Iter()
+	for ; it.Valid(); it.Next() {
+		keys = append(keys, hashBytes(it.Entry().Key))
+	}
+	if err := it.Err(); err != nil {
+		return keyset.Set{}, err
+	}
+	return keyset.New(keys...), nil
+}
+
+// hashBytes is FNV-1a over the key bytes.
+func hashBytes(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,457 @@
+// Package lsm is a single-node, embedded log-structured merge store: the
+// NoSQL write path of the paper's Figure 1 made concrete. Writes land in a
+// WAL and a skiplist memtable; full memtables flush to immutable sstables;
+// reads consult the memtable and then sstables newest-first through Bloom
+// filters; and a major compaction merges all sstables into one, scheduled
+// by any strategy from the compaction package — which is exactly the
+// operation whose disk I/O the paper optimizes.
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/iterator"
+	"repro/internal/memtable"
+	"repro/internal/sstable"
+	"repro/internal/wal"
+)
+
+// ErrNotFound reports a missing (or deleted) key.
+var ErrNotFound = errors.New("lsm: key not found")
+
+// ErrClosed reports use of a closed DB.
+var ErrClosed = errors.New("lsm: database closed")
+
+// Options tunes a DB. The zero value is usable.
+type Options struct {
+	// MemtableBytes is the flush threshold for the memtable (keys +
+	// values). Zero selects 4 MiB.
+	MemtableBytes int
+	// SyncWAL forces an fsync after every write; slow but durable.
+	SyncWAL bool
+	// Seed makes skiplist behaviour deterministic.
+	Seed int64
+	// AutoCompact, when non-nil, runs minor compactions with this policy
+	// after every memtable flush triggered by a write, keeping the table
+	// count bounded between major compactions.
+	AutoCompact CompactionPolicy
+	// BlockCacheBytes bounds the shared sstable block cache. Zero selects
+	// 8 MiB; negative disables caching.
+	BlockCacheBytes int
+	// Compression selects the sstable data-block codec for flushes and
+	// compactions. The zero value stores blocks raw.
+	Compression sstable.Compression
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.BlockCacheBytes == 0 {
+		o.BlockCacheBytes = 8 << 20
+	}
+	return o
+}
+
+// tableHandle pairs an open sstable reader with its file name.
+type tableHandle struct {
+	name string
+	rd   *sstable.Reader
+}
+
+// DB is the store. All methods are safe for concurrent use.
+type DB struct {
+	dir  string
+	opts Options
+
+	blockCache *cache.LRU // nil when disabled
+
+	mu     sync.RWMutex
+	mem    *memtable.Table
+	log    *wal.Writer
+	man    *manifest
+	tables []*tableHandle // newest first
+	closed bool
+	// flushCount and minorCompactions count maintenance work, exposed
+	// through Stats.
+	flushCount       int
+	minorCompactions int
+}
+
+// Open opens (creating if necessary) a store in dir, replaying any WAL left
+// by a previous crash into the memtable.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: mkdir: %w", err)
+	}
+	man, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, opts: opts, man: man, mem: memtable.New(opts.Seed)}
+	if opts.BlockCacheBytes > 0 {
+		db.blockCache = cache.New(opts.BlockCacheBytes)
+	}
+	for _, name := range man.tables {
+		rd, err := db.openTable(name)
+		if err != nil {
+			db.closeTables()
+			return nil, fmt.Errorf("lsm: open table %s: %w", name, err)
+		}
+		db.tables = append(db.tables, &tableHandle{name: name, rd: rd})
+	}
+	// Recover the WAL, if present, into the fresh memtable.
+	walPath := filepath.Join(dir, "wal.log")
+	if _, err := os.Stat(walPath); err == nil {
+		maxSeq := man.nextSeq
+		err := wal.Replay(walPath, func(r wal.Record) error {
+			switch r.Op {
+			case wal.OpPut:
+				db.mem.Put(r.Key, r.Value, r.Seq)
+			case wal.OpDelete:
+				db.mem.Delete(r.Key, r.Seq)
+			}
+			if r.Seq >= maxSeq {
+				maxSeq = r.Seq + 1
+			}
+			return nil
+		})
+		if err != nil {
+			db.closeTables()
+			return nil, err
+		}
+		man.nextSeq = maxSeq
+	}
+	log, err := wal.Create(walPath + ".new")
+	if err != nil {
+		db.closeTables()
+		return nil, err
+	}
+	// Preserve recovered-but-unflushed data: the fresh log only matters
+	// once the memtable flushes or new writes arrive; we re-log recovered
+	// entries so the old log can be replaced atomically.
+	for it := db.mem.Iter(); it.Valid(); it.Next() {
+		e := it.Entry()
+		rec := wal.Record{Op: wal.OpPut, Seq: e.Seq, Key: e.Key, Value: e.Value}
+		if e.Tombstone {
+			rec = wal.Record{Op: wal.OpDelete, Seq: e.Seq, Key: e.Key}
+		}
+		if err := log.Append(rec); err != nil {
+			log.Close()
+			db.closeTables()
+			return nil, err
+		}
+	}
+	if err := log.Sync(); err != nil {
+		log.Close()
+		db.closeTables()
+		return nil, err
+	}
+	if err := os.Rename(walPath+".new", walPath); err != nil {
+		log.Close()
+		db.closeTables()
+		return nil, fmt.Errorf("lsm: swap wal: %w", err)
+	}
+	db.log = log
+	return db, nil
+}
+
+// openTable opens an sstable file and attaches the shared block cache.
+func (db *DB) openTable(name string) (*sstable.Reader, error) {
+	rd, err := sstable.Open(filepath.Join(db.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	if db.blockCache != nil {
+		rd.SetBlockCache(db.blockCache)
+	}
+	return rd, nil
+}
+
+func (db *DB) closeTables() {
+	for _, th := range db.tables {
+		th.rd.Close()
+	}
+}
+
+// Close flushes nothing (the WAL preserves the memtable) and releases all
+// file handles. The DB is unusable afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.closed = true
+	err := db.log.Close()
+	db.closeTables()
+	return err
+}
+
+// Put stores key → value.
+func (db *DB) Put(key, value []byte) error {
+	return db.write(wal.OpPut, key, value)
+}
+
+// Delete removes key by writing a tombstone; the key physically disappears
+// at the next major compaction.
+func (db *DB) Delete(key []byte) error {
+	return db.write(wal.OpDelete, key, nil)
+}
+
+func (db *DB) write(op wal.Op, key, value []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("lsm: empty key")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	seq := db.man.nextSeq
+	db.man.nextSeq++
+	if err := db.log.Append(wal.Record{Op: op, Seq: seq, Key: key, Value: value}); err != nil {
+		return err
+	}
+	if db.opts.SyncWAL {
+		if err := db.log.Sync(); err != nil {
+			return err
+		}
+	}
+	if op == wal.OpDelete {
+		db.mem.Delete(key, seq)
+	} else {
+		db.mem.Put(key, value, seq)
+	}
+	if db.mem.SizeBytes() >= db.opts.MemtableBytes {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+		if db.opts.AutoCompact != nil {
+			for {
+				_, ran, err := db.minorCompactLocked(db.opts.AutoCompact)
+				if err != nil {
+					return err
+				}
+				if !ran {
+					break
+				}
+				db.minorCompactions++
+			}
+		}
+	}
+	return nil
+}
+
+// Get returns the value stored for key, or ErrNotFound. The memtable
+// always holds the newest version of a key if it holds one at all; among
+// sstables the highest sequence number wins, so correctness does not
+// depend on table ordering (minor compactions may merge non-adjacent
+// tables). Bloom filters keep the per-table probes cheap.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if e, ok := db.mem.Get(key); ok {
+		if e.Tombstone {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), e.Value...), nil
+	}
+	var (
+		bestSeq  uint64
+		bestVal  []byte
+		bestTomb bool
+		foundAny bool
+	)
+	for _, th := range db.tables {
+		e, err := th.rd.Get(key)
+		if err == sstable.ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !foundAny || e.Seq > bestSeq {
+			foundAny, bestSeq, bestVal, bestTomb = true, e.Seq, e.Value, e.Tombstone
+		}
+	}
+	if !foundAny || bestTomb {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), bestVal...), nil
+}
+
+// Flush forces the memtable to an sstable even if it is below threshold.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	if db.mem.Len() == 0 {
+		return nil
+	}
+	name := fmt.Sprintf("%06d.sst", db.man.nextFileNum)
+	db.man.nextFileNum++
+	path := filepath.Join(db.dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("lsm: create sstable: %w", err)
+	}
+	w := sstable.NewWriterCompressed(f, db.mem.Len(), db.opts.Compression)
+	if err := sstable.WriteAll(w, db.mem.Iter()); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rd, err := db.openTable(name)
+	if err != nil {
+		return err
+	}
+	// Newest first.
+	db.tables = append([]*tableHandle{{name: name, rd: rd}}, db.tables...)
+	db.man.tables = append([]string{name}, db.man.tables...)
+	if err := db.man.save(db.dir); err != nil {
+		return err
+	}
+	// The memtable is durable in the sstable now; start a fresh WAL.
+	if err := db.resetWALLocked(); err != nil {
+		return err
+	}
+	db.mem = memtable.New(db.opts.Seed + int64(db.man.nextFileNum))
+	db.flushCount++
+	return nil
+}
+
+func (db *DB) resetWALLocked() error {
+	if err := db.log.Close(); err != nil {
+		return err
+	}
+	log, err := wal.Create(filepath.Join(db.dir, "wal.log"))
+	if err != nil {
+		return err
+	}
+	db.log = log
+	return nil
+}
+
+// Scan invokes fn for every live key-value pair in ascending key order,
+// merging the memtable and all sstables and hiding deleted keys. fn must
+// not retain its arguments. Scanning takes a snapshot under the read lock.
+func (db *DB) Scan(fn func(key, value []byte) error) error {
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return ErrClosed
+	}
+	children := make([]iterator.Iterator, 0, len(db.tables)+1)
+	children = append(children, db.mem.Iter())
+	for _, th := range db.tables {
+		children = append(children, th.rd.Iter())
+	}
+	db.mu.RUnlock()
+
+	it := iterator.NewDedup(iterator.NewMerging(children...), true)
+	for ; it.Valid(); it.Next() {
+		e := it.Entry()
+		if err := fn(e.Key, e.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Range invokes fn for every live key-value pair with start <= key < end,
+// in ascending key order. A nil start begins at the first key; a nil end
+// scans to the last. Like Scan, it merges the memtable and all sstables
+// and hides deleted keys.
+func (db *DB) Range(start, end []byte, fn func(key, value []byte) error) error {
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return ErrClosed
+	}
+	children := make([]iterator.Iterator, 0, len(db.tables)+1)
+	if start == nil {
+		children = append(children, db.mem.Iter())
+	} else {
+		children = append(children, db.mem.IterFrom(start))
+	}
+	for _, th := range db.tables {
+		if start == nil {
+			children = append(children, th.rd.Iter())
+		} else {
+			children = append(children, th.rd.IterFrom(start))
+		}
+	}
+	db.mu.RUnlock()
+
+	it := iterator.NewDedup(iterator.NewMerging(children...), true)
+	for ; it.Valid(); it.Next() {
+		e := it.Entry()
+		if end != nil && bytes.Compare(e.Key, end) >= 0 {
+			return nil
+		}
+		if err := fn(e.Key, e.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats reports store state.
+type Stats struct {
+	// Tables is the number of live sstables.
+	Tables int
+	// TableBytes is the total size of live sstables on disk.
+	TableBytes uint64
+	// MemtableKeys is the number of keys buffered in the memtable.
+	MemtableKeys int
+	// Flushes counts memtable flushes since Open.
+	Flushes int
+	// MinorCompactions counts auto-triggered minor compactions since Open.
+	MinorCompactions int
+	// BlockCacheHits and BlockCacheMisses count block-cache outcomes; both
+	// are zero when the cache is disabled.
+	BlockCacheHits, BlockCacheMisses uint64
+}
+
+// Stats returns a snapshot of store statistics.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st := Stats{
+		Tables:           len(db.tables),
+		MemtableKeys:     db.mem.Len(),
+		Flushes:          db.flushCount,
+		MinorCompactions: db.minorCompactions,
+	}
+	if db.blockCache != nil {
+		st.BlockCacheHits, st.BlockCacheMisses, _ = db.blockCache.Stats()
+	}
+	for _, th := range db.tables {
+		st.TableBytes += th.rd.FileSize()
+	}
+	return st
+}

@@ -1,0 +1,677 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db := openTestDB(t, Options{})
+	if err := db.Put([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get([]byte("k"))
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := db.Put([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = db.Get([]byte("k"))
+	if string(got) != "v2" {
+		t.Errorf("overwrite lost: %q", got)
+	}
+	if err := db.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k")); err != ErrNotFound {
+		t.Errorf("deleted key Get err = %v", err)
+	}
+	if _, err := db.Get([]byte("never")); err != ErrNotFound {
+		t.Errorf("missing key Get err = %v", err)
+	}
+	if err := db.Put(nil, []byte("v")); err == nil {
+		t.Errorf("empty key accepted")
+	}
+}
+
+func TestGetAcrossFlush(t *testing.T) {
+	db := openTestDB(t, Options{MemtableBytes: 1 << 16})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		if err := db.Put(k, bytes.Repeat([]byte("v"), 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.Tables == 0 {
+		t.Fatalf("expected flushes, stats = %+v", st)
+	}
+	for i := 0; i < n; i += 97 {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		if _, err := db.Get(k); err != nil {
+			t.Fatalf("Get(%s) after flush: %v", k, err)
+		}
+	}
+}
+
+func TestDeleteShadowsFlushedValue(t *testing.T) {
+	db := openTestDB(t, Options{})
+	if err := db.Put([]byte("k"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k")); err != ErrNotFound {
+		t.Errorf("tombstone in memtable should shadow sstable value: %v", err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k")); err != ErrNotFound {
+		t.Errorf("tombstone in sstable should shadow older sstable: %v", err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	db := openTestDB(t, Options{})
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%30 == 29 {
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.Delete([]byte("k050")); err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	err := db.Scan(func(k, v []byte) error {
+		keys = append(keys, string(k))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 99 {
+		t.Errorf("scanned %d keys, want 99", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("scan out of order at %q", keys[i])
+		}
+	}
+	for _, k := range keys {
+		if k == "k050" {
+			t.Errorf("deleted key appeared in scan")
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	db := openTestDB(t, Options{})
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%25 == 24 {
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.Delete([]byte("k030")); err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	err := db.Range([]byte("k020"), []byte("k040"), func(k, v []byte) error {
+		keys = append(keys, string(k))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 19 { // k020..k039 minus deleted k030
+		t.Fatalf("range returned %d keys: %v", len(keys), keys)
+	}
+	if keys[0] != "k020" || keys[len(keys)-1] != "k039" {
+		t.Errorf("range bounds wrong: %v ... %v", keys[0], keys[len(keys)-1])
+	}
+	for _, k := range keys {
+		if k == "k030" {
+			t.Errorf("deleted key in range")
+		}
+	}
+	// Unbounded variants.
+	n := 0
+	if err := db.Range(nil, nil, func(k, v []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 99 {
+		t.Errorf("full range = %d keys, want 99", n)
+	}
+	n = 0
+	if err := db.Range([]byte("k090"), nil, func(k, v []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("open-ended range = %d keys, want 10", n)
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete([]byte("k07")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate crash: close file handles without flushing memtable.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	got, err := db2.Get([]byte("k42"))
+	if err != nil || string(got) != "42" {
+		t.Errorf("recovered Get(k42) = %q, %v", got, err)
+	}
+	if _, err := db2.Get([]byte("k07")); err != ErrNotFound {
+		t.Errorf("recovered delete lost: %v", err)
+	}
+	// Sequence numbers must keep increasing after recovery: a new write
+	// must shadow recovered ones.
+	if err := db2.Put([]byte("k42"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = db2.Get([]byte("k42"))
+	if string(got) != "new" {
+		t.Errorf("post-recovery write lost: %q", got)
+	}
+}
+
+func TestRecoveryAfterFlushAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("flushed"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("unflushed"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for _, k := range []string{"flushed", "unflushed"} {
+		if _, err := db2.Get([]byte(k)); err != nil {
+			t.Errorf("Get(%s) after restart: %v", k, err)
+		}
+	}
+}
+
+func TestClosedDBErrors(t *testing.T) {
+	db := openTestDB(t, Options{})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Errorf("Put on closed = %v", err)
+	}
+	if _, err := db.Get([]byte("k")); err != ErrClosed {
+		t.Errorf("Get on closed = %v", err)
+	}
+	if err := db.Scan(func(k, v []byte) error { return nil }); err != ErrClosed {
+		t.Errorf("Scan on closed = %v", err)
+	}
+	if err := db.Close(); err != ErrClosed {
+		t.Errorf("double Close = %v", err)
+	}
+	if _, err := db.MajorCompact("SI", 2, 0); err != ErrClosed {
+		t.Errorf("MajorCompact on closed = %v", err)
+	}
+}
+
+// fillTables loads the store so that several sstables exist, with
+// overlapping keys across tables.
+func fillTables(t *testing.T, db *DB, tables, keysPerTable int) map[string]string {
+	t.Helper()
+	want := map[string]string{}
+	r := rand.New(rand.NewSource(1))
+	for tab := 0; tab < tables; tab++ {
+		for i := 0; i < keysPerTable; i++ {
+			// Half fresh keys, half overwrites of a shared range.
+			var k string
+			if i%2 == 0 {
+				k = fmt.Sprintf("shared-%04d", r.Intn(keysPerTable))
+			} else {
+				k = fmt.Sprintf("t%02d-%04d", tab, i)
+			}
+			v := fmt.Sprintf("v-%d-%d", tab, i)
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			want[k] = v
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return want
+}
+
+func TestMajorCompactStrategies(t *testing.T) {
+	for _, strat := range []string{"SI", "SO", "BT(I)", "BT(O)", "RANDOM"} {
+		t.Run(strat, func(t *testing.T) {
+			db := openTestDB(t, Options{})
+			want := fillTables(t, db, 6, 200)
+			before := db.Stats()
+			if before.Tables != 6 {
+				t.Fatalf("tables before = %d", before.Tables)
+			}
+			res, err := db.MajorCompact(strat, 2, 1)
+			if err != nil {
+				t.Fatalf("MajorCompact: %v", err)
+			}
+			if got := db.Stats().Tables; got != 1 {
+				t.Errorf("tables after = %d, want 1", got)
+			}
+			if res.TablesBefore != 6 || len(res.StepStats) != 5 {
+				t.Errorf("result = %+v", res)
+			}
+			if res.BytesRead == 0 || res.BytesWritten == 0 || res.CostSimple == 0 {
+				t.Errorf("zero I/O recorded: %+v", res)
+			}
+			// Every key must still resolve to its newest value.
+			for k, v := range want {
+				got, err := db.Get([]byte(k))
+				if err != nil || string(got) != v {
+					t.Fatalf("Get(%s) after compaction = %q, %v; want %q", k, got, err, v)
+				}
+			}
+		})
+	}
+}
+
+func TestMajorCompactPurgesTombstones(t *testing.T) {
+	db := openTestDB(t, Options{})
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Delete([]byte(fmt.Sprintf("k%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.MajorCompact("SI", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := db.Scan(func(k, v []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Errorf("post-compaction live keys = %d, want 50", n)
+	}
+	// Deleted keys must stay deleted.
+	if _, err := db.Get([]byte("k000")); err != ErrNotFound {
+		t.Errorf("tombstoned key resurfaced: %v", err)
+	}
+	// On-disk garbage must be gone: only one sstable file remains.
+	files, err := filepath.Glob(filepath.Join(db.dir, "*.sst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Errorf("sst files on disk = %d, want 1 (%v)", len(files), files)
+	}
+}
+
+func TestTombstoneSurvivesIntermediateMerges(t *testing.T) {
+	// Regression test: a tombstone must not be dropped by an intermediate
+	// merge that does not include the table holding the shadowed value.
+	// Layout: a large old table holds key X; two small tables (one of them
+	// carrying the tombstone for X) merge together first under SI; only
+	// the final root merge sees X's old value.
+	db := openTestDB(t, Options{})
+	// Large oldest table with X.
+	if err := db.Put([]byte("x-key"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("big-%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Small disjoint table.
+	for i := 0; i < 10; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("small-%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Small newest table with the tombstone.
+	if err := db.Delete([]byte("x-key")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("tiny-%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.MajorCompact("SI", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("x-key")); err != ErrNotFound {
+		t.Errorf("deleted key resurfaced after compaction: %v", err)
+	}
+	// Live keys intact.
+	if _, err := db.Get([]byte("big-0001")); err != nil {
+		t.Errorf("live key lost: %v", err)
+	}
+}
+
+func TestMajorCompactKWay(t *testing.T) {
+	db := openTestDB(t, Options{})
+	fillTables(t, db, 9, 100)
+	res, err := db.MajorCompact("SI", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 tables with k=4: steps of fan-in ≤ 4, (9-1)/3 = 3 steps (4,4,2... )
+	if len(res.StepStats) >= 8 {
+		t.Errorf("k=4 used %d steps, expected fewer than binary's 8", len(res.StepStats))
+	}
+	if db.Stats().Tables != 1 {
+		t.Errorf("tables after = %d", db.Stats().Tables)
+	}
+}
+
+func TestMajorCompactTrivialCases(t *testing.T) {
+	db := openTestDB(t, Options{})
+	// Empty store.
+	res, err := db.MajorCompact("SI", 2, 0)
+	if err != nil || res.TablesBefore != 0 {
+		t.Errorf("empty compact = %+v, %v", res, err)
+	}
+	// Single table.
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.MajorCompact("SI", 2, 0)
+	if err != nil || res.TablesBefore > 1 || len(res.StepStats) != 0 {
+		t.Errorf("single-table compact = %+v, %v", res, err)
+	}
+	// Unknown strategy.
+	fillTables(t, db, 3, 50)
+	if _, err := db.MajorCompact("nope", 2, 0); err == nil {
+		t.Errorf("unknown strategy accepted")
+	}
+}
+
+func TestCompactionCostActualMatchesBytesShape(t *testing.T) {
+	// The abstract costactual (keys) and the measured disk I/O (bytes)
+	// must be strongly correlated: that is the premise of the paper's cost
+	// model (Section 5.4). With fixed-size values, bytes ≈ costactual ×
+	// entry size + framing overhead, so the ratio across two runs of
+	// different sizes should be within a loose band.
+	db := openTestDB(t, Options{})
+	fillTables(t, db, 4, 100)
+	resSmall, err := db.MajorCompact("SI", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := openTestDB(t, Options{})
+	fillTables(t, db2, 8, 400)
+	resBig, err := db2.MajorCompact("SI", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSmall := float64(resSmall.TotalIO()) / float64(resSmall.CostActual)
+	rBig := float64(resBig.TotalIO()) / float64(resBig.CostActual)
+	if rSmall <= 0 || rBig <= 0 {
+		t.Fatalf("degenerate ratios %v %v", rSmall, rBig)
+	}
+	if ratio := rSmall / rBig; ratio < 0.5 || ratio > 2 {
+		t.Errorf("bytes-per-key ratio drifted: small=%.2f big=%.2f", rSmall, rBig)
+	}
+}
+
+func TestReopenAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillTables(t, db, 4, 100)
+	if _, err := db.MajorCompact("BT(I)", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for k, v := range want {
+		got, err := db2.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("Get(%s) after reopen = %q, %v", k, got, err)
+		}
+	}
+}
+
+func TestCorruptManifestRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("garbage line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Errorf("corrupt manifest accepted")
+	}
+}
+
+func TestManifestBadFields(t *testing.T) {
+	for _, content := range []string{
+		"next-file notanumber\n",
+		"next-seq -3\n",
+	} {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, Options{}); err == nil {
+			t.Errorf("manifest %q accepted", content)
+		}
+	}
+}
+
+func TestOpenMissingTableFile(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	infos := db.TableInfos()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the sstable the manifest references: Open must fail loudly
+	// rather than silently dropping data.
+	if err := os.Remove(filepath.Join(dir, infos[0].Name)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Errorf("Open succeeded with a missing sstable")
+	}
+}
+
+func TestOpenCorruptTableFile(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	infos := db.TableInfos()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, infos[0].Name)
+	if err := os.WriteFile(path, []byte("not an sstable"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Errorf("Open succeeded with a corrupt sstable")
+	}
+}
+
+func TestBlockCacheServesRepeatedReads(t *testing.T) {
+	db := openTestDB(t, Options{BlockCacheBytes: 1 << 20})
+	for i := 0; i < 2000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%06d", i)), bytes.Repeat([]byte("v"), 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 2000; i += 50 {
+			if _, err := db.Get([]byte(fmt.Sprintf("key-%06d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := db.Stats()
+	if st.BlockCacheHits == 0 {
+		t.Errorf("no cache hits recorded: %+v", st)
+	}
+	if st.BlockCacheHits < st.BlockCacheMisses {
+		t.Errorf("hit rate below 50%% on a repeating read pattern: %d hits / %d misses",
+			st.BlockCacheHits, st.BlockCacheMisses)
+	}
+}
+
+func TestBlockCacheDisabled(t *testing.T) {
+	db := openTestDB(t, Options{BlockCacheBytes: -1})
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := db.Get([]byte("k")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.BlockCacheHits != 0 || st.BlockCacheMisses != 0 {
+		t.Errorf("disabled cache recorded traffic: %+v", st)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db := openTestDB(t, Options{MemtableBytes: 1 << 14})
+	done := make(chan error, 4)
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			for i := 0; i < 500; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("w%d-%04d", w, i)), []byte("v")); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		go func() {
+			for i := 0; i < 500; i++ {
+				if _, err := db.Get([]byte(fmt.Sprintf("w0-%04d", i))); err != nil && err != ErrNotFound {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

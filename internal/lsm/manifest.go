@@ -1,0 +1,93 @@
+package lsm
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// manifest records the durable state of the store: the next file number and
+// the list of live sstables, newest first. It is rewritten atomically
+// (write temp, fsync, rename) on every change, the classic small-manifest
+// design.
+type manifest struct {
+	nextFileNum uint64
+	nextSeq     uint64
+	tables      []string // sstable file names, newest first
+}
+
+const manifestName = "MANIFEST"
+
+// loadManifest reads the manifest in dir, returning an empty manifest if
+// none exists yet.
+func loadManifest(dir string) (*manifest, error) {
+	m := &manifest{nextFileNum: 1, nextSeq: 1}
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return m, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lsm: open manifest: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "next-file "):
+			v, err := strconv.ParseUint(strings.TrimPrefix(line, "next-file "), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("lsm: manifest next-file: %w", err)
+			}
+			m.nextFileNum = v
+		case strings.HasPrefix(line, "next-seq "):
+			v, err := strconv.ParseUint(strings.TrimPrefix(line, "next-seq "), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("lsm: manifest next-seq: %w", err)
+			}
+			m.nextSeq = v
+		case strings.HasPrefix(line, "table "):
+			m.tables = append(m.tables, strings.TrimPrefix(line, "table "))
+		default:
+			return nil, fmt.Errorf("lsm: manifest: unrecognized line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lsm: read manifest: %w", err)
+	}
+	return m, nil
+}
+
+// save atomically persists the manifest into dir.
+func (m *manifest) save(dir string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# lsm manifest\nnext-file %d\nnext-seq %d\n", m.nextFileNum, m.nextSeq)
+	for _, t := range m.tables {
+		fmt.Fprintf(&b, "table %s\n", t)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("lsm: write manifest: %w", err)
+	}
+	if _, err := f.WriteString(b.String()); err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lsm: close manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("lsm: rename manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package lsm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/sstable"
+)
+
+// This file implements *minor* compaction: background merges of a subset
+// of sstables that keep the table count bounded between major compactions.
+// The paper's related-work section sketches both classic policies
+// implemented here — Bigtable's count-threshold trigger and Cassandra's
+// Size-Tiered strategy, which "merges sstables of equal size" and which
+// the paper notes "bears resemblance to our SMALLESTINPUT heuristic".
+// Tombstones always survive minor compactions: only a major compaction
+// covers all data and may purge them.
+
+// TableInfo describes one live sstable to a compaction policy.
+type TableInfo struct {
+	// Name is the sstable file name.
+	Name string
+	// SizeBytes is the encoded file size.
+	SizeBytes uint64
+	// Entries is the number of stored entries.
+	Entries uint64
+}
+
+// CompactionPolicy decides which tables a minor compaction should merge.
+type CompactionPolicy interface {
+	// Name identifies the policy in results and logs.
+	Name() string
+	// Pick returns the indices (into tables) to merge, or nil if no
+	// compaction is warranted. Returned groups must have length ≥ 2.
+	Pick(tables []TableInfo) []int
+}
+
+// ThresholdPolicy is the Bigtable-style trigger: once the number of
+// sstables reaches MaxTables, merge the Fanin smallest ones.
+type ThresholdPolicy struct {
+	// MaxTables triggers compaction when the live table count reaches it.
+	// Zero selects 8.
+	MaxTables int
+	// Fanin is how many tables to merge per compaction. Zero selects 4.
+	Fanin int
+}
+
+// Name implements CompactionPolicy.
+func (p ThresholdPolicy) Name() string { return "threshold" }
+
+// Pick implements CompactionPolicy.
+func (p ThresholdPolicy) Pick(tables []TableInfo) []int {
+	maxTables, fanin := p.MaxTables, p.Fanin
+	if maxTables <= 0 {
+		maxTables = 8
+	}
+	if fanin <= 1 {
+		fanin = 4
+	}
+	if len(tables) < maxTables {
+		return nil
+	}
+	idx := make([]int, len(tables))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return tables[idx[a]].SizeBytes < tables[idx[b]].SizeBytes })
+	if fanin > len(idx) {
+		fanin = len(idx)
+	}
+	return idx[:fanin]
+}
+
+// SizeTieredPolicy is Cassandra's STCS: tables are grouped into buckets of
+// similar size (within [BucketLow·avg, BucketHigh·avg]); the fullest
+// bucket with at least MinThreshold tables is compacted (up to
+// MaxThreshold tables at once).
+type SizeTieredPolicy struct {
+	// MinThreshold is the minimum bucket size that triggers compaction.
+	// Zero selects Cassandra's default of 4.
+	MinThreshold int
+	// MaxThreshold caps the tables merged at once. Zero selects 32.
+	MaxThreshold int
+	// BucketLow/BucketHigh bound a bucket relative to its average size.
+	// Zeros select Cassandra's 0.5 and 1.5.
+	BucketLow, BucketHigh float64
+}
+
+// Name implements CompactionPolicy.
+func (p SizeTieredPolicy) Name() string { return "size-tiered" }
+
+// Pick implements CompactionPolicy.
+func (p SizeTieredPolicy) Pick(tables []TableInfo) []int {
+	minT, maxT := p.MinThreshold, p.MaxThreshold
+	if minT <= 1 {
+		minT = 4
+	}
+	if maxT <= 0 {
+		maxT = 32
+	}
+	low, high := p.BucketLow, p.BucketHigh
+	if low <= 0 {
+		low = 0.5
+	}
+	if high <= 0 {
+		high = 1.5
+	}
+
+	idx := make([]int, len(tables))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return tables[idx[a]].SizeBytes < tables[idx[b]].SizeBytes })
+
+	var (
+		bestBucket []int
+		bucket     []int
+		bucketAvg  float64
+	)
+	flush := func() {
+		if len(bucket) >= minT && len(bucket) > len(bestBucket) {
+			bestBucket = append([]int(nil), bucket...)
+		}
+	}
+	for _, i := range idx {
+		size := float64(tables[i].SizeBytes)
+		if len(bucket) == 0 || (size >= low*bucketAvg && size <= high*bucketAvg) {
+			bucket = append(bucket, i)
+			// Running average keeps the bucket's center tracking its
+			// members.
+			bucketAvg += (size - bucketAvg) / float64(len(bucket))
+			continue
+		}
+		flush()
+		bucket = []int{i}
+		bucketAvg = size
+	}
+	flush()
+	if len(bestBucket) > maxT {
+		bestBucket = bestBucket[:maxT]
+	}
+	if len(bestBucket) < 2 {
+		return nil
+	}
+	return bestBucket
+}
+
+// MinorCompactionResult reports one minor compaction.
+type MinorCompactionResult struct {
+	// Policy is the policy that picked the tables.
+	Policy string
+	// Merged is how many tables were merged.
+	Merged int
+	// Stats is the disk I/O of the merge.
+	Stats sstable.MergeStats
+	// Duration is the wall time of the merge.
+	Duration time.Duration
+}
+
+// TableInfos returns descriptors of the live sstables, newest first.
+func (db *DB) TableInfos() []TableInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tableInfosLocked()
+}
+
+func (db *DB) tableInfosLocked() []TableInfo {
+	infos := make([]TableInfo, len(db.tables))
+	for i, th := range db.tables {
+		infos[i] = TableInfo{Name: th.name, SizeBytes: th.rd.FileSize(), Entries: th.rd.EntryCount()}
+	}
+	return infos
+}
+
+// MinorCompact asks policy for a group of tables and, if it returns one,
+// merges them into a single table (keeping tombstones). It reports whether
+// a compaction ran.
+func (db *DB) MinorCompact(policy CompactionPolicy) (*MinorCompactionResult, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	return db.minorCompactLocked(policy)
+}
+
+func (db *DB) minorCompactLocked(policy CompactionPolicy) (*MinorCompactionResult, bool, error) {
+	picked := policy.Pick(db.tableInfosLocked())
+	if len(picked) < 2 {
+		return nil, false, nil
+	}
+	seen := make(map[int]bool, len(picked))
+	inputs := make([]*sstable.Reader, 0, len(picked))
+	for _, i := range picked {
+		if i < 0 || i >= len(db.tables) || seen[i] {
+			return nil, false, fmt.Errorf("lsm: policy %s picked invalid index %d", policy.Name(), i)
+		}
+		seen[i] = true
+		inputs = append(inputs, db.tables[i].rd)
+	}
+
+	start := time.Now()
+	name := fmt.Sprintf("%06d.sst", db.man.nextFileNum)
+	db.man.nextFileNum++
+	path := filepath.Join(db.dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("lsm: minor compaction output: %w", err)
+	}
+	stats, err := sstable.MergeCompressed(f, false, db.opts.Compression, inputs...)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, false, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, false, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, false, err
+	}
+	rd, err := db.openTable(name)
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Replace the merged tables: the new table takes the position of the
+	// newest input; the rest disappear.
+	newest := len(db.tables)
+	for i := range db.tables {
+		if seen[i] {
+			newest = i
+			break
+		}
+	}
+	var (
+		kept    []*tableHandle
+		removed []*tableHandle
+	)
+	for i, th := range db.tables {
+		switch {
+		case i == newest:
+			kept = append(kept, &tableHandle{name: name, rd: rd})
+			removed = append(removed, th)
+		case seen[i]:
+			removed = append(removed, th)
+		default:
+			kept = append(kept, th)
+		}
+	}
+	db.tables = kept
+	db.man.tables = db.man.tables[:0]
+	for _, th := range kept {
+		db.man.tables = append(db.man.tables, th.name)
+	}
+	if err := db.man.save(db.dir); err != nil {
+		rd.Close()
+		os.Remove(path)
+		return nil, false, err
+	}
+	for _, th := range removed {
+		th.rd.Close()
+		os.Remove(filepath.Join(db.dir, th.name))
+	}
+	return &MinorCompactionResult{
+		Policy:   policy.Name(),
+		Merged:   len(picked),
+		Stats:    stats,
+		Duration: time.Since(start),
+	}, true, nil
+}

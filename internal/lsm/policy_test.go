@@ -1,0 +1,269 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func infos(sizes ...uint64) []TableInfo {
+	out := make([]TableInfo, len(sizes))
+	for i, s := range sizes {
+		out[i] = TableInfo{Name: fmt.Sprintf("%06d.sst", i), SizeBytes: s, Entries: s / 10}
+	}
+	return out
+}
+
+func TestThresholdPolicy(t *testing.T) {
+	p := ThresholdPolicy{MaxTables: 4, Fanin: 3}
+	if got := p.Pick(infos(10, 20, 30)); got != nil {
+		t.Errorf("below threshold picked %v", got)
+	}
+	got := p.Pick(infos(40, 10, 30, 20))
+	if len(got) != 3 {
+		t.Fatalf("picked %v, want 3 smallest", got)
+	}
+	// Indices of the three smallest: 1 (10), 3 (20), 2 (30).
+	want := map[int]bool{1: true, 3: true, 2: true}
+	for _, i := range got {
+		if !want[i] {
+			t.Errorf("picked index %d, want smallest three", i)
+		}
+	}
+	// Defaults clamp sensibly.
+	d := ThresholdPolicy{}
+	if d.Pick(infos(1, 2, 3)) != nil {
+		t.Errorf("default policy fired below default threshold")
+	}
+	if got := d.Pick(infos(1, 2, 3, 4, 5, 6, 7, 8)); len(got) != 4 {
+		t.Errorf("default fanin = %d", len(got))
+	}
+}
+
+func TestSizeTieredPolicyBuckets(t *testing.T) {
+	p := SizeTieredPolicy{MinThreshold: 3}
+	// Four similar-sized tables and two much larger ones: the similar
+	// bucket must be chosen.
+	got := p.Pick(infos(100, 110, 5000, 95, 105, 9000))
+	if len(got) != 4 {
+		t.Fatalf("picked %v, want the 4 similar tables", got)
+	}
+	for _, i := range got {
+		if s := []uint64{100, 110, 5000, 95, 105, 9000}[i]; s > 200 {
+			t.Errorf("picked a large table (size %d)", s)
+		}
+	}
+	// No bucket reaches the threshold: nothing to do.
+	if got := p.Pick(infos(10, 1000, 100000)); got != nil {
+		t.Errorf("picked %v from dissimilar tables", got)
+	}
+	// MaxThreshold caps the group.
+	capped := SizeTieredPolicy{MinThreshold: 2, MaxThreshold: 3}
+	if got := capped.Pick(infos(10, 10, 10, 10, 10, 10)); len(got) != 3 {
+		t.Errorf("cap ignored: picked %d tables", len(got))
+	}
+}
+
+func TestSizeTieredEmptyAndSingle(t *testing.T) {
+	p := SizeTieredPolicy{}
+	if p.Pick(nil) != nil || p.Pick(infos(5)) != nil {
+		t.Errorf("degenerate inputs should pick nothing")
+	}
+}
+
+func TestMinorCompactMergesAndKeepsData(t *testing.T) {
+	db := openTestDB(t, Options{})
+	want := fillTables(t, db, 6, 150)
+	res, ran, err := db.MinorCompact(ThresholdPolicy{MaxTables: 2, Fanin: 4})
+	if err != nil || !ran {
+		t.Fatalf("MinorCompact: ran=%v err=%v", ran, err)
+	}
+	if res.Merged != 4 || res.Stats.BytesWritten == 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if got := db.Stats().Tables; got != 3 { // 6 - 4 + 1
+		t.Errorf("tables after = %d, want 3", got)
+	}
+	for k, v := range want {
+		got, err := db.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("Get(%s) = %q, %v; want %q", k, got, err, v)
+		}
+	}
+}
+
+func TestMinorCompactKeepsTombstones(t *testing.T) {
+	db := openTestDB(t, Options{})
+	if err := db.Put([]byte("k"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("other"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Merge only the newest two tables (tombstone + other): the tombstone
+	// must survive to keep shadowing the oldest table's value.
+	res, ran, err := db.MinorCompact(pickFirstN{2})
+	if err != nil || !ran {
+		t.Fatalf("ran=%v err=%v", ran, err)
+	}
+	if res.Merged != 2 {
+		t.Fatalf("merged %d", res.Merged)
+	}
+	if _, err := db.Get([]byte("k")); err != ErrNotFound {
+		t.Errorf("tombstone dropped by minor compaction: %v", err)
+	}
+}
+
+// pickFirstN is a test policy merging the first (newest) n tables.
+type pickFirstN struct{ n int }
+
+func (p pickFirstN) Name() string { return "first-n" }
+func (p pickFirstN) Pick(tables []TableInfo) []int {
+	if len(tables) < p.n {
+		return nil
+	}
+	out := make([]int, p.n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// badPolicy returns invalid indices to exercise validation.
+type badPolicy struct{}
+
+func (badPolicy) Name() string           { return "bad" }
+func (badPolicy) Pick([]TableInfo) []int { return []int{0, 0} }
+
+func TestMinorCompactRejectsBadPolicy(t *testing.T) {
+	db := openTestDB(t, Options{})
+	fillTables(t, db, 3, 50)
+	if _, _, err := db.MinorCompact(badPolicy{}); err == nil {
+		t.Errorf("duplicate indices accepted")
+	}
+}
+
+func TestTableInfos(t *testing.T) {
+	db := openTestDB(t, Options{})
+	if got := db.TableInfos(); len(got) != 0 {
+		t.Errorf("fresh store has %d tables", len(got))
+	}
+	fillTables(t, db, 3, 100)
+	infos := db.TableInfos()
+	if len(infos) != 3 {
+		t.Fatalf("TableInfos = %d entries", len(infos))
+	}
+	for _, info := range infos {
+		if info.Name == "" || info.SizeBytes == 0 || info.Entries == 0 {
+			t.Errorf("incomplete info: %+v", info)
+		}
+	}
+}
+
+func TestMinorCompactNothingToDo(t *testing.T) {
+	db := openTestDB(t, Options{})
+	fillTables(t, db, 2, 50)
+	_, ran, err := db.MinorCompact(SizeTieredPolicy{MinThreshold: 4})
+	if err != nil || ran {
+		t.Errorf("ran=%v err=%v, want no-op", ran, err)
+	}
+}
+
+func TestAutoCompactBoundsTables(t *testing.T) {
+	db := openTestDB(t, Options{
+		MemtableBytes: 8 << 10,
+		AutoCompact:   ThresholdPolicy{MaxTables: 4, Fanin: 4},
+	})
+	for i := 0; i < 5000; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		if err := db.Put(k, []byte("some-value-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.Tables >= 8 {
+		t.Errorf("auto-compaction did not bound tables: %d live", st.Tables)
+	}
+	if st.MinorCompactions == 0 {
+		t.Errorf("no minor compactions recorded")
+	}
+	// All data still readable.
+	for i := 0; i < 5000; i += 211 {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		if _, err := db.Get(k); err != nil {
+			t.Fatalf("Get(%s) = %v", k, err)
+		}
+	}
+}
+
+func TestMinorThenMajorCompaction(t *testing.T) {
+	db := openTestDB(t, Options{})
+	want := fillTables(t, db, 8, 100)
+	if _, ran, err := db.MinorCompact(SizeTieredPolicy{MinThreshold: 2}); err != nil || !ran {
+		t.Fatalf("minor: ran=%v err=%v", ran, err)
+	}
+	if _, err := db.MajorCompact("SI", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().Tables; got != 1 {
+		t.Errorf("tables after major = %d", got)
+	}
+	for k, v := range want {
+		got, err := db.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("Get(%s) after minor+major = %q, %v", k, got, err)
+		}
+	}
+}
+
+func TestGetPicksNewestAcrossNonAdjacentTables(t *testing.T) {
+	// After a minor compaction merges non-adjacent tables, Get must still
+	// resolve by sequence number, not table position.
+	db := openTestDB(t, Options{})
+	if err := db.Put([]byte("k"), []byte("v1")); err != nil { // oldest table
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ { // big middle table, no k
+		if err := db.Put([]byte(fmt.Sprintf("pad-%04d", i)), []byte("p")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v2")); err != nil { // newest table
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Merge newest and oldest (indices 0 and 2), skipping the middle.
+	_, ran, err := db.MinorCompact(pickIndices{[]int{0, 2}})
+	if err != nil || !ran {
+		t.Fatalf("ran=%v err=%v", ran, err)
+	}
+	got, err := db.Get([]byte("k"))
+	if err != nil || string(got) != "v2" {
+		t.Errorf("Get(k) = %q, %v; want v2", got, err)
+	}
+}
+
+// pickIndices is a test policy returning fixed indices.
+type pickIndices struct{ idx []int }
+
+func (p pickIndices) Name() string           { return "fixed" }
+func (p pickIndices) Pick([]TableInfo) []int { return p.idx }

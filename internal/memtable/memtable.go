@@ -1,0 +1,146 @@
+// Package memtable implements the in-memory write buffer of an LSM store:
+// "writes are quickly logged (via appends) to an in-memory data structure
+// called a memtable. When the memtable becomes old or large, its contents
+// are sorted by key and flushed to disk" (Section 1 of the paper).
+//
+// Two variants are provided. Table is the engine memtable: a skiplist of
+// byte keys carrying sequence numbers and tombstones, flushed to a real
+// sstable. KeyTable is the simulation memtable used by the paper's
+// evaluation: a fixed capacity in number of distinct keys, holding bare
+// uint64 keys, flushed to a keyset (Section 5.1, "operations ... are first
+// inserted into a fixed size (number of keys) memtable").
+package memtable
+
+import (
+	"encoding/binary"
+
+	"repro/internal/iterator"
+	"repro/internal/keyset"
+	"repro/internal/skiplist"
+)
+
+// Table is the LSM engine's memtable. It is not safe for concurrent use;
+// the engine serializes writers and snapshots under its own lock.
+type Table struct {
+	list *skiplist.List
+}
+
+// New creates an empty memtable. seed controls skiplist tower heights for
+// reproducibility.
+func New(seed int64) *Table {
+	return &Table{list: skiplist.New(seed)}
+}
+
+// metadata layout inside the skiplist value: 8 bytes of seq, 1 flag byte,
+// then the user value.
+const metaLen = 9
+
+func encodeValue(e iterator.Entry) []byte {
+	buf := make([]byte, metaLen+len(e.Value))
+	binary.LittleEndian.PutUint64(buf, e.Seq)
+	if e.Tombstone {
+		buf[8] = 1
+	}
+	copy(buf[metaLen:], e.Value)
+	return buf
+}
+
+func decodeValue(key, buf []byte) iterator.Entry {
+	return iterator.Entry{
+		Key:       key,
+		Value:     buf[metaLen:],
+		Seq:       binary.LittleEndian.Uint64(buf),
+		Tombstone: buf[8] == 1,
+	}
+}
+
+// Put records a write of key → value at sequence seq, replacing any earlier
+// write of the same key in this memtable.
+func (t *Table) Put(key, value []byte, seq uint64) {
+	t.list.Set(append([]byte(nil), key...), encodeValue(iterator.Entry{Value: value, Seq: seq}))
+}
+
+// Delete records a tombstone for key at sequence seq.
+func (t *Table) Delete(key []byte, seq uint64) {
+	t.list.Set(append([]byte(nil), key...), encodeValue(iterator.Entry{Seq: seq, Tombstone: true}))
+}
+
+// Get returns the newest entry recorded for key in this memtable. The
+// second result reports whether the key is present (a tombstone counts as
+// present: it means "deleted", which shadows older tables).
+func (t *Table) Get(key []byte) (iterator.Entry, bool) {
+	v, ok := t.list.Get(key)
+	if !ok {
+		return iterator.Entry{}, false
+	}
+	return decodeValue(key, v), true
+}
+
+// Len returns the number of distinct keys buffered.
+func (t *Table) Len() int { return t.list.Len() }
+
+// SizeBytes approximates the memory footprint: total key and value bytes.
+func (t *Table) SizeBytes() int { return t.list.SizeBytes() }
+
+// Iter yields the buffered entries in ascending key order.
+func (t *Table) Iter() iterator.Iterator {
+	return &tableIter{it: t.list.Iter()}
+}
+
+// IterFrom yields entries with key >= start in ascending key order.
+func (t *Table) IterFrom(start []byte) iterator.Iterator {
+	return &tableIter{it: t.list.Seek(start)}
+}
+
+type tableIter struct {
+	it *skiplist.Iterator
+}
+
+func (ti *tableIter) Valid() bool { return ti.it.Valid() }
+func (ti *tableIter) Entry() iterator.Entry {
+	return decodeValue(ti.it.Key(), ti.it.Value())
+}
+func (ti *tableIter) Next() { ti.it.Next() }
+
+// KeyTable is the paper's simulation memtable: it holds at most capacity
+// distinct uint64 keys. Re-inserting a key already buffered is absorbed
+// ("As a memtable may contain duplicate keys, sstables may be smaller and
+// vary in size", Section 5.1) — which is why update-heavy workloads produce
+// smaller, overlapping sstables.
+type KeyTable struct {
+	capacity int
+	keys     map[uint64]struct{}
+}
+
+// NewKeyTable creates a simulation memtable holding up to capacity distinct
+// keys. capacity must be positive.
+func NewKeyTable(capacity int) *KeyTable {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &KeyTable{capacity: capacity, keys: make(map[uint64]struct{}, capacity)}
+}
+
+// Add buffers a write of key and reports whether the memtable is full and
+// must be flushed.
+func (kt *KeyTable) Add(key uint64) (full bool) {
+	kt.keys[key] = struct{}{}
+	return len(kt.keys) >= kt.capacity
+}
+
+// Len returns the number of distinct keys buffered.
+func (kt *KeyTable) Len() int { return len(kt.keys) }
+
+// Empty reports whether no keys are buffered.
+func (kt *KeyTable) Empty() bool { return len(kt.keys) == 0 }
+
+// Flush returns the buffered keys as a sorted set — the flushed sstable of
+// the paper's model — and resets the memtable for reuse.
+func (kt *KeyTable) Flush() keyset.Set {
+	keys := make([]uint64, 0, len(kt.keys))
+	for k := range kt.keys {
+		keys = append(keys, k)
+	}
+	kt.keys = make(map[uint64]struct{}, kt.capacity)
+	return keyset.New(keys...)
+}

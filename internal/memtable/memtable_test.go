@@ -1,0 +1,182 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iterator"
+)
+
+func TestPutGet(t *testing.T) {
+	m := New(1)
+	m.Put([]byte("a"), []byte("1"), 10)
+	got, ok := m.Get([]byte("a"))
+	if !ok || string(got.Value) != "1" || got.Seq != 10 || got.Tombstone {
+		t.Errorf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := m.Get([]byte("missing")); ok {
+		t.Errorf("missing key found")
+	}
+}
+
+func TestDeleteShadows(t *testing.T) {
+	m := New(1)
+	m.Put([]byte("k"), []byte("v"), 1)
+	m.Delete([]byte("k"), 2)
+	got, ok := m.Get([]byte("k"))
+	if !ok || !got.Tombstone || got.Seq != 2 {
+		t.Errorf("after delete: %+v, %v", got, ok)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (tombstone replaces value in place)", m.Len())
+	}
+}
+
+func TestOverwriteInPlace(t *testing.T) {
+	m := New(1)
+	m.Put([]byte("k"), []byte("old"), 1)
+	m.Put([]byte("k"), []byte("new"), 2)
+	got, _ := m.Get([]byte("k"))
+	if string(got.Value) != "new" || got.Seq != 2 {
+		t.Errorf("overwrite = %+v", got)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d after overwrite", m.Len())
+	}
+}
+
+func TestIterSortedWithTombstones(t *testing.T) {
+	m := New(3)
+	m.Put([]byte("c"), []byte("3"), 1)
+	m.Delete([]byte("a"), 2)
+	m.Put([]byte("b"), []byte("2"), 3)
+	got := iterator.Drain(m.Iter())
+	if len(got) != 3 {
+		t.Fatalf("drained %d entries", len(got))
+	}
+	wantKeys := []string{"a", "b", "c"}
+	for i, e := range got {
+		if string(e.Key) != wantKeys[i] {
+			t.Errorf("entry %d key = %q, want %q", i, e.Key, wantKeys[i])
+		}
+	}
+	if !got[0].Tombstone {
+		t.Errorf("entry a should be a tombstone")
+	}
+}
+
+func TestCallerOwnsKeyBuffer(t *testing.T) {
+	m := New(1)
+	k := []byte("mutable")
+	m.Put(k, []byte("v"), 1)
+	k[0] = 'X' // caller reuses its buffer; memtable must have copied
+	if _, ok := m.Get([]byte("mutable")); !ok {
+		t.Errorf("memtable aliased the caller's key buffer")
+	}
+}
+
+func TestQuickMatchesMap(t *testing.T) {
+	f := func(ops []struct {
+		Key byte
+		Del bool
+	}) bool {
+		m := New(5)
+		ref := map[string]iterator.Entry{}
+		for i, op := range ops {
+			k := []byte{op.Key}
+			seq := uint64(i + 1)
+			if op.Del {
+				m.Delete(k, seq)
+				ref[string(k)] = iterator.Entry{Key: k, Seq: seq, Tombstone: true}
+			} else {
+				v := []byte(fmt.Sprint(i))
+				m.Put(k, v, seq)
+				ref[string(k)] = iterator.Entry{Key: k, Value: v, Seq: seq}
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			got, ok := m.Get([]byte(k))
+			if !ok || got.Seq != want.Seq || got.Tombstone != want.Tombstone || !bytes.Equal(got.Value, want.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyTableDedupes(t *testing.T) {
+	kt := NewKeyTable(3)
+	if kt.Add(1) || kt.Add(1) || kt.Add(1) {
+		t.Errorf("re-adding the same key should not fill the memtable")
+	}
+	if kt.Len() != 1 {
+		t.Errorf("Len = %d, want 1", kt.Len())
+	}
+	kt.Add(2)
+	if !kt.Add(3) {
+		t.Errorf("third distinct key should report full")
+	}
+}
+
+func TestKeyTableFlushResets(t *testing.T) {
+	kt := NewKeyTable(10)
+	for k := uint64(0); k < 5; k++ {
+		kt.Add(k * 10)
+	}
+	s := kt.Flush()
+	if s.Len() != 5 {
+		t.Errorf("flushed set size = %d", s.Len())
+	}
+	for k := uint64(0); k < 5; k++ {
+		if !s.Contains(k * 10) {
+			t.Errorf("flushed set missing %d", k*10)
+		}
+	}
+	if !kt.Empty() {
+		t.Errorf("memtable not empty after flush")
+	}
+	if !kt.Flush().Empty() {
+		t.Errorf("flush of empty memtable should be empty set")
+	}
+}
+
+func TestKeyTableDegenerateCapacity(t *testing.T) {
+	kt := NewKeyTable(0)
+	if !kt.Add(1) {
+		t.Errorf("capacity-clamped memtable should fill at one key")
+	}
+}
+
+func TestKeyTableSimulationShape(t *testing.T) {
+	// Update-heavy streams (few distinct keys) must produce smaller
+	// sstables than insert-heavy streams, the effect driving Figure 7.
+	r := rand.New(rand.NewSource(1))
+	flushSizes := func(distinct int) []int {
+		kt := NewKeyTable(100)
+		var sizes []int
+		for i := 0; i < 2000; i++ {
+			if kt.Add(uint64(r.Intn(distinct))) {
+				sizes = append(sizes, kt.Flush().Len())
+			}
+		}
+		return sizes
+	}
+	insertHeavy := flushSizes(1 << 30)
+	updateHeavy := flushSizes(120)
+	if len(insertHeavy) == 0 || len(updateHeavy) == 0 {
+		t.Fatalf("no flushes: %d, %d", len(insertHeavy), len(updateHeavy))
+	}
+	if len(updateHeavy) >= len(insertHeavy) {
+		t.Errorf("update-heavy flushed %d times, insert-heavy %d times; expected fewer for updates",
+			len(updateHeavy), len(insertHeavy))
+	}
+}

@@ -1,0 +1,167 @@
+// Package simulator reimplements the paper's two-phase evaluation pipeline
+// (Section 5.1). Phase one feeds a YCSB operation stream through a
+// fixed-capacity memtable, flushing a new sstable (modeled as a key set)
+// whenever the memtable fills — so update-heavy workloads, which rewrite
+// the same keys, produce fewer and more overlapping sstables. Phase two
+// merges the generated sstables to a single table with a chosen compaction
+// strategy, measuring the abstract costs and the wall-clock running time.
+package simulator
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/compaction"
+	"repro/internal/keyset"
+	"repro/internal/memtable"
+	"repro/internal/ycsb"
+)
+
+// Config parameterizes sstable generation (phase one).
+type Config struct {
+	// Workload is the YCSB workload driving the memtable.
+	Workload ycsb.Config
+	// MemtableKeys is the memtable capacity in distinct keys; a flush
+	// produces one sstable.
+	MemtableKeys int
+}
+
+// GenerateTables runs phase one and returns the flushed sstables as a
+// compaction instance. Only mutating operations (inserts, updates and
+// deletes-as-updates) reach the memtable; reads and scans are ignored
+// because they do not modify sstables. A final partial memtable is flushed
+// so no writes are lost.
+func GenerateTables(cfg Config) (*compaction.Instance, error) {
+	if cfg.MemtableKeys <= 0 {
+		return nil, fmt.Errorf("simulator: memtable capacity %d", cfg.MemtableKeys)
+	}
+	gen, err := ycsb.NewGenerator(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	mt := memtable.NewKeyTable(cfg.MemtableKeys)
+	var sets []keyset.Set
+	consume := func(op ycsb.Op) {
+		if !op.Mutates() {
+			return
+		}
+		if mt.Add(op.Key) {
+			sets = append(sets, mt.Flush())
+		}
+	}
+	for {
+		op, ok := gen.NextLoad()
+		if !ok {
+			break
+		}
+		consume(op)
+	}
+	for {
+		op, ok := gen.NextRun()
+		if !ok {
+			break
+		}
+		consume(op)
+	}
+	if !mt.Empty() {
+		sets = append(sets, mt.Flush())
+	}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("simulator: workload produced no sstables")
+	}
+	return compaction.NewInstance(sets...), nil
+}
+
+// Result reports one strategy run over one instance.
+type Result struct {
+	// Strategy and K identify the run.
+	Strategy string
+	K        int
+	// Tables is the number of input sstables.
+	Tables int
+	// CostSimple is the equation 2.1 cost of the schedule (keys).
+	CostSimple int
+	// CostActual is the Section 2 disk I/O cost (keys read+written).
+	CostActual int
+	// LowerBound is LOPT = Σ|A_i| for the instance.
+	LowerBound int
+	// PlanAndMerge is the wall time of the greedy loop, which both decides
+	// merges (strategy overhead: heap pops, HLL estimates, ...) and
+	// performs them sequentially.
+	PlanAndMerge time.Duration
+	// MergeSequential is the wall time to re-execute just the merges on
+	// one worker; PlanAndMerge − MergeSequential estimates pure strategy
+	// overhead.
+	MergeSequential time.Duration
+	// MergeParallel is the wall time to execute the merges on Workers
+	// workers (only meaningfully smaller for BT-shaped trees).
+	MergeParallel time.Duration
+	// Reported is the headline time, mirroring the paper's measurement:
+	// strategy overhead plus merge time, with the merge executed in
+	// parallel for the BALANCETREE strategies and sequentially otherwise.
+	Reported time.Duration
+	// Parallelism is the schedule's maximum available merge concurrency.
+	Parallelism int
+}
+
+// Overhead returns the estimated pure strategy overhead (never negative).
+func (r Result) Overhead() time.Duration {
+	if r.PlanAndMerge > r.MergeSequential {
+		return r.PlanAndMerge - r.MergeSequential
+	}
+	return 0
+}
+
+// RunStrategy runs phase two: it schedules and merges inst with the named
+// strategy (see compaction.NewChooserByName) and measures cost and time.
+// workers bounds merge parallelism for the BALANCETREE strategies, whose
+// within-level merges are independent ("we use threads to parallelly
+// initiate multiple merge operations", Section 5.1); other strategies
+// execute sequentially exactly as the paper's implementation does.
+func RunStrategy(inst *compaction.Instance, strategy string, k int, seed int64, workers int) (Result, error) {
+	res := Result{Strategy: strategy, K: k, Tables: inst.N(), LowerBound: inst.LowerBound()}
+
+	chooser, err := compaction.NewChooserByName(strategy, seed)
+	if err != nil {
+		return res, err
+	}
+	start := time.Now()
+	sched, err := compaction.Run(inst, k, chooser)
+	if err != nil {
+		return res, err
+	}
+	res.PlanAndMerge = time.Since(start)
+	res.CostSimple = sched.CostSimple()
+	res.CostActual = sched.CostActual()
+	res.Parallelism = compaction.MaxParallelism(sched)
+
+	start = time.Now()
+	if err := compaction.ExecuteParallel(sched, 1); err != nil {
+		return res, err
+	}
+	res.MergeSequential = time.Since(start)
+
+	if workers > 1 {
+		start = time.Now()
+		if err := compaction.ExecuteParallel(sched, workers); err != nil {
+			return res, err
+		}
+		res.MergeParallel = time.Since(start)
+	} else {
+		res.MergeParallel = res.MergeSequential
+	}
+
+	if isParallelStrategy(strategy) && workers > 1 {
+		res.Reported = res.Overhead() + res.MergeParallel
+	} else {
+		res.Reported = res.PlanAndMerge
+	}
+	return res, nil
+}
+
+// isParallelStrategy reports whether the paper's implementation of the
+// strategy merges concurrently (the BALANCETREE family).
+func isParallelStrategy(name string) bool {
+	return strings.HasPrefix(name, "BT")
+}

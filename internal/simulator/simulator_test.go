@@ -1,0 +1,193 @@
+package simulator
+
+import (
+	"testing"
+
+	"repro/internal/ycsb"
+)
+
+func baseConfig(updatePct int, dist ycsb.Distribution, seed int64) Config {
+	return Config{
+		Workload: ycsb.Config{
+			RecordCount:      1000,
+			OperationCount:   20000,
+			UpdateProportion: float64(updatePct) / 100,
+			InsertProportion: 1 - float64(updatePct)/100,
+			Distribution:     dist,
+			Seed:             seed,
+		},
+		MemtableKeys: 1000,
+	}
+}
+
+func TestGenerateTablesBasic(t *testing.T) {
+	inst, err := GenerateTables(baseConfig(0, ycsb.Latest, 1))
+	if err != nil {
+		t.Fatalf("GenerateTables: %v", err)
+	}
+	// 21000 distinct inserted keys at 1000 keys/table → 21 tables.
+	if inst.N() != 21 {
+		t.Errorf("tables = %d, want 21", inst.N())
+	}
+	if err := inst.Validate(); err != nil {
+		t.Errorf("instance invalid: %v", err)
+	}
+}
+
+func TestUpdateHeavyProducesFewerOverlappingTables(t *testing.T) {
+	insertHeavy, err := GenerateTables(baseConfig(0, ycsb.Latest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	updateHeavy, err := GenerateTables(baseConfig(100, ycsb.Latest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updateHeavy.N() >= insertHeavy.N() {
+		t.Errorf("update-heavy generated %d tables, insert-heavy %d; want fewer",
+			updateHeavy.N(), insertHeavy.N())
+	}
+	// With updates the universe stays near recordcount; with inserts it
+	// grows with the op count.
+	if u := updateHeavy.Universe().Len(); u > 5000 {
+		t.Errorf("update-heavy universe = %d, want ≈ recordcount", u)
+	}
+	if u := insertHeavy.Universe().Len(); u != 21000 {
+		t.Errorf("insert-heavy universe = %d, want 21000", u)
+	}
+}
+
+func TestGenerateTablesErrors(t *testing.T) {
+	cfg := baseConfig(0, ycsb.Uniform, 1)
+	cfg.MemtableKeys = 0
+	if _, err := GenerateTables(cfg); err == nil {
+		t.Errorf("zero memtable capacity accepted")
+	}
+	cfg = baseConfig(0, ycsb.Uniform, 1)
+	cfg.Workload.RecordCount = 0
+	cfg.Workload.OperationCount = 0
+	if _, err := GenerateTables(cfg); err == nil {
+		t.Errorf("empty workload accepted")
+	}
+	cfg = baseConfig(0, ycsb.Uniform, 1)
+	cfg.Workload.UpdateProportion = -1
+	if _, err := GenerateTables(cfg); err == nil {
+		t.Errorf("invalid workload accepted")
+	}
+}
+
+func TestRunStrategyAllEvaluated(t *testing.T) {
+	inst, err := GenerateTables(baseConfig(40, ycsb.Latest, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []string{"SI", "SO", "BT(I)", "BT(O)", "RANDOM"} {
+		res, err := RunStrategy(inst, strat, 2, 1, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if res.CostSimple < res.LowerBound {
+			t.Errorf("%s: cost %d below LOPT %d", strat, res.CostSimple, res.LowerBound)
+		}
+		if res.CostActual <= res.CostSimple {
+			// costactual counts internals twice, so it exceeds simple cost
+			// whenever at least one merge happens.
+			t.Errorf("%s: costactual %d ≤ simple %d", strat, res.CostActual, res.CostSimple)
+		}
+		if res.Reported <= 0 || res.PlanAndMerge <= 0 {
+			t.Errorf("%s: non-positive times %+v", strat, res)
+		}
+		if res.Tables != inst.N() {
+			t.Errorf("%s: tables = %d", strat, res.Tables)
+		}
+	}
+}
+
+func TestRunStrategyUnknown(t *testing.T) {
+	inst, err := GenerateTables(baseConfig(0, ycsb.Uniform, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunStrategy(inst, "nope", 2, 0, 1); err == nil {
+		t.Errorf("unknown strategy accepted")
+	}
+}
+
+func TestCostDecreasesWithUpdates(t *testing.T) {
+	// The headline shape of Figure 7a: as the update percentage grows the
+	// compaction cost falls, for every strategy.
+	for _, strat := range []string{"SI", "BT(I)", "RANDOM"} {
+		cost0, cost100 := 0, 0
+		for _, pct := range []int{0, 100} {
+			inst, err := GenerateTables(baseConfig(pct, ycsb.Latest, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunStrategy(inst, strat, 2, 1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pct == 0 {
+				cost0 = res.CostActual
+			} else {
+				cost100 = res.CostActual
+			}
+		}
+		if cost100 >= cost0 {
+			t.Errorf("%s: cost at 100%% updates (%d) not below 0%% updates (%d)", strat, cost100, cost0)
+		}
+	}
+}
+
+func TestRandomWorstAtLowUpdates(t *testing.T) {
+	// Figure 7a: RANDOM is clearly worse than the informed strategies at
+	// low update percentages.
+	inst, err := GenerateTables(baseConfig(0, ycsb.Latest, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := RunStrategy(inst, "SI", 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RunStrategy(inst, "RANDOM", 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(rnd.CostActual) < 1.05*float64(si.CostActual) {
+		t.Errorf("RANDOM (%d) not clearly worse than SI (%d) at 0%% updates", rnd.CostActual, si.CostActual)
+	}
+}
+
+func TestBTParallelismExceedsSI(t *testing.T) {
+	inst, err := GenerateTables(baseConfig(20, ycsb.Latest, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := RunStrategy(inst, "BT(I)", 2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Parallelism < 4 {
+		t.Errorf("BT parallelism = %d, want ≥ 4", bt.Parallelism)
+	}
+	if bt.MergeParallel > bt.MergeSequential*2 {
+		t.Errorf("parallel merge (%v) much slower than sequential (%v)", bt.MergeParallel, bt.MergeSequential)
+	}
+}
+
+func TestOverheadNeverNegative(t *testing.T) {
+	inst, err := GenerateTables(baseConfig(50, ycsb.Zipfian, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []string{"SI", "SO"} {
+		res, err := RunStrategy(inst, strat, 2, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Overhead() < 0 {
+			t.Errorf("%s overhead negative", strat)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package skiplist provides an ordered in-memory map from byte-string keys
+// to byte-string values, implemented as a probabilistic skip list. It backs
+// the LSM engine's memtable: inserts and lookups are O(log n) expected, and
+// an iterator yields entries in key order so a memtable can be flushed to a
+// sorted sstable in a single pass.
+package skiplist
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const (
+	maxHeight = 12
+	// pInverse is the inverse of the promotion probability: each node is
+	// promoted to the next level with probability 1/pInverse.
+	pInverse = 4
+)
+
+type node struct {
+	key   []byte
+	value []byte
+	next  [maxHeight]*node
+}
+
+// List is an ordered map with byte-slice keys. The zero value is not
+// usable; construct with New. List is not safe for concurrent use; the
+// memtable layers its own synchronization above it.
+type List struct {
+	head   *node
+	height int
+	length int
+	bytes  int // sum of key+value lengths, for size accounting
+	rng    *rand.Rand
+}
+
+// New creates an empty list. seed makes tower heights deterministic, which
+// keeps tests and simulations reproducible.
+func New(seed int64) *List {
+	return &List{
+		head:   &node{},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return l.length }
+
+// SizeBytes returns the total size of all keys and values, the measure the
+// memtable uses against its flush threshold.
+func (l *List) SizeBytes() int { return l.bytes }
+
+func (l *List) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rng.Intn(pInverse) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual locates the first node with key >= target and fills
+// prev with the rightmost node before it at every level.
+func (l *List) findGreaterOrEqual(key []byte, prev *[maxHeight]*node) *node {
+	x := l.head
+	for level := l.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Set inserts key → value, replacing any existing value for key. The key
+// and value slices are retained; callers must not modify them afterwards.
+func (l *List) Set(key, value []byte) {
+	var prev [maxHeight]*node
+	if n := l.findGreaterOrEqual(key, &prev); n != nil && bytes.Equal(n.key, key) {
+		l.bytes += len(value) - len(n.value)
+		n.value = value
+		return
+	}
+	h := l.randomHeight()
+	if h > l.height {
+		for level := l.height; level < h; level++ {
+			prev[level] = l.head
+		}
+		l.height = h
+	}
+	n := &node{key: key, value: value}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	l.length++
+	l.bytes += len(key) + len(value)
+}
+
+// Get returns the value stored for key and whether it exists.
+func (l *List) Get(key []byte) ([]byte, bool) {
+	n := l.findGreaterOrEqual(key, nil)
+	if n != nil && bytes.Equal(n.key, key) {
+		return n.value, true
+	}
+	return nil, false
+}
+
+// Iterator walks the list in ascending key order.
+type Iterator struct {
+	n *node
+}
+
+// Iter returns an iterator positioned at the first entry.
+func (l *List) Iter() *Iterator {
+	return &Iterator{n: l.head.next[0]}
+}
+
+// Seek returns an iterator positioned at the first entry with key >= key.
+func (l *List) Seek(key []byte) *Iterator {
+	return &Iterator{n: l.findGreaterOrEqual(key, nil)}
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.n != nil }
+
+// Key returns the current key. Only valid when Valid() is true.
+func (it *Iterator) Key() []byte { return it.n.key }
+
+// Value returns the current value. Only valid when Valid() is true.
+func (it *Iterator) Value() []byte { return it.n.value }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() { it.n = it.n.next[0] }

@@ -1,0 +1,204 @@
+// Package sstable implements immutable sorted string tables: the on-disk
+// unit that LSM compaction reads, merges and rewrites (Figure 1 and 2 of
+// the paper). A table is written once by a Writer from a sorted entry
+// stream, then served by a Reader that supports point lookups (via a block
+// index and a Bloom filter) and ordered scans.
+//
+// # File format
+//
+// All integers are little-endian; varints use encoding/binary's uvarint.
+//
+//	file   := block* index bloom footer
+//	block  := codec byte, body, crc32 (crc over codec+body)
+//	          codec 0: body is raw entries (up to BlockSize)
+//	          codec 1: body is DEFLATE-compressed entries
+//	entry  := seq uvarint
+//	          flags byte              (bit 0: tombstone)
+//	          keyLen uvarint  key
+//	          valLen uvarint  val     (omitted entirely when tombstone)
+//	index  := count uvarint
+//	          (firstKeyLen uvarint, firstKey, offset uvarint, length uvarint)*
+//	          crc32
+//	bloom  := filter bytes, crc32
+//	footer := indexOff u64, indexLen u64, bloomOff u64, bloomLen u64,
+//	          entryCount u64, keyBytes u64, valBytes u64,
+//	          magic u64 (0x5354424c30303146 "STBL001F")
+//
+// Per-block CRCs catch torn writes and bit rot; a corrupt block fails reads
+// with ErrCorrupt rather than returning wrong data.
+package sstable
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// BlockSize is the target uncompressed payload size of a data block.
+// Entries never span blocks; a block may exceed BlockSize by one entry.
+const BlockSize = 4096
+
+// Compression selects the data-block codec used by a Writer.
+type Compression int
+
+// Supported codecs.
+const (
+	// NoCompression stores entry bytes as-is.
+	NoCompression Compression = iota
+	// Flate compresses each data block with DEFLATE (BestSpeed). Blocks
+	// that do not shrink are stored raw, so pathological inputs never pay
+	// a size penalty.
+	Flate
+)
+
+// codec byte values stored per block.
+const (
+	codecRaw   byte = 0
+	codecFlate byte = 1
+)
+
+// maxBlockPayload caps a decompressed block; anything larger is treated as
+// corruption rather than allocated (a block only exceeds BlockSize by the
+// size of a single entry).
+const maxBlockPayload = 64 << 20
+
+// Magic identifies an sstable file; it spells "STBL001F".
+const Magic uint64 = 0x5354424c30303146
+
+// footerSize is the fixed byte length of the footer.
+const footerSize = 8 * 8
+
+// ErrCorrupt reports a structurally invalid or checksum-failing table.
+var ErrCorrupt = errors.New("sstable: corrupt table")
+
+// ErrNotFound reports a key absent from the table.
+var ErrNotFound = errors.New("sstable: key not found")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+type footer struct {
+	indexOff, indexLen uint64
+	bloomOff, bloomLen uint64
+	entryCount         uint64
+	keyBytes, valBytes uint64
+}
+
+func (f *footer) marshal() []byte {
+	buf := make([]byte, footerSize)
+	binary.LittleEndian.PutUint64(buf[0:], f.indexOff)
+	binary.LittleEndian.PutUint64(buf[8:], f.indexLen)
+	binary.LittleEndian.PutUint64(buf[16:], f.bloomOff)
+	binary.LittleEndian.PutUint64(buf[24:], f.bloomLen)
+	binary.LittleEndian.PutUint64(buf[32:], f.entryCount)
+	binary.LittleEndian.PutUint64(buf[40:], f.keyBytes)
+	binary.LittleEndian.PutUint64(buf[48:], f.valBytes)
+	binary.LittleEndian.PutUint64(buf[56:], Magic)
+	return buf
+}
+
+func unmarshalFooter(buf []byte) (footer, error) {
+	var f footer
+	if len(buf) != footerSize {
+		return f, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint64(buf[56:]) != Magic {
+		return f, ErrCorrupt
+	}
+	f.indexOff = binary.LittleEndian.Uint64(buf[0:])
+	f.indexLen = binary.LittleEndian.Uint64(buf[8:])
+	f.bloomOff = binary.LittleEndian.Uint64(buf[16:])
+	f.bloomLen = binary.LittleEndian.Uint64(buf[24:])
+	f.entryCount = binary.LittleEndian.Uint64(buf[32:])
+	f.keyBytes = binary.LittleEndian.Uint64(buf[40:])
+	f.valBytes = binary.LittleEndian.Uint64(buf[48:])
+	return f, nil
+}
+
+// blockHandle locates one data block within the file.
+type blockHandle struct {
+	firstKey []byte
+	offset   uint64
+	length   uint64 // payload length, excluding the trailing crc32
+}
+
+func appendChecksummed(dst, payload []byte) []byte {
+	dst = append(dst, payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))
+	return append(dst, crc[:]...)
+}
+
+// verifyChecksummed splits payload+crc32 and validates the checksum.
+func verifyChecksummed(buf []byte) ([]byte, error) {
+	if len(buf) < 4 {
+		return nil, ErrCorrupt
+	}
+	payload, crc := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}
+
+// encodeDataBlock frames a data block: codec byte + (possibly compressed)
+// body + crc32. Compression falls back to raw when it does not shrink the
+// body.
+func encodeDataBlock(entries []byte, compression Compression) ([]byte, error) {
+	body := entries
+	codec := codecRaw
+	if compression == Flate {
+		var buf bytes.Buffer
+		fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: flate: %w", err)
+		}
+		if _, err := fw.Write(entries); err != nil {
+			return nil, fmt.Errorf("sstable: compress: %w", err)
+		}
+		if err := fw.Close(); err != nil {
+			return nil, fmt.Errorf("sstable: compress: %w", err)
+		}
+		if buf.Len() < len(entries) {
+			body = buf.Bytes()
+			codec = codecFlate
+		}
+	}
+	framed := make([]byte, 0, 1+len(body)+4)
+	framed = append(framed, codec)
+	framed = append(framed, body...)
+	return appendChecksummed(nil, framed), nil
+}
+
+// decodeDataBlock validates and unwraps a checksummed data-block frame,
+// returning the raw entry bytes.
+func decodeDataBlock(buf []byte) ([]byte, error) {
+	payload, err := verifyChecksummed(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 1 {
+		return nil, ErrCorrupt
+	}
+	codec, body := payload[0], payload[1:]
+	switch codec {
+	case codecRaw:
+		return body, nil
+	case codecFlate:
+		fr := flate.NewReader(bytes.NewReader(body))
+		defer fr.Close()
+		out, err := io.ReadAll(io.LimitReader(fr, maxBlockPayload+1))
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		if len(out) > maxBlockPayload {
+			return nil, ErrCorrupt
+		}
+		return out, nil
+	default:
+		return nil, ErrCorrupt
+	}
+}

@@ -1,0 +1,315 @@
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/bloom"
+	"repro/internal/cache"
+	"repro/internal/iterator"
+)
+
+// readerIDs hands each Reader a unique ID for block-cache keying.
+var readerIDs atomic.Uint64
+
+// Reader serves point lookups and ordered scans from a finished sstable.
+// It is safe for concurrent use: all methods read through an io.ReaderAt.
+type Reader struct {
+	id     uint64
+	r      io.ReaderAt
+	f      footer
+	index  []blockHandle
+	filter *bloom.Filter
+	closer io.Closer // non-nil when the Reader owns the underlying file
+	blocks *cache.LRU
+}
+
+// NewReader opens a table stored in r, whose total length is size bytes.
+func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < footerSize {
+		return nil, ErrCorrupt
+	}
+	buf := make([]byte, footerSize)
+	if _, err := r.ReadAt(buf, size-footerSize); err != nil {
+		return nil, fmt.Errorf("sstable: read footer: %w", err)
+	}
+	f, err := unmarshalFooter(buf)
+	if err != nil {
+		return nil, err
+	}
+	rd := &Reader{id: readerIDs.Add(1), r: r, f: f}
+	if err := rd.loadIndex(); err != nil {
+		return nil, err
+	}
+	if err := rd.loadBloom(); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+// Open opens an sstable file by path; Close releases the file handle.
+func Open(path string) (*Reader, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := file.Stat()
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	rd, err := NewReader(file, st.Size())
+	if err != nil {
+		file.Close()
+		return nil, fmt.Errorf("sstable: open %s: %w", path, err)
+	}
+	rd.closer = file
+	return rd, nil
+}
+
+// SetBlockCache attaches a shared LRU cache used for data-block reads.
+// Call before serving reads; passing nil disables caching.
+func (rd *Reader) SetBlockCache(c *cache.LRU) { rd.blocks = c }
+
+// Close releases the underlying file when the Reader was created by Open
+// (otherwise it only detaches cached blocks).
+func (rd *Reader) Close() error {
+	if rd.blocks != nil {
+		rd.blocks.DropTable(rd.id)
+	}
+	if rd.closer != nil {
+		return rd.closer.Close()
+	}
+	return nil
+}
+
+func (rd *Reader) readChecksummed(off, length uint64) ([]byte, error) {
+	buf := make([]byte, length)
+	if _, err := rd.r.ReadAt(buf, int64(off)); err != nil {
+		return nil, fmt.Errorf("sstable: read at %d: %w", off, err)
+	}
+	return verifyChecksummed(buf)
+}
+
+// readBlock reads and decodes a data block through the block cache when
+// one is attached. Cached payloads are stored decompressed and verified.
+func (rd *Reader) readBlock(h blockHandle) ([]byte, error) {
+	var key cache.Key
+	if rd.blocks != nil {
+		key = cache.Key{Table: rd.id, Offset: h.offset}
+		if payload, ok := rd.blocks.Get(key); ok {
+			return payload, nil
+		}
+	}
+	buf := make([]byte, h.length+4)
+	if _, err := rd.r.ReadAt(buf, int64(h.offset)); err != nil {
+		return nil, fmt.Errorf("sstable: read block at %d: %w", h.offset, err)
+	}
+	payload, err := decodeDataBlock(buf)
+	if err != nil {
+		return nil, err
+	}
+	if rd.blocks != nil {
+		rd.blocks.Put(key, payload)
+	}
+	return payload, nil
+}
+
+func (rd *Reader) loadIndex() error {
+	payload, err := rd.readChecksummed(rd.f.indexOff, rd.f.indexLen)
+	if err != nil {
+		return err
+	}
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return ErrCorrupt
+	}
+	payload = payload[n:]
+	rd.index = make([]blockHandle, 0, count)
+	for i := uint64(0); i < count; i++ {
+		klen, n := binary.Uvarint(payload)
+		if n <= 0 || uint64(len(payload[n:])) < klen {
+			return ErrCorrupt
+		}
+		payload = payload[n:]
+		key := payload[:klen:klen]
+		payload = payload[klen:]
+		off, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return ErrCorrupt
+		}
+		payload = payload[n:]
+		length, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return ErrCorrupt
+		}
+		payload = payload[n:]
+		rd.index = append(rd.index, blockHandle{firstKey: key, offset: off, length: length})
+	}
+	return nil
+}
+
+func (rd *Reader) loadBloom() error {
+	payload, err := rd.readChecksummed(rd.f.bloomOff, rd.f.bloomLen)
+	if err != nil {
+		return err
+	}
+	filter, err := bloom.Unmarshal(payload)
+	if err != nil {
+		return fmt.Errorf("sstable: %w", err)
+	}
+	rd.filter = filter
+	return nil
+}
+
+// EntryCount returns the number of entries in the table.
+func (rd *Reader) EntryCount() uint64 { return rd.f.entryCount }
+
+// KeyBytes returns the total bytes of keys stored.
+func (rd *Reader) KeyBytes() uint64 { return rd.f.keyBytes }
+
+// ValBytes returns the total bytes of values stored.
+func (rd *Reader) ValBytes() uint64 { return rd.f.valBytes }
+
+// FileSize returns the total size of the encoded table in bytes: the
+// quantity compaction counts as disk I/O when the table is read or written.
+func (rd *Reader) FileSize() uint64 {
+	return rd.f.bloomOff + rd.f.bloomLen + footerSize
+}
+
+// blockFor returns the index of the data block that could contain key.
+func (rd *Reader) blockFor(key []byte) int {
+	// First block whose firstKey > key, minus one.
+	i := sort.Search(len(rd.index), func(i int) bool {
+		return bytes.Compare(rd.index[i].firstKey, key) > 0
+	})
+	return i - 1
+}
+
+// Get returns the entry for key, or ErrNotFound. The Bloom filter rejects
+// most absent keys without touching data blocks.
+func (rd *Reader) Get(key []byte) (iterator.Entry, error) {
+	var zero iterator.Entry
+	if !rd.filter.MayContain(key) {
+		return zero, ErrNotFound
+	}
+	bi := rd.blockFor(key)
+	if bi < 0 {
+		return zero, ErrNotFound
+	}
+	h := rd.index[bi]
+	payload, err := rd.readBlock(h)
+	if err != nil {
+		return zero, err
+	}
+	for len(payload) > 0 {
+		e, rest, err := decodeEntry(payload)
+		if err != nil {
+			return zero, err
+		}
+		switch bytes.Compare(e.Key, key) {
+		case 0:
+			return e, nil
+		case 1:
+			return zero, ErrNotFound
+		}
+		payload = rest
+	}
+	return zero, ErrNotFound
+}
+
+// Iter returns an iterator over the whole table in key order.
+func (rd *Reader) Iter() *Iter {
+	return &Iter{rd: rd}
+}
+
+// IterFrom returns an iterator positioned at the first entry with
+// key >= start.
+func (rd *Reader) IterFrom(start []byte) *Iter {
+	it := &Iter{rd: rd}
+	it.SeekGE(start)
+	return it
+}
+
+// Iter iterates over a Reader's entries block by block.
+type Iter struct {
+	rd    *Reader
+	block []byte
+	bi    int // next block to load
+	cur   iterator.Entry
+	valid bool
+	err   error
+}
+
+// Err returns the first error encountered while iterating, if any; an
+// iterator that hit an error reports Valid() == false.
+func (it *Iter) Err() error { return it.err }
+
+// Valid implements iterator.Iterator.
+func (it *Iter) Valid() bool {
+	if !it.valid && it.err == nil {
+		it.advance()
+	}
+	return it.valid
+}
+
+// Entry implements iterator.Iterator.
+func (it *Iter) Entry() iterator.Entry { return it.cur }
+
+// Next implements iterator.Iterator.
+func (it *Iter) Next() {
+	it.valid = false
+	it.advance()
+}
+
+// SeekGE repositions the iterator at the first entry with key >= target,
+// using the block index to skip earlier blocks.
+func (it *Iter) SeekGE(target []byte) {
+	if it.err != nil {
+		return
+	}
+	bi := it.rd.blockFor(target)
+	if bi < 0 {
+		bi = 0
+	}
+	it.block = nil
+	it.bi = bi
+	it.valid = false
+	it.advance()
+	for it.valid && bytes.Compare(it.cur.Key, target) < 0 {
+		it.valid = false
+		it.advance()
+	}
+}
+
+func (it *Iter) advance() {
+	if it.err != nil {
+		return
+	}
+	for len(it.block) == 0 {
+		if it.bi >= len(it.rd.index) {
+			return
+		}
+		h := it.rd.index[it.bi]
+		payload, err := it.rd.readBlock(h)
+		if err != nil {
+			it.err = err
+			return
+		}
+		it.block = payload
+		it.bi++
+	}
+	e, rest, err := decodeEntry(it.block)
+	if err != nil {
+		it.err = err
+		return
+	}
+	it.block = rest
+	it.cur = e
+	it.valid = true
+}

@@ -1,0 +1,520 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iterator"
+)
+
+func entry(key, val string, seq uint64) iterator.Entry {
+	return iterator.Entry{Key: []byte(key), Value: []byte(val), Seq: seq}
+}
+
+// buildTable writes entries (must be sorted) into an in-memory table and
+// returns a Reader over it.
+func buildTable(t *testing.T, entries []iterator.Entry) *Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, len(entries))
+	for _, e := range entries {
+		if err := w.Add(e); err != nil {
+			t.Fatalf("Add(%q): %v", e.Key, err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	return rd
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var entries []iterator.Entry
+	for i := 0; i < 1000; i++ {
+		entries = append(entries, entry(fmt.Sprintf("key-%06d", i), fmt.Sprintf("val-%d", i), uint64(i)))
+	}
+	rd := buildTable(t, entries)
+	if rd.EntryCount() != 1000 {
+		t.Errorf("EntryCount = %d", rd.EntryCount())
+	}
+	for _, want := range entries {
+		got, err := rd.Get(want.Key)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", want.Key, err)
+		}
+		if !bytes.Equal(got.Value, want.Value) || got.Seq != want.Seq {
+			t.Fatalf("Get(%q) = %+v, want %+v", want.Key, got, want)
+		}
+	}
+}
+
+func TestGetAbsentKey(t *testing.T) {
+	rd := buildTable(t, []iterator.Entry{entry("b", "1", 1), entry("d", "2", 2)})
+	for _, k := range []string{"a", "c", "e"} {
+		if _, err := rd.Get([]byte(k)); err != ErrNotFound {
+			t.Errorf("Get(%q) err = %v, want ErrNotFound", k, err)
+		}
+	}
+}
+
+func TestTombstoneRoundTrip(t *testing.T) {
+	rd := buildTable(t, []iterator.Entry{
+		entry("a", "x", 1),
+		{Key: []byte("b"), Seq: 2, Tombstone: true},
+		entry("c", "y", 3),
+	})
+	got, err := rd.Get([]byte("b"))
+	if err != nil {
+		t.Fatalf("Get tombstone: %v", err)
+	}
+	if !got.Tombstone || len(got.Value) != 0 {
+		t.Errorf("tombstone = %+v", got)
+	}
+}
+
+func TestIterOrderAndCompleteness(t *testing.T) {
+	var entries []iterator.Entry
+	for i := 0; i < 5000; i++ { // several blocks
+		entries = append(entries, entry(fmt.Sprintf("key-%08d", i), fmt.Sprintf("%d", i), uint64(i)))
+	}
+	rd := buildTable(t, entries)
+	it := rd.Iter()
+	n := 0
+	var prev []byte
+	for ; it.Valid(); it.Next() {
+		k := it.Entry().Key
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("iteration out of order at %q", k)
+		}
+		prev = append(prev[:0], k...)
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("iter err: %v", err)
+	}
+	if n != len(entries) {
+		t.Errorf("iterated %d entries, want %d", n, len(entries))
+	}
+}
+
+func TestIterSeekGE(t *testing.T) {
+	var entries []iterator.Entry
+	for i := 0; i < 3000; i += 3 { // keys 0,3,6,... across many blocks
+		entries = append(entries, entry(fmt.Sprintf("key-%08d", i), "v", uint64(i)))
+	}
+	rd := buildTable(t, entries)
+	cases := []struct {
+		seek string
+		want string
+	}{
+		{"key-00000000", "key-00000000"}, // first
+		{"key-00000004", "key-00000006"}, // between keys
+		{"key-00001500", "key-00001500"}, // exact mid-table
+		{"key-00002996", "key-00002997"}, // near end
+		{"", "key-00000000"},             // before everything
+	}
+	for _, c := range cases {
+		it := rd.IterFrom([]byte(c.seek))
+		if !it.Valid() || string(it.Entry().Key) != c.want {
+			t.Errorf("SeekGE(%q) at %q, want %q", c.seek, it.Entry().Key, c.want)
+		}
+	}
+	if it := rd.IterFrom([]byte("key-99999999")); it.Valid() {
+		t.Errorf("SeekGE past end should be invalid")
+	}
+	// Iteration after a seek remains sorted and complete.
+	it := rd.IterFrom([]byte("key-00001500"))
+	n := 0
+	for ; it.Valid(); it.Next() {
+		n++
+	}
+	if want := 500; n != want { // keys 1500,1503,...,2997
+		t.Errorf("iterated %d entries after seek, want %d", n, want)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterRejectsOutOfOrder(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{}, 2)
+	if err := w.Add(entry("b", "1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(entry("a", "2", 2)); err == nil {
+		t.Errorf("out-of-order key accepted")
+	}
+	if err := w.Add(entry("b", "2", 2)); err == nil {
+		t.Errorf("duplicate key accepted")
+	}
+	if err := w.Add(iterator.Entry{}); err == nil {
+		t.Errorf("empty key accepted")
+	}
+}
+
+func TestWriterFinishTwice(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{}, 1)
+	if err := w.Add(entry("a", "1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(); err == nil {
+		t.Errorf("second Finish accepted")
+	}
+	if err := w.Add(entry("b", "1", 1)); err == nil {
+		t.Errorf("Add after Finish accepted")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	rd := buildTable(t, nil)
+	if rd.EntryCount() != 0 {
+		t.Errorf("EntryCount = %d", rd.EntryCount())
+	}
+	if _, err := rd.Get([]byte("any")); err != ErrNotFound {
+		t.Errorf("Get on empty = %v", err)
+	}
+	if rd.Iter().Valid() {
+		t.Errorf("iterator over empty table valid")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 100)
+	for i := 0; i < 100; i++ {
+		if err := w.Add(entry(fmt.Sprintf("k%04d", i), "v", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	t.Run("flipped data byte", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[10] ^= 0xff
+		rd, err := NewReader(bytes.NewReader(bad), int64(len(bad)))
+		if err != nil {
+			return // corruption caught at open: acceptable
+		}
+		it := rd.Iter()
+		for it.Valid() {
+			it.Next()
+		}
+		if it.Err() == nil {
+			t.Errorf("corrupt block not detected during scan")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[len(bad)-1] ^= 0xff
+		if _, err := NewReader(bytes.NewReader(bad), int64(len(bad))); err == nil {
+			t.Errorf("bad magic accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := NewReader(bytes.NewReader(data[:10]), 10); err == nil {
+			t.Errorf("truncated file accepted")
+		}
+	})
+}
+
+func TestOpenCloseFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.sst")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, 10)
+	for i := 0; i < 10; i++ {
+		if err := w.Add(entry(fmt.Sprintf("k%d", i), "v", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer rd.Close()
+	got, err := rd.Get([]byte("k3"))
+	if err != nil || string(got.Value) != "v" {
+		t.Errorf("Get(k3) = %+v, %v", got, err)
+	}
+	if rd.FileSize() == 0 {
+		t.Errorf("FileSize = 0")
+	}
+	if _, err := Open(filepath.Join(dir, "missing.sst")); err == nil {
+		t.Errorf("Open of missing file succeeded")
+	}
+}
+
+func TestMergeDedupAndTombstones(t *testing.T) {
+	newer := buildTable(t, []iterator.Entry{
+		{Key: []byte("a"), Seq: 10, Tombstone: true},
+		entry("b", "new", 11),
+	})
+	older := buildTable(t, []iterator.Entry{
+		entry("a", "old", 1),
+		entry("b", "old", 2),
+		entry("c", "keep", 3),
+	})
+
+	var out bytes.Buffer
+	stats, err := Merge(&out, true, newer, older)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	rd, err := NewReader(bytes.NewReader(out.Bytes()), int64(out.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.EntryCount() != 2 {
+		t.Errorf("merged EntryCount = %d, want 2 (a deleted)", rd.EntryCount())
+	}
+	b, err := rd.Get([]byte("b"))
+	if err != nil || string(b.Value) != "new" {
+		t.Errorf("merged b = %+v, %v; want new", b, err)
+	}
+	if _, err := rd.Get([]byte("a")); err != ErrNotFound {
+		t.Errorf("deleted key a survived major compaction")
+	}
+	if stats.BytesRead == 0 || stats.BytesWritten == 0 || stats.EntriesIn != 5 || stats.EntriesOut != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.TotalIO() != stats.BytesRead+stats.BytesWritten {
+		t.Errorf("TotalIO inconsistent")
+	}
+}
+
+func TestMergeKeepTombstones(t *testing.T) {
+	newer := buildTable(t, []iterator.Entry{{Key: []byte("a"), Seq: 10, Tombstone: true}})
+	older := buildTable(t, []iterator.Entry{entry("a", "old", 1)})
+	var out bytes.Buffer
+	if _, err := Merge(&out, false, newer, older); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(out.Bytes()), int64(out.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.Get([]byte("a"))
+	if err != nil || !got.Tombstone {
+		t.Errorf("minor compaction should keep tombstone, got %+v, %v", got, err)
+	}
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	// Highly compressible values: the flate codec must shrink the file and
+	// read back identically.
+	var entries []iterator.Entry
+	for i := 0; i < 3000; i++ {
+		entries = append(entries, entry(fmt.Sprintf("key-%08d", i), strings.Repeat("abcdef", 20), uint64(i)))
+	}
+	var raw, compressed bytes.Buffer
+	wr := NewWriter(&raw, len(entries))
+	wc := NewWriterCompressed(&compressed, len(entries), Flate)
+	for _, e := range entries {
+		if err := wr.Add(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := wc.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wr.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if compressed.Len() >= raw.Len() {
+		t.Errorf("compressed table (%d) not smaller than raw (%d)", compressed.Len(), raw.Len())
+	}
+	rd, err := NewReader(bytes.NewReader(compressed.Bytes()), int64(compressed.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := iterator.Drain(rd.Iter())
+	if len(got) != len(entries) {
+		t.Fatalf("drained %d entries, want %d", len(got), len(entries))
+	}
+	for i, e := range entries {
+		if !bytes.Equal(got[i].Key, e.Key) || !bytes.Equal(got[i].Value, e.Value) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+	// Point reads and seeks work on compressed tables too.
+	g, err := rd.Get([]byte("key-00001234"))
+	if err != nil || string(g.Value) != strings.Repeat("abcdef", 20) {
+		t.Errorf("Get on compressed table: %v", err)
+	}
+	it := rd.IterFrom([]byte("key-00002990"))
+	n := 0
+	for ; it.Valid(); it.Next() {
+		n++
+	}
+	if n != 10 {
+		t.Errorf("seek on compressed table: %d entries", n)
+	}
+}
+
+func TestIncompressibleFallsBackToRaw(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var buf bytes.Buffer
+	w := NewWriterCompressed(&buf, 100, Flate)
+	for i := 0; i < 100; i++ {
+		val := make([]byte, 100)
+		r.Read(val)
+		if err := w.Add(iterator.Entry{Key: []byte(fmt.Sprintf("k%04d", i)), Value: val, Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := iterator.Drain(rd.Iter()); len(got) != 100 {
+		t.Errorf("drained %d", len(got))
+	}
+}
+
+func TestCorruptCompressedBlock(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriterCompressed(&buf, 1000, Flate)
+	for i := 0; i < 1000; i++ {
+		if err := w.Add(entry(fmt.Sprintf("k%06d", i), strings.Repeat("x", 50), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[5] ^= 0xff // inside the first compressed block
+	rd, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return // rejected at open: fine
+	}
+	it := rd.Iter()
+	for it.Valid() {
+		it.Next()
+	}
+	if it.Err() == nil {
+		t.Errorf("corrupt compressed block not detected")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(200)
+		entries := make([]iterator.Entry, 0, n)
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("%08x", i*7+1)
+			val := make([]byte, r.Intn(64))
+			r.Read(val)
+			entries = append(entries, iterator.Entry{
+				Key: []byte(key), Value: val, Seq: uint64(i), Tombstone: r.Intn(10) == 0,
+			})
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, n)
+		for _, e := range entries {
+			if e.Tombstone {
+				e.Value = nil
+			}
+			if err := w.Add(e); err != nil {
+				return false
+			}
+		}
+		if err := w.Finish(); err != nil {
+			return false
+		}
+		rd, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			return false
+		}
+		got := iterator.Drain(rd.Iter())
+		if len(got) != len(entries) {
+			return false
+		}
+		for i, e := range entries {
+			g := got[i]
+			if !bytes.Equal(g.Key, e.Key) || g.Seq != e.Seq || g.Tombstone != e.Tombstone {
+				return false
+			}
+			if !e.Tombstone && !bytes.Equal(g.Value, e.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriter(b *testing.B) {
+	val := bytes.Repeat([]byte("x"), 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 1000)
+		for j := 0; j < 1000; j++ {
+			if err := w.Add(iterator.Entry{Key: []byte(fmt.Sprintf("key-%08d", j)), Value: val, Seq: uint64(j)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReaderGet(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 10000)
+	for j := 0; j < 10000; j++ {
+		if err := w.Add(iterator.Entry{Key: []byte(fmt.Sprintf("key-%08d", j)), Value: []byte("value"), Seq: uint64(j)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rd.Get([]byte(fmt.Sprintf("key-%08d", i%10000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bloom"
+	"repro/internal/iterator"
+)
+
+// Writer builds an sstable from entries added in strictly increasing key
+// order. Use one Writer per table; call Finish exactly once.
+type Writer struct {
+	w           io.Writer
+	off         uint64
+	compression Compression
+
+	block    []byte // current block payload
+	blockKey []byte // first key of the current block
+	index    []blockHandle
+	filter   *bloom.Filter
+
+	lastKey    []byte
+	entryCount uint64
+	keyBytes   uint64
+	valBytes   uint64
+	finished   bool
+}
+
+// NewWriter creates a Writer emitting to w with no block compression.
+// expectedEntries sizes the Bloom filter; an estimate is fine, and zero
+// selects a small default.
+func NewWriter(w io.Writer, expectedEntries int) *Writer {
+	return NewWriterCompressed(w, expectedEntries, NoCompression)
+}
+
+// NewWriterCompressed creates a Writer with the given data-block codec.
+func NewWriterCompressed(w io.Writer, expectedEntries int, compression Compression) *Writer {
+	if expectedEntries <= 0 {
+		expectedEntries = 1024
+	}
+	return &Writer{
+		w:           w,
+		compression: compression,
+		filter:      bloom.NewWithEstimates(uint64(expectedEntries), 0.01),
+	}
+}
+
+// Add appends an entry. Keys must be strictly increasing; duplicate or
+// out-of-order keys are rejected.
+func (w *Writer) Add(e iterator.Entry) error {
+	if w.finished {
+		return fmt.Errorf("sstable: Add after Finish")
+	}
+	if len(e.Key) == 0 {
+		return fmt.Errorf("sstable: empty key")
+	}
+	if w.lastKey != nil && bytes.Compare(e.Key, w.lastKey) <= 0 {
+		return fmt.Errorf("sstable: keys out of order: %q after %q", e.Key, w.lastKey)
+	}
+	if w.blockKey == nil {
+		w.blockKey = append([]byte(nil), e.Key...)
+	}
+	w.block = appendEntry(w.block, e)
+	w.lastKey = append(w.lastKey[:0], e.Key...)
+	w.filter.Add(e.Key)
+	w.entryCount++
+	w.keyBytes += uint64(len(e.Key))
+	w.valBytes += uint64(len(e.Value))
+	if len(w.block) >= BlockSize {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func appendEntry(dst []byte, e iterator.Entry) []byte {
+	dst = binary.AppendUvarint(dst, e.Seq)
+	var flags byte
+	if e.Tombstone {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Key)))
+	dst = append(dst, e.Key...)
+	if !e.Tombstone {
+		dst = binary.AppendUvarint(dst, uint64(len(e.Value)))
+		dst = append(dst, e.Value...)
+	}
+	return dst
+}
+
+// decodeEntry parses one entry from buf, returning it and the remaining
+// bytes. The returned entry aliases buf.
+func decodeEntry(buf []byte) (iterator.Entry, []byte, error) {
+	var e iterator.Entry
+	seq, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return e, nil, ErrCorrupt
+	}
+	buf = buf[n:]
+	if len(buf) < 1 {
+		return e, nil, ErrCorrupt
+	}
+	flags := buf[0]
+	buf = buf[1:]
+	e.Seq = seq
+	e.Tombstone = flags&1 != 0
+	klen, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf[n:])) < klen {
+		return e, nil, ErrCorrupt
+	}
+	buf = buf[n:]
+	e.Key = buf[:klen:klen]
+	buf = buf[klen:]
+	if !e.Tombstone {
+		vlen, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf[n:])) < vlen {
+			return e, nil, ErrCorrupt
+		}
+		buf = buf[n:]
+		e.Value = buf[:vlen:vlen]
+		buf = buf[vlen:]
+	}
+	return e, buf, nil
+}
+
+func (w *Writer) flushBlock() error {
+	if len(w.block) == 0 {
+		return nil
+	}
+	framed, err := encodeDataBlock(w.block, w.compression)
+	if err != nil {
+		return err
+	}
+	w.index = append(w.index, blockHandle{
+		firstKey: w.blockKey,
+		offset:   w.off,
+		length:   uint64(len(framed) - 4), // stored payload, excluding crc
+	})
+	if _, err := w.w.Write(framed); err != nil {
+		return fmt.Errorf("sstable: write block: %w", err)
+	}
+	w.off += uint64(len(framed))
+	w.block = w.block[:0]
+	w.blockKey = nil
+	return nil
+}
+
+// Finish flushes the final block and writes the index, Bloom filter and
+// footer. The Writer is unusable afterwards.
+func (w *Writer) Finish() error {
+	if w.finished {
+		return fmt.Errorf("sstable: Finish called twice")
+	}
+	w.finished = true
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+
+	var f footer
+	f.entryCount = w.entryCount
+	f.keyBytes = w.keyBytes
+	f.valBytes = w.valBytes
+
+	// Index block.
+	var idx []byte
+	idx = binary.AppendUvarint(idx, uint64(len(w.index)))
+	for _, h := range w.index {
+		idx = binary.AppendUvarint(idx, uint64(len(h.firstKey)))
+		idx = append(idx, h.firstKey...)
+		idx = binary.AppendUvarint(idx, h.offset)
+		idx = binary.AppendUvarint(idx, h.length)
+	}
+	framed := appendChecksummed(nil, idx)
+	f.indexOff, f.indexLen = w.off, uint64(len(framed))
+	if _, err := w.w.Write(framed); err != nil {
+		return fmt.Errorf("sstable: write index: %w", err)
+	}
+	w.off += uint64(len(framed))
+
+	// Bloom block.
+	framed = appendChecksummed(nil, w.filter.Marshal())
+	f.bloomOff, f.bloomLen = w.off, uint64(len(framed))
+	if _, err := w.w.Write(framed); err != nil {
+		return fmt.Errorf("sstable: write bloom: %w", err)
+	}
+	w.off += uint64(len(framed))
+
+	if _, err := w.w.Write(f.marshal()); err != nil {
+		return fmt.Errorf("sstable: write footer: %w", err)
+	}
+	w.off += footerSize
+	return nil
+}
+
+// Size returns the number of bytes emitted so far (the final file size
+// after Finish).
+func (w *Writer) Size() uint64 { return w.off }
+
+// EntryCount returns the number of entries added so far.
+func (w *Writer) EntryCount() uint64 { return w.entryCount }
+
+// WriteAll drains it into w in order and finishes the table; a convenience
+// wrapper used by flushes and compaction merges.
+func WriteAll(w *Writer, it iterator.Iterator) error {
+	for ; it.Valid(); it.Next() {
+		if err := w.Add(it.Entry()); err != nil {
+			return err
+		}
+	}
+	return w.Finish()
+}

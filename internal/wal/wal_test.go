@@ -1,0 +1,228 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func writeLog(t *testing.T, path string, recs []Record) {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func replayAll(t *testing.T, path string) []Record {
+	t.Helper()
+	var got []Record
+	if err := Replay(path, func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	recs := []Record{
+		{Op: OpPut, Seq: 1, Key: []byte("a"), Value: []byte("1")},
+		{Op: OpDelete, Seq: 2, Key: []byte("a")},
+		{Op: OpPut, Seq: 3, Key: []byte("b"), Value: bytes.Repeat([]byte("x"), 10000)},
+	}
+	writeLog(t, path, recs)
+	got := replayAll(t, path)
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, want := range recs {
+		g := got[i]
+		if g.Op != want.Op || g.Seq != want.Seq || !bytes.Equal(g.Key, want.Key) {
+			t.Errorf("record %d = %+v, want %+v", i, g, want)
+		}
+		if want.Op == OpPut && !bytes.Equal(g.Value, want.Value) {
+			t.Errorf("record %d value mismatch", i)
+		}
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	writeLog(t, path, nil)
+	if got := replayAll(t, path); len(got) != 0 {
+		t.Errorf("replayed %d records from empty log", len(got))
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	err := Replay(filepath.Join(t.TempDir(), "nope"), func(Record) error { return nil })
+	if err == nil {
+		t.Errorf("replay of missing file succeeded")
+	}
+}
+
+func TestTornTailRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	recs := []Record{
+		{Op: OpPut, Seq: 1, Key: []byte("a"), Value: []byte("1")},
+		{Op: OpPut, Seq: 2, Key: []byte("b"), Value: []byte("2")},
+	}
+	writeLog(t, path, recs)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < 12; cut++ { // chop bytes off the tail
+		torn := filepath.Join(dir, fmt.Sprintf("torn-%d", cut))
+		if err := os.WriteFile(torn, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := replayAll(t, torn)
+		if len(got) != 1 || got[0].Seq != 1 {
+			t.Errorf("cut %d: replayed %d records, want just the first", cut, len(got))
+		}
+	}
+}
+
+func TestCorruptMiddleStopsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	writeLog(t, path, []Record{
+		{Op: OpPut, Seq: 1, Key: []byte("a"), Value: []byte("1")},
+		{Op: OpPut, Seq: 2, Key: []byte("b"), Value: []byte("2")},
+	})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second record's payload.
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, path)
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Errorf("replayed %d records after corruption, want 1", len(got))
+	}
+}
+
+func TestImplausibleLengthTreatedAsTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	// Header claiming a 1 GiB record.
+	buf := make([]byte, 8)
+	buf[3] = 0x40
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, path); len(got) != 0 {
+		t.Errorf("replayed %d records", len(got))
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	writeLog(t, path, []Record{{Op: OpPut, Seq: 1, Key: []byte("k"), Value: []byte("v")}})
+	sentinel := errors.New("stop")
+	err := Replay(path, func(Record) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("Replay err = %v, want sentinel", err)
+	}
+}
+
+func TestWriterSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Size() != 0 {
+		t.Errorf("initial Size = %d", w.Size())
+	}
+	if err := w.Append(Record{Op: OpPut, Seq: 1, Key: []byte("k"), Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() == 0 {
+		t.Errorf("Size = 0 after append")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(keys [][]byte, dels []bool) bool {
+		i++
+		path := filepath.Join(dir, fmt.Sprintf("log-%d", i))
+		w, err := Create(path)
+		if err != nil {
+			return false
+		}
+		var want []Record
+		for j, k := range keys {
+			r := Record{Op: OpPut, Seq: uint64(j), Key: k, Value: []byte{byte(j)}}
+			if j < len(dels) && dels[j] {
+				r = Record{Op: OpDelete, Seq: uint64(j), Key: k}
+			}
+			if err := w.Append(r); err != nil {
+				return false
+			}
+			want = append(want, r)
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		var got []Record
+		if err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for j := range want {
+			if got[j].Op != want[j].Op || got[j].Seq != want[j].Seq || !bytes.Equal(got[j].Key, want[j].Key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "log")
+	w, err := Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	rec := Record{Op: OpPut, Seq: 1, Key: []byte("key-00000001"), Value: bytes.Repeat([]byte("v"), 100)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Seq = uint64(i)
+		if err := w.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package ycsb reimplements the parts of the Yahoo! Cloud Serving Benchmark
+// (Cooper et al., SoCC 2010) that the paper's evaluation depends on
+// (Section 5.1): a load phase that inserts recordcount keys into an empty
+// database, and a run phase that issues operationcount CRUD operations with
+// configurable proportions, drawing keys from one of three distributions:
+//
+//   - Uniform: all inserted keys accessed uniformly;
+//   - Zipfian: a few keys are popular (power law), scrambled across the key
+//     space;
+//   - Latest: recently inserted keys are popular (power law over recency).
+//
+// The original YCSB is a Java framework driving a live store over a client
+// API; here the generator emits the operation stream directly, which is all
+// the compaction simulator consumes. Reads do not modify sstables and
+// deletes are handled as updates carrying a tombstone, exactly as the paper
+// treats them.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Distribution selects how the run phase picks keys for non-insert
+// operations.
+type Distribution int
+
+// Supported key-access distributions.
+const (
+	Uniform Distribution = iota
+	Zipfian
+	Latest
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipfian"
+	case Latest:
+		return "latest"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution converts a name ("uniform", "zipfian", "latest") into a
+// Distribution.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "zipfian":
+		return Zipfian, nil
+	case "latest":
+		return Latest, nil
+	default:
+		return 0, fmt.Errorf("ycsb: unknown distribution %q", s)
+	}
+}
+
+// OpKind is the type of a generated operation.
+type OpKind int
+
+// Operation kinds. Scan is included for API completeness; the compaction
+// simulator ignores reads and scans since they do not modify sstables.
+const (
+	OpInsert OpKind = iota
+	OpUpdate
+	OpRead
+	OpDelete
+	OpScan
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpRead:
+		return "read"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one generated operation. Key identifies the record; for the
+// compaction model, key identity is all that matters since entries are
+// fixed-size.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// Mutates reports whether the operation writes to the memtable (inserts,
+// updates and deletes do; reads and scans do not).
+func (o Op) Mutates() bool {
+	return o.Kind == OpInsert || o.Kind == OpUpdate || o.Kind == OpDelete
+}
+
+// Config parameterizes a workload, mirroring YCSB's property names.
+type Config struct {
+	// RecordCount is the number of keys inserted by the load phase.
+	RecordCount int
+	// OperationCount is the number of operations in the run phase.
+	OperationCount int
+	// Proportions of each operation kind in the run phase; they must be
+	// non-negative and sum to a positive value (they are normalized).
+	InsertProportion float64
+	UpdateProportion float64
+	ReadProportion   float64
+	DeleteProportion float64
+	ScanProportion   float64
+	// Distribution picks keys for updates/reads/deletes/scans.
+	Distribution Distribution
+	// ZipfianConstant is θ for Zipfian and Latest; 0 selects YCSB's 0.99.
+	ZipfianConstant float64
+	// Seed makes the workload deterministic.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.RecordCount < 0 || c.OperationCount < 0 {
+		return fmt.Errorf("ycsb: negative counts (recordcount=%d, operationcount=%d)", c.RecordCount, c.OperationCount)
+	}
+	for _, p := range []float64{c.InsertProportion, c.UpdateProportion, c.ReadProportion, c.DeleteProportion, c.ScanProportion} {
+		if p < 0 {
+			return fmt.Errorf("ycsb: negative proportion")
+		}
+	}
+	total := c.InsertProportion + c.UpdateProportion + c.ReadProportion + c.DeleteProportion + c.ScanProportion
+	if c.OperationCount > 0 && total <= 0 {
+		return fmt.Errorf("ycsb: operation proportions sum to zero")
+	}
+	if c.ZipfianConstant < 0 || c.ZipfianConstant >= 1 {
+		if c.ZipfianConstant != 0 {
+			return fmt.Errorf("ycsb: zipfian constant %v out of (0,1)", c.ZipfianConstant)
+		}
+	}
+	return nil
+}
+
+// Generator produces the operation stream for one workload. It is not safe
+// for concurrent use.
+type Generator struct {
+	cfg         Config
+	rng         *rand.Rand
+	insertCount uint64 // keys inserted so far (load + run inserts)
+	emittedLoad int
+	emittedRun  int
+	zipf        *zipfian // population = RecordCount key space (scrambled)
+	latest      *zipfian // population = keys inserted so far
+	cum         [5]float64
+}
+
+// NewGenerator validates cfg and prepares a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ZipfianConstant == 0 {
+		cfg.ZipfianConstant = DefaultZipfianConstant
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	total := cfg.InsertProportion + cfg.UpdateProportion + cfg.ReadProportion + cfg.DeleteProportion + cfg.ScanProportion
+	if total > 0 {
+		g.cum[0] = cfg.InsertProportion / total
+		g.cum[1] = g.cum[0] + cfg.UpdateProportion/total
+		g.cum[2] = g.cum[1] + cfg.ReadProportion/total
+		g.cum[3] = g.cum[2] + cfg.DeleteProportion/total
+		g.cum[4] = 1
+	}
+	return g, nil
+}
+
+// keyOf maps an insertion index to its key identity. YCSB hashes the index
+// so that key popularity is spread over the key space; identity here is a
+// stable FNV mix of the index.
+func keyOf(index uint64) uint64 { return fnvMix(index) }
+
+// NextLoad returns the next load-phase insert, or ok=false once RecordCount
+// inserts have been emitted.
+func (g *Generator) NextLoad() (Op, bool) {
+	if g.emittedLoad >= g.cfg.RecordCount {
+		return Op{}, false
+	}
+	op := Op{Kind: OpInsert, Key: keyOf(g.insertCount)}
+	g.insertCount++
+	g.emittedLoad++
+	return op, true
+}
+
+// chooseExisting picks a key among those inserted so far according to the
+// configured distribution.
+func (g *Generator) chooseExisting() uint64 {
+	n := g.insertCount
+	if n == 0 {
+		// Nothing inserted yet: fall back to the key that insert 0 will use.
+		return keyOf(0)
+	}
+	switch g.cfg.Distribution {
+	case Zipfian:
+		if g.zipf == nil {
+			g.zipf = newZipfian(n, g.cfg.ZipfianConstant)
+		} else {
+			g.zipf.grow(n)
+		}
+		rank := g.zipf.sample(g.rng)
+		// Scramble the rank across the inserted keys (ScrambledZipfian).
+		return keyOf(fnvMix(rank) % n)
+	case Latest:
+		if g.latest == nil {
+			g.latest = newZipfian(n, g.cfg.ZipfianConstant)
+		} else {
+			g.latest.grow(n)
+		}
+		rank := g.latest.sample(g.rng) // 0 = most recent
+		return keyOf(n - 1 - rank)
+	default:
+		return keyOf(uint64(g.rng.Int63n(int64(n))))
+	}
+}
+
+// NextRun returns the next run-phase operation, or ok=false once
+// OperationCount operations have been emitted.
+func (g *Generator) NextRun() (Op, bool) {
+	if g.emittedRun >= g.cfg.OperationCount {
+		return Op{}, false
+	}
+	g.emittedRun++
+	u := g.rng.Float64()
+	switch {
+	case u < g.cum[0]:
+		op := Op{Kind: OpInsert, Key: keyOf(g.insertCount)}
+		g.insertCount++
+		return op, true
+	case u < g.cum[1]:
+		return Op{Kind: OpUpdate, Key: g.chooseExisting()}, true
+	case u < g.cum[2]:
+		return Op{Kind: OpRead, Key: g.chooseExisting()}, true
+	case u < g.cum[3]:
+		return Op{Kind: OpDelete, Key: g.chooseExisting()}, true
+	default:
+		return Op{Kind: OpScan, Key: g.chooseExisting()}, true
+	}
+}
+
+// All generates the full workload (load phase then run phase) and returns
+// it as a slice; convenient for simulations that want the whole stream.
+func (g *Generator) All() []Op {
+	ops := make([]Op, 0, g.cfg.RecordCount+g.cfg.OperationCount)
+	for {
+		op, ok := g.NextLoad()
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+	}
+	for {
+		op, ok := g.NextRun()
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// InsertedKeys returns how many distinct keys have been inserted so far.
+func (g *Generator) InsertedKeys() uint64 { return g.insertCount }

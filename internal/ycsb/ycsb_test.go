@@ -1,0 +1,357 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func mustGen(t *testing.T, cfg Config) *Generator {
+	t.Helper()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return g
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{RecordCount: -1},
+		{OperationCount: -1},
+		{OperationCount: 10},                         // zero proportions
+		{OperationCount: 10, UpdateProportion: -0.5}, // negative
+		{ZipfianConstant: 1.5, OperationCount: 10, UpdateProportion: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+	}
+	good := Config{RecordCount: 10, OperationCount: 10, UpdateProportion: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected good config: %v", err)
+	}
+}
+
+func TestLoadPhase(t *testing.T) {
+	g := mustGen(t, Config{RecordCount: 100})
+	seen := map[uint64]bool{}
+	n := 0
+	for {
+		op, ok := g.NextLoad()
+		if !ok {
+			break
+		}
+		if op.Kind != OpInsert {
+			t.Fatalf("load op kind = %v", op.Kind)
+		}
+		if seen[op.Key] {
+			t.Fatalf("load emitted duplicate key %d", op.Key)
+		}
+		seen[op.Key] = true
+		n++
+	}
+	if n != 100 {
+		t.Errorf("load emitted %d ops, want 100", n)
+	}
+	if g.InsertedKeys() != 100 {
+		t.Errorf("InsertedKeys = %d", g.InsertedKeys())
+	}
+}
+
+func TestRunPhaseCountsAndMix(t *testing.T) {
+	cfg := Config{
+		RecordCount:      1000,
+		OperationCount:   100000,
+		InsertProportion: 0.25,
+		UpdateProportion: 0.50,
+		ReadProportion:   0.25,
+		Seed:             42,
+	}
+	g := mustGen(t, cfg)
+	for {
+		if _, ok := g.NextLoad(); !ok {
+			break
+		}
+	}
+	counts := map[OpKind]int{}
+	total := 0
+	for {
+		op, ok := g.NextRun()
+		if !ok {
+			break
+		}
+		counts[op.Kind]++
+		total++
+	}
+	if total != cfg.OperationCount {
+		t.Fatalf("run emitted %d ops, want %d", total, cfg.OperationCount)
+	}
+	check := func(kind OpKind, want float64) {
+		got := float64(counts[kind]) / float64(total)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v proportion = %.3f, want %.2f", kind, got, want)
+		}
+	}
+	check(OpInsert, 0.25)
+	check(OpUpdate, 0.50)
+	check(OpRead, 0.25)
+	if counts[OpDelete] != 0 || counts[OpScan] != 0 {
+		t.Errorf("unexpected delete/scan ops: %v", counts)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{RecordCount: 100, OperationCount: 1000, UpdateProportion: 0.6, InsertProportion: 0.4, Distribution: Latest, Seed: 7}
+	a := mustGen(t, cfg).All()
+	b := mustGen(t, cfg).All()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	cfg := Config{RecordCount: 100, OperationCount: 1000, UpdateProportion: 1, Distribution: Uniform}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	a := mustGen(t, cfg).All()
+	b := mustGen(t, cfg2).All()
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Errorf("different seeds produced identical streams")
+	}
+}
+
+func TestUpdatesTargetExistingKeys(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Zipfian, Latest} {
+		cfg := Config{RecordCount: 500, OperationCount: 5000, UpdateProportion: 1, Distribution: dist, Seed: 3}
+		g := mustGen(t, cfg)
+		inserted := map[uint64]bool{}
+		for {
+			op, ok := g.NextLoad()
+			if !ok {
+				break
+			}
+			inserted[op.Key] = true
+		}
+		for {
+			op, ok := g.NextRun()
+			if !ok {
+				break
+			}
+			if !inserted[op.Key] {
+				t.Errorf("%v: update targeted uninserted key %d", dist, op.Key)
+				break
+			}
+		}
+	}
+}
+
+// keyFrequencies runs an update-only workload and returns sorted descending
+// access counts.
+func keyFrequencies(t *testing.T, dist Distribution, records, ops int) []int {
+	t.Helper()
+	g := mustGen(t, Config{RecordCount: records, OperationCount: ops, UpdateProportion: 1, Distribution: dist, Seed: 11})
+	for {
+		if _, ok := g.NextLoad(); !ok {
+			break
+		}
+	}
+	freq := map[uint64]int{}
+	for {
+		op, ok := g.NextRun()
+		if !ok {
+			break
+		}
+		freq[op.Key]++
+	}
+	counts := make([]int, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	return counts
+}
+
+func TestZipfianIsSkewed(t *testing.T) {
+	const records, ops = 1000, 100000
+	zipf := keyFrequencies(t, Zipfian, records, ops)
+	unif := keyFrequencies(t, Uniform, records, ops)
+
+	topShare := func(counts []int, k int) float64 {
+		sum, top := 0, 0
+		for i, c := range counts {
+			sum += c
+			if i < k {
+				top += c
+			}
+		}
+		return float64(top) / float64(sum)
+	}
+	zs, us := topShare(zipf, 10), topShare(unif, 10)
+	if zs < 3*us {
+		t.Errorf("zipfian top-10 share %.3f not clearly above uniform %.3f", zs, us)
+	}
+	// Under θ=0.99 the hottest key should take a few percent of accesses.
+	if float64(zipf[0])/float64(ops) < 0.02 {
+		t.Errorf("hottest zipfian key share %.4f too small", float64(zipf[0])/float64(ops))
+	}
+}
+
+func TestLatestPrefersRecentInserts(t *testing.T) {
+	// Insert-then-update mix: updates should hit recently inserted keys.
+	cfg := Config{RecordCount: 1000, OperationCount: 50000, InsertProportion: 0.5, UpdateProportion: 0.5, Distribution: Latest, Seed: 13}
+	g := mustGen(t, cfg)
+	indexOf := map[uint64]uint64{}
+	var idx uint64
+	for {
+		op, ok := g.NextLoad()
+		if !ok {
+			break
+		}
+		indexOf[op.Key] = idx
+		idx++
+	}
+	recent, old := 0, 0
+	for {
+		op, ok := g.NextRun()
+		if !ok {
+			break
+		}
+		if op.Kind == OpInsert {
+			indexOf[op.Key] = idx
+			idx++
+			continue
+		}
+		i, seen := indexOf[op.Key]
+		if !seen {
+			t.Fatalf("latest update hit unknown key")
+		}
+		if i >= idx/2 {
+			recent++
+		} else {
+			old++
+		}
+	}
+	if recent <= 4*old {
+		t.Errorf("latest distribution: recent=%d old=%d, want strong recency bias", recent, old)
+	}
+}
+
+func TestUniformCoversKeySpace(t *testing.T) {
+	counts := keyFrequencies(t, Uniform, 200, 40000)
+	if len(counts) < 195 {
+		t.Errorf("uniform touched only %d/200 keys", len(counts))
+	}
+	// max/min ratio should be modest for uniform.
+	if float64(counts[0])/float64(counts[len(counts)-1]) > 3 {
+		t.Errorf("uniform skew too high: max %d min %d", counts[0], counts[len(counts)-1])
+	}
+}
+
+func TestZipfianGeneratorRankZeroMostPopular(t *testing.T) {
+	z := newZipfian(1000, 0.99)
+	r := rand.New(rand.NewSource(1))
+	freq := make([]int, 1000)
+	for i := 0; i < 200000; i++ {
+		freq[z.sample(r)]++
+	}
+	if freq[0] <= freq[1] || freq[1] <= freq[10] || freq[10] <= freq[500] {
+		t.Errorf("zipf ranks not decreasing: f0=%d f1=%d f10=%d f500=%d", freq[0], freq[1], freq[10], freq[500])
+	}
+}
+
+func TestZipfianGrowMatchesStatic(t *testing.T) {
+	grown := newZipfian(10, 0.99)
+	grown.grow(1000)
+	fresh := newZipfian(1000, 0.99)
+	if math.Abs(grown.zetaN-fresh.zetaN) > 1e-9 {
+		t.Errorf("incremental zeta %.12f != static %.12f", grown.zetaN, fresh.zetaN)
+	}
+	if math.Abs(grown.eta-fresh.eta) > 1e-9 {
+		t.Errorf("eta mismatch after grow")
+	}
+	grown.grow(5) // shrink is a no-op
+	if grown.items != 1000 {
+		t.Errorf("grow shrank the population")
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, name := range []string{"uniform", "zipfian", "latest"} {
+		d, err := ParseDistribution(name)
+		if err != nil || d.String() != name {
+			t.Errorf("ParseDistribution(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := ParseDistribution("nope"); err == nil {
+		t.Errorf("unknown distribution accepted")
+	}
+}
+
+func TestOpMutates(t *testing.T) {
+	cases := map[OpKind]bool{OpInsert: true, OpUpdate: true, OpDelete: true, OpRead: false, OpScan: false}
+	for kind, want := range cases {
+		if got := (Op{Kind: kind}).Mutates(); got != want {
+			t.Errorf("%v.Mutates() = %v", kind, got)
+		}
+	}
+}
+
+func TestRunBeforeLoadFallsBack(t *testing.T) {
+	// Update-only workload with no load phase: must not panic.
+	g := mustGen(t, Config{OperationCount: 10, UpdateProportion: 1})
+	for {
+		if _, ok := g.NextRun(); !ok {
+			break
+		}
+	}
+}
+
+func BenchmarkGeneratorZipfian(b *testing.B) {
+	g, err := NewGenerator(Config{RecordCount: 1000, OperationCount: 1 << 31, UpdateProportion: 1, Distribution: Zipfian})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		if _, ok := g.NextLoad(); !ok {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.NextRun(); !ok {
+			b.Fatal("exhausted")
+		}
+	}
+}
+
+func BenchmarkGeneratorLatest(b *testing.B) {
+	g, err := NewGenerator(Config{RecordCount: 1000, OperationCount: 1 << 31, InsertProportion: 0.5, UpdateProportion: 0.5, Distribution: Latest})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		if _, ok := g.NextLoad(); !ok {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.NextRun(); !ok {
+			b.Fatal("exhausted")
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package ycsb
+
+import "math"
+
+// DefaultZipfianConstant is YCSB's default skew parameter θ.
+const DefaultZipfianConstant = 0.99
+
+// zipfian samples ranks in [0, items) with a Zipf distribution using the
+// rejection-free method of Gray et al. ("Quickly generating billion-record
+// synthetic databases", SIGMOD 1994), the same algorithm YCSB uses. Rank 0
+// is the most popular item.
+//
+// The generator supports growing the item count incrementally (needed by
+// the Latest distribution, where the population is "keys inserted so far"):
+// ζ(n) is extended term by term instead of being recomputed.
+type zipfian struct {
+	items uint64
+	theta float64
+	zetaN float64 // ζ(items, θ)
+	zeta2 float64 // ζ(2, θ)
+	alpha float64
+	eta   float64
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func newZipfian(items uint64, theta float64) *zipfian {
+	if items == 0 {
+		items = 1
+	}
+	z := &zipfian{
+		items: items,
+		theta: theta,
+		zetaN: zetaStatic(items, theta),
+		zeta2: zetaStatic(2, theta),
+		alpha: 1 / (1 - theta),
+	}
+	z.computeEta()
+	return z
+}
+
+func (z *zipfian) computeEta() {
+	n := float64(z.items)
+	z.eta = (1 - math.Pow(2/n, 1-z.theta)) / (1 - z.zeta2/z.zetaN)
+}
+
+// grow extends the population to items, updating ζ incrementally in
+// O(items - z.items) total across all calls.
+func (z *zipfian) grow(items uint64) {
+	if items <= z.items {
+		return
+	}
+	for i := z.items + 1; i <= items; i++ {
+		z.zetaN += 1 / math.Pow(float64(i), z.theta)
+	}
+	z.items = items
+	z.computeEta()
+}
+
+// randSource is the minimal randomness interface zipfian needs; *rand.Rand
+// satisfies it.
+type randSource interface {
+	Float64() float64
+}
+
+// sample draws a rank in [0, z.items), rank 0 most popular.
+func (z *zipfian) sample(r randSource) uint64 {
+	u := r.Float64()
+	uz := u * z.zetaN
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	rank := uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.items {
+		rank = z.items - 1
+	}
+	return rank
+}
+
+// fnvMix hashes a 64-bit value with FNV-1a; used to scramble zipfian ranks
+// across the key space (YCSB's ScrambledZipfianGenerator) so popular keys
+// are not clustered at the low end.
+func fnvMix(x uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= prime
+		x >>= 8
+	}
+	return h
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Fast Compaction
+// Algorithms for NoSQL Databases" (Ghosh, Gupta, Gupta, Kumar — ICDCS
+// 2015): major compaction as an NP-hard optimization problem, the paper's
+// greedy merge-scheduling heuristics with their approximation guarantees,
+// and the full evaluation pipeline (YCSB-style workload generation, the
+// memtable/sstable simulator, and a real embedded LSM storage engine whose
+// major compaction is scheduled by the same strategies).
+//
+// The library lives under internal/: see internal/compaction for the
+// paper's contribution, internal/simulator and internal/experiments for
+// the evaluation, and internal/lsm for the storage engine. Runnable entry
+// points are cmd/compactsim, cmd/lsmdb and the examples/ directory. The
+// benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation section; see EXPERIMENTS.md for paper-versus-measured notes.
+package repro
