@@ -5,9 +5,15 @@
 // describes) keep the table count bounded, and clients can trigger a major
 // compaction with any of the paper's strategies.
 //
+// With -background, a maintenance goroutine additionally runs non-blocking
+// major compactions whenever the live table count reaches -bg-trigger,
+// stalling writers at -bg-stall (backpressure); reads and writes keep
+// being served while the merge runs.
+//
 // Usage:
 //
 //	lsmserver -dir /var/lib/lsm -listen 127.0.0.1:7700 -auto size-tiered
+//	lsmserver -dir /var/lib/lsm -background -bg-trigger 8 -bg-strategy "BT(I)"
 package main
 
 import (
@@ -31,18 +37,32 @@ func main() {
 
 func run() error {
 	var (
-		dir     = flag.String("dir", "", "database directory (required)")
-		listen  = flag.String("listen", "127.0.0.1:7700", "listen address")
-		auto    = flag.String("auto", "size-tiered", "auto minor compaction: size-tiered, threshold, none")
-		memSize = flag.Int("memtable", 4<<20, "memtable flush threshold in bytes")
-		sync    = flag.Bool("sync", false, "fsync the WAL on every write")
+		dir        = flag.String("dir", "", "database directory (required)")
+		listen     = flag.String("listen", "127.0.0.1:7700", "listen address")
+		auto       = flag.String("auto", "size-tiered", "auto minor compaction: size-tiered, threshold, none")
+		memSize    = flag.Int("memtable", 4<<20, "memtable flush threshold in bytes")
+		sync       = flag.Bool("sync", false, "fsync the WAL on every write")
+		background = flag.Bool("background", false, "run non-blocking background major compactions")
+		bgTrigger  = flag.Int("bg-trigger", 8, "table count that triggers a background major compaction")
+		bgStall    = flag.Int("bg-stall", 0, "table count that stalls writers (0 = 4x trigger)")
+		bgStrategy = flag.String("bg-strategy", "BT(I)", "merge-scheduling strategy for background compactions")
+		bgK        = flag.Int("bg-k", 4, "maximum merge fan-in for background compactions")
+		workers    = flag.Int("compact-workers", 0, "merge worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
 	}
 
-	opts := lsm.Options{MemtableBytes: *memSize, SyncWAL: *sync}
+	opts := lsm.Options{MemtableBytes: *memSize, SyncWAL: *sync, CompactionWorkers: *workers}
+	if *background {
+		opts.Background = &lsm.BackgroundConfig{
+			Trigger:  *bgTrigger,
+			Stall:    *bgStall,
+			Strategy: *bgStrategy,
+			K:        *bgK,
+		}
+	}
 	switch *auto {
 	case "size-tiered":
 		opts.AutoCompact = lsm.SizeTieredPolicy{}
@@ -72,7 +92,11 @@ func run() error {
 		srv.Close()
 	}()
 
-	fmt.Printf("lsmserver: serving %s on %s (auto=%s)\n", *dir, ln.Addr(), *auto)
+	mode := "foreground-major"
+	if *background {
+		mode = fmt.Sprintf("background-major(trigger=%d, strategy=%s)", *bgTrigger, *bgStrategy)
+	}
+	fmt.Printf("lsmserver: serving %s on %s (auto=%s, %s)\n", *dir, ln.Addr(), *auto, mode)
 	err = srv.Serve(ln)
 	if err == net.ErrClosed {
 		return nil

@@ -20,6 +20,36 @@ import (
 // the schedule), so wall-clock time of ExecuteParallel measures pure merge
 // work without planning overhead. workers <= 0 selects GOMAXPROCS.
 func ExecuteParallel(sc *Schedule, workers int) error {
+	return ExecuteParallelFunc(sc, workers, func(i int) error {
+		st := sc.Steps[i]
+		sets := make([]keyset.Set, len(st.Inputs))
+		for j, in := range st.Inputs {
+			sets[j] = in.Set
+		}
+		got := keyset.UnionAll(sets...)
+		if !got.Equal(st.Output.Set) {
+			return fmt.Errorf("compaction: execute: step %d produced a different union", i)
+		}
+		return nil
+	})
+}
+
+// ExecuteParallelFunc drives sc's merge DAG on a bounded worker pool,
+// invoking run(i) for step i once every input of that step has been
+// produced. It is the executor behind both ExecuteParallel (which re-merges
+// the abstract key sets) and the LSM engine's background major compaction
+// (which merges the real sstable files). Steps whose inputs are all leaves
+// start immediately; a step becomes ready the moment its last dependency's
+// run call returns, so available parallelism is exploited without barriers
+// between tree levels.
+//
+// The completion of run(i) happens-before the start of run(j) for every
+// step j that consumes step i's output, so runners may hand results from
+// producers to consumers through plain shared memory indexed by node ID.
+// The first error stops the dispatch of new steps; in-flight steps finish
+// before ExecuteParallelFunc returns that error. workers <= 0 selects
+// GOMAXPROCS.
+func ExecuteParallelFunc(sc *Schedule, workers int, run func(step int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -59,18 +89,6 @@ func ExecuteParallel(sc *Schedule, workers int) error {
 		remaining = len(sc.Steps)
 		firstErr  error
 	)
-	runStep := func(i int) error {
-		st := sc.Steps[i]
-		sets := make([]keyset.Set, len(st.Inputs))
-		for j, in := range st.Inputs {
-			sets[j] = in.Set
-		}
-		got := keyset.UnionAll(sets...)
-		if !got.Equal(st.Output.Set) {
-			return fmt.Errorf("compaction: execute: step %d produced a different union", i)
-		}
-		return nil
-	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -90,7 +108,7 @@ func ExecuteParallel(sc *Schedule, workers int) error {
 				ready = ready[:len(ready)-1]
 				mu.Unlock()
 
-				err := runStep(i)
+				err := run(i)
 
 				mu.Lock()
 				if err != nil && firstErr == nil {

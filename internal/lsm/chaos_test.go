@@ -1,8 +1,11 @@
 package lsm
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"strings"
 	"testing"
 )
 
@@ -113,4 +116,134 @@ func TestChaosRandomOpsWithCrashes(t *testing.T) {
 	db = open()
 	defer db.Close()
 	verify(db, "after final reopen")
+}
+
+// errSimulatedCrash marks a fault injected by the compaction test hook.
+var errSimulatedCrash = errors.New("simulated crash")
+
+// checkNoOrphans asserts every sstable file in dir is referenced by the
+// manifest the given open DB loaded — i.e. recovery deleted the merge
+// outputs a crashed compaction left behind.
+func checkNoOrphans(t *testing.T, dir string, db *DB) {
+	t.Helper()
+	live := make(map[string]bool)
+	for _, info := range db.TableInfos() {
+		live[info.Name] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".sst") && !live[ent.Name()] {
+			t.Fatalf("orphaned sstable %s survived recovery (live: %v)", ent.Name(), db.TableInfos())
+		}
+	}
+}
+
+// TestChaosCrashBetweenMergeAndSwap kills a major compaction after every
+// merge has completed but before the manifest swap — the riskiest instant
+// of the background design, when gigabytes of merged output exist on disk
+// yet the manifest still points at the old tables. Recovery must see all
+// pre-crash data and delete the orphaned merge outputs.
+func TestChaosCrashBetweenMergeAndSwap(t *testing.T) {
+	dir := t.TempDir()
+	ref := map[string]string{}
+	open := func() *DB {
+		db, err := Open(dir, Options{MemtableBytes: 2 << 10, Seed: 11})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		return db
+	}
+	db := open()
+
+	for round := 0; round < 4; round++ {
+		// Build up several overlapping tables.
+		for i := 0; i < 600; i++ {
+			key := fmt.Sprintf("key-%03d", (round*131+i)%250)
+			val := fmt.Sprintf("v-%d-%d", round, i)
+			if err := db.Put([]byte(key), []byte(val)); err != nil {
+				t.Fatal(err)
+			}
+			ref[key] = val
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		sstBefore := countSSTFiles(t, dir)
+
+		// Compact with a fault injected between merging and swapping.
+		db.hookBeforeSwap = func() error { return errSimulatedCrash }
+		strat := []string{"SI", "BT(I)", "SO", "RANDOM"}[round]
+		if _, err := db.MajorCompact(strat, 2+round%2, int64(round)); !errors.Is(err, errSimulatedCrash) {
+			t.Fatalf("round %d: MajorCompact = %v, want simulated crash", round, err)
+		}
+		db.hookBeforeSwap = nil
+		if got := countSSTFiles(t, dir); got <= sstBefore {
+			t.Fatalf("round %d: crash left no merge outputs on disk (%d -> %d .sst files); fault injected too early", round, sstBefore, got)
+		}
+
+		// "Kill" the process: close without any further compaction, reopen.
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		db = open()
+
+		// No data loss: the old manifest still governs.
+		count := 0
+		err := db.Scan(func(k, v []byte) error {
+			want, ok := ref[string(k)]
+			if !ok {
+				return fmt.Errorf("unknown key %q", k)
+			}
+			if string(v) != want {
+				return fmt.Errorf("key %q = %q, want %q", k, v, want)
+			}
+			count++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("round %d after crash: %v", round, err)
+		}
+		if count != len(ref) {
+			t.Fatalf("round %d after crash: scan found %d keys, want %d", round, count, len(ref))
+		}
+		// No orphans: recovery removed the abandoned merge outputs.
+		checkNoOrphans(t, dir, db)
+	}
+
+	// A compaction with no fault must now succeed and still lose nothing.
+	res, err := db.MajorCompact("BT(I)", 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TablesAfter != 1 {
+		t.Fatalf("clean compaction left %d tables, want 1", res.TablesAfter)
+	}
+	for k, want := range ref {
+		got, err := db.Get([]byte(k))
+		if err != nil || string(got) != want {
+			t.Fatalf("after clean compaction: Get(%s) = %q, %v; want %q", k, got, err, want)
+		}
+	}
+	checkNoOrphans(t, dir, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countSSTFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".sst") {
+			n++
+		}
+	}
+	return n
 }

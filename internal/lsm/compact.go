@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/compaction"
@@ -11,14 +12,62 @@ import (
 	"repro/internal/sstable"
 )
 
+// CompactionState is the phase of the major-compaction state machine. It
+// moves idle → planning → merging → swapping → idle; only the planning and
+// swapping phases hold the store lock, and both are short.
+type CompactionState int32
+
+const (
+	// CompactionIdle: no major compaction in flight.
+	CompactionIdle CompactionState = iota
+	// CompactionPlanning: snapshotting the table set and computing the
+	// merge schedule (brief critical section for the snapshot).
+	CompactionPlanning
+	// CompactionMerging: executing the schedule's merges off-lock on the
+	// worker pool; reads and writes proceed concurrently.
+	CompactionMerging
+	// CompactionSwapping: committing the merged result to the manifest and
+	// table set (brief critical section).
+	CompactionSwapping
+)
+
+// String returns the lower-case phase name.
+func (s CompactionState) String() string {
+	switch s {
+	case CompactionIdle:
+		return "idle"
+	case CompactionPlanning:
+		return "planning"
+	case CompactionMerging:
+		return "merging"
+	case CompactionSwapping:
+		return "swapping"
+	}
+	return fmt.Sprintf("CompactionState(%d)", int32(s))
+}
+
+// CompactionState returns the current phase of the major-compaction state
+// machine. It is safe to call from any goroutine without blocking.
+func (db *DB) CompactionState() CompactionState {
+	return CompactionState(db.state.Load())
+}
+
+func (db *DB) setState(s CompactionState) { db.state.Store(int32(s)) }
+
 // CompactionResult reports what a major compaction did: the abstract
 // schedule costs from the paper's model and the real bytes moved on disk.
 type CompactionResult struct {
 	// Strategy is the chooser that scheduled the merges.
 	Strategy string
-	// TablesBefore is the number of sstables merged.
+	// Mode is "background" for a non-blocking compaction or "blocking" for
+	// one that held the store lock throughout.
+	Mode string
+	// TablesBefore is the number of sstables merged (the snapshot size).
 	TablesBefore int
-	// StepStats holds per-merge disk I/O, in execution order.
+	// TablesAfter is the number of live sstables immediately after the
+	// swap; above one for background compactions that overlapped flushes.
+	TablesAfter int
+	// StepStats holds per-merge disk I/O, indexed by schedule step.
 	StepStats []sstable.MergeStats
 	// BytesRead and BytesWritten total the disk I/O: the concrete
 	// realization of costactual.
@@ -35,31 +84,214 @@ func (r *CompactionResult) TotalIO() uint64 { return r.BytesRead + r.BytesWritte
 
 // MajorCompact merges all live sstables (after flushing the memtable) into
 // a single table, scheduling the pairwise/k-way merges with the named
-// strategy from the compaction package ("SI", "SO", "BT(I)", ...). The
-// whole store is locked for the duration; this reproduction favors
-// measurement fidelity over concurrency.
+// strategy from the compaction package ("SI", "SO", "BT(I)", ...).
+//
+// The compaction is non-blocking: the live table set is snapshotted and
+// the memtable flushed in a short critical section, the merges execute
+// off-lock on the compaction package's worker pool (so a BALANCETREE
+// schedule's independent merges run in parallel, Section 5.1 of the
+// paper), and the merged root is swapped into the manifest atomically in a
+// second short critical section. Reads, writes, flushes and minor
+// compactions proceed concurrently throughout; tables that flush during
+// the merge survive the swap, so the store holds those tables plus the
+// merged root afterwards. Concurrent MajorCompact calls serialize.
+//
+// Crash safety: the manifest is only rewritten at the swap. A crash before
+// the swap leaves the old manifest pointing at the old tables; the merge
+// outputs become orphans that Open deletes on recovery.
 func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResult, error) {
+	chooser, err := compaction.NewChooserByName(strategy, seed)
+	if err != nil {
+		return nil, err
+	}
+	db.majorMu.Lock()
+	defer db.majorMu.Unlock()
+	start := time.Now()
+
+	// Planning: flush and snapshot under the lock, then plan off-lock.
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	db.setState(CompactionPlanning)
+	if err := db.flushLocked(); err != nil {
+		db.setState(CompactionIdle)
+		db.mu.Unlock()
+		return nil, err
+	}
+	res := &CompactionResult{Strategy: strategy, Mode: "background", TablesBefore: len(db.tables)}
+	if len(db.tables) <= 1 {
+		db.setState(CompactionIdle)
+		res.TablesAfter = len(db.tables)
+		db.mu.Unlock()
+		res.Duration = time.Since(start)
+		return res, nil
+	}
+	snap := make([]*tableHandle, len(db.tables))
+	copy(snap, db.tables)
+	for _, th := range snap {
+		th.retain()
+		th.compacting = true
+	}
+	db.mu.Unlock()
+
+	// abort releases the snapshot and resets the state machine without
+	// touching the table set; used on every failure path past this point.
+	abort := func(err error) (*CompactionResult, error) {
+		db.mu.Lock()
+		for _, th := range snap {
+			th.compacting = false
+		}
+		db.setState(CompactionIdle)
+		db.stallCond.Broadcast()
+		db.mu.Unlock()
+		releaseTables(snap)
+		return nil, err
+	}
+
+	sets := make([]keyset.Set, len(snap))
+	for i, th := range snap {
+		ks, err := tableKeySet(th.rd)
+		if err != nil {
+			return abort(err)
+		}
+		sets[i] = ks
+	}
+	inst := compaction.NewInstance(sets...)
+	sched, err := compaction.Run(inst, k, chooser)
+	if err != nil {
+		return abort(err)
+	}
+	res.CostSimple = sched.CostSimple()
+	res.CostActual = sched.CostActual()
+
+	// Merging: execute the schedule off-lock on the worker pool. Snapshot
+	// readers serve concurrent Gets and scans while the merges read them.
+	db.setState(CompactionMerging)
+	nodes, stats, err := db.executeSchedule(sched, snap, db.allocTableName)
+	created := nodes[len(snap):]
+	removeCreated := func() {
+		for _, th := range created {
+			if th != nil {
+				th.rd.Close()
+				os.Remove(filepath.Join(db.dir, th.name))
+			}
+		}
+	}
+	if err != nil {
+		removeCreated()
+		return abort(err)
+	}
+	for _, st := range stats {
+		res.StepStats = append(res.StepStats, st)
+		res.BytesRead += st.BytesRead
+		res.BytesWritten += st.BytesWritten
+	}
+
+	if db.hookBeforeSwap != nil {
+		if err := db.hookBeforeSwap(); err != nil {
+			// Simulated crash between merge completion and manifest swap:
+			// leave the merge outputs on disk (recovery must delete them as
+			// orphans), close their readers, and keep the old table set.
+			for _, th := range created {
+				th.rd.Close()
+			}
+			return abort(err)
+		}
+	}
+
+	// Swapping: commit the root to the manifest and the live table set in
+	// a short critical section, then retire the snapshot.
+	db.mu.Lock()
+	db.setState(CompactionSwapping)
+	if db.closed {
+		db.mu.Unlock()
+		removeCreated()
+		return abort(ErrClosed)
+	}
+	root := nodes[sched.Root.ID]
+	inSnap := make(map[*tableHandle]bool, len(snap))
+	for _, th := range snap {
+		inSnap[th] = true
+	}
+	// Tables flushed or minor-compacted during the merge stay, newest
+	// first; the merged root holds the oldest data and goes last.
+	newTables := make([]*tableHandle, 0, len(db.tables)-len(snap)+1)
+	for _, th := range db.tables {
+		if !inSnap[th] {
+			newTables = append(newTables, th)
+		}
+	}
+	newTables = append(newTables, root)
+	oldManTables := db.man.tables
+	db.man.tables = make([]string, len(newTables))
+	for i, th := range newTables {
+		db.man.tables[i] = th.name
+	}
+	if err := db.man.save(db.dir); err != nil {
+		db.man.tables = oldManTables
+		db.mu.Unlock()
+		removeCreated()
+		return abort(err)
+	}
+	db.tables = newTables
+	db.generation++
+	root.gen = db.generation
+	db.majorCompactions++
+	res.TablesAfter = len(newTables)
+	// The snapshot tables left the live set: drop their live reference and
+	// mark them for deletion once the last concurrent reader drains.
+	// Intermediate merge outputs are referenced by nobody else and die now.
+	for _, th := range snap {
+		th.compacting = false
+		th.obsolete.Store(true)
+		th.release()
+	}
+	for _, th := range created {
+		if th != root {
+			th.obsolete.Store(true)
+			th.release()
+		}
+	}
+	db.setState(CompactionIdle)
+	db.stallCond.Broadcast()
+	db.mu.Unlock()
+	releaseTables(snap) // the compaction's own snapshot reference
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// MajorCompactBlocking is MajorCompact holding the store lock for the
+// entire run, stalling every read and write until the merge completes. It
+// exists as the measurement baseline for the non-blocking path (see
+// BenchmarkGetDuringMajorCompaction) and for callers that want compaction
+// to exclude all concurrent activity.
+func (db *DB) MajorCompactBlocking(strategy string, k int, seed int64) (*CompactionResult, error) {
+	chooser, err := compaction.NewChooserByName(strategy, seed)
+	if err != nil {
+		return nil, err
+	}
+	db.majorMu.Lock()
+	defer db.majorMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return nil, ErrClosed
 	}
-	chooser, err := compaction.NewChooserByName(strategy, seed)
-	if err != nil {
-		return nil, err
-	}
+	db.setState(CompactionPlanning)
+	defer db.setState(CompactionIdle)
 	start := time.Now()
 	if err := db.flushLocked(); err != nil {
 		return nil, err
 	}
-	res := &CompactionResult{Strategy: strategy, TablesBefore: len(db.tables)}
+	res := &CompactionResult{Strategy: strategy, Mode: "blocking", TablesBefore: len(db.tables)}
 	if len(db.tables) <= 1 {
+		res.TablesAfter = len(db.tables)
 		res.Duration = time.Since(start)
 		return res, nil
 	}
 
-	// Phase 1: abstract the sstables as key sets (keys hashed to uint64,
-	// the paper's fixed-size-entry model) and plan the merge schedule.
 	sets := make([]keyset.Set, len(db.tables))
 	for i, th := range db.tables {
 		ks, err := tableKeySet(th.rd)
@@ -76,91 +308,139 @@ func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResul
 	res.CostSimple = sched.CostSimple()
 	res.CostActual = sched.CostActual()
 
-	// Phase 2: execute the schedule on the real files. Leaf i of the
-	// schedule is db.tables[i]; every step merges its inputs' files into a
-	// fresh sstable. Tombstones survive intermediate merges — dropping one
-	// early would let an older version in a not-yet-merged table
-	// resurface — and are purged only at the root merge, which covers all
-	// data.
-	handles := make(map[int]*tableHandle, len(db.tables)+len(sched.Steps))
-	for i, th := range db.tables {
-		handles[i] = th
+	db.setState(CompactionMerging)
+	// db.mu is already held for the whole run, but merge workers call
+	// alloc concurrently, so the counter needs its own lock here.
+	var allocMu sync.Mutex
+	alloc := func() string {
+		allocMu.Lock()
+		name := fmt.Sprintf("%06d.sst", db.man.nextFileNum)
+		db.man.nextFileNum++
+		allocMu.Unlock()
+		return name
 	}
-	var created []*tableHandle
-	cleanup := func() {
+	snap := db.tables
+	nodes, stats, err := db.executeSchedule(sched, snap, alloc)
+	created := nodes[len(snap):]
+	if err != nil {
+		for _, th := range created {
+			if th != nil {
+				th.rd.Close()
+				os.Remove(filepath.Join(db.dir, th.name))
+			}
+		}
+		return nil, err
+	}
+	for _, st := range stats {
+		res.StepStats = append(res.StepStats, st)
+		res.BytesRead += st.BytesRead
+		res.BytesWritten += st.BytesWritten
+	}
+
+	db.setState(CompactionSwapping)
+	root := nodes[sched.Root.ID]
+	oldManTables := db.man.tables
+	db.man.tables = []string{root.name}
+	if err := db.man.save(db.dir); err != nil {
+		db.man.tables = oldManTables
 		for _, th := range created {
 			th.rd.Close()
 			os.Remove(filepath.Join(db.dir, th.name))
 		}
+		return nil, err
 	}
-	for _, step := range sched.Steps {
+	old := db.tables
+	db.tables = []*tableHandle{root}
+	db.generation++
+	root.gen = db.generation
+	db.majorCompactions++
+	res.TablesAfter = 1
+	for _, th := range old {
+		th.obsolete.Store(true)
+		th.release()
+	}
+	for _, th := range created {
+		if th != root {
+			th.obsolete.Store(true)
+			th.release()
+		}
+	}
+	db.stallCond.Broadcast()
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// allocTableName reserves the next sstable file number in a brief critical
+// section, so merge workers running off-lock never collide with concurrent
+// flushes.
+func (db *DB) allocTableName() string {
+	db.mu.Lock()
+	name := fmt.Sprintf("%06d.sst", db.man.nextFileNum)
+	db.man.nextFileNum++
+	db.mu.Unlock()
+	return name
+}
+
+// executeSchedule runs sched's merges on the compaction package's worker
+// pool (compaction.ExecuteParallelFunc): leaf i of the schedule is snap[i],
+// every step merges its inputs' files into a fresh sstable named by alloc,
+// and independent steps run concurrently up to Options.CompactionWorkers.
+// Tombstones survive intermediate merges — dropping one early would let an
+// older version in a not-yet-merged table resurface — and are purged only
+// at the root merge, which covers all snapshot data.
+//
+// The returned slice maps node ID → handle: the first len(snap) entries
+// are the inputs, the rest the created merge outputs (nil where a step did
+// not run). On error the caller owns closing and removing created tables.
+func (db *DB) executeSchedule(sched *compaction.Schedule, snap []*tableHandle, alloc func() string) ([]*tableHandle, []sstable.MergeStats, error) {
+	nodes := make([]*tableHandle, len(snap)+len(sched.Steps))
+	for i, th := range snap {
+		nodes[i] = th
+	}
+	stats := make([]sstable.MergeStats, len(sched.Steps))
+	rootID := sched.Root.ID
+	run := func(i int) error {
+		step := sched.Steps[i]
 		inputs := make([]*sstable.Reader, len(step.Inputs))
 		for j, in := range step.Inputs {
-			h, ok := handles[in.ID]
-			if !ok {
-				cleanup()
-				return nil, fmt.Errorf("lsm: compaction step references unknown node %d", in.ID)
+			if in.ID >= len(nodes) || nodes[in.ID] == nil {
+				return fmt.Errorf("lsm: compaction step references unknown node %d", in.ID)
 			}
-			inputs[j] = h.rd
+			inputs[j] = nodes[in.ID].rd
 		}
-		name := fmt.Sprintf("%06d.sst", db.man.nextFileNum)
-		db.man.nextFileNum++
+		name := alloc()
 		path := filepath.Join(db.dir, name)
 		f, err := os.Create(path)
 		if err != nil {
-			cleanup()
-			return nil, fmt.Errorf("lsm: compaction output: %w", err)
+			return fmt.Errorf("lsm: compaction output: %w", err)
 		}
-		dropTombstones := step.Output.ID == sched.Root.ID
-		stats, err := sstable.MergeCompressed(f, dropTombstones, db.opts.Compression, inputs...)
+		dropTombstones := step.Output.ID == rootID
+		mstats, err := sstable.MergeCompressed(f, dropTombstones, db.opts.Compression, inputs...)
 		if err != nil {
 			f.Close()
 			os.Remove(path)
-			cleanup()
-			return nil, err
+			return err
 		}
 		if err := f.Sync(); err != nil {
 			f.Close()
-			cleanup()
-			return nil, err
+			os.Remove(path)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			cleanup()
-			return nil, err
+			os.Remove(path)
+			return err
 		}
 		rd, err := db.openTable(name)
 		if err != nil {
-			cleanup()
-			return nil, err
+			os.Remove(path)
+			return err
 		}
-		th := &tableHandle{name: name, rd: rd}
-		handles[step.Output.ID] = th
-		created = append(created, th)
-		res.StepStats = append(res.StepStats, stats)
-		res.BytesRead += stats.BytesRead
-		res.BytesWritten += stats.BytesWritten
+		nodes[step.Output.ID] = newTableHandle(name, rd, db.dir, 0)
+		stats[i] = mstats
+		return nil
 	}
-
-	// Install the root as the only live table.
-	rootHandle := handles[sched.Root.ID]
-	old := db.tables
-	intermediates := created[:len(created)-1]
-	db.tables = []*tableHandle{rootHandle}
-	db.man.tables = []string{rootHandle.name}
-	if err := db.man.save(db.dir); err != nil {
-		cleanup()
-		return nil, err
-	}
-	for _, th := range old {
-		th.rd.Close()
-		os.Remove(filepath.Join(db.dir, th.name))
-	}
-	for _, th := range intermediates {
-		th.rd.Close()
-		os.Remove(filepath.Join(db.dir, th.name))
-	}
-	res.Duration = time.Since(start)
-	return res, nil
+	err := compaction.ExecuteParallelFunc(sched, db.opts.CompactionWorkers, run)
+	return nodes, stats, err
 }
 
 // tableKeySet scans a table and returns its keys hashed into the uint64

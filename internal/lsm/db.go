@@ -5,6 +5,13 @@
 // filters; and a major compaction merges all sstables into one, scheduled
 // by any strategy from the compaction package — which is exactly the
 // operation whose disk I/O the paper optimizes.
+//
+// Major compaction is non-blocking: the live sstable set is snapshotted in
+// a short critical section, the merge schedule executes off-lock on a
+// worker pool, and the result is swapped into the manifest atomically while
+// reads and writes proceed against the snapshot (see MajorCompact). Table
+// lifetime is reference-counted so snapshots keep obsolete sstables alive
+// until the last reader drains.
 package lsm
 
 import (
@@ -13,7 +20,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/iterator"
@@ -41,6 +50,14 @@ type Options struct {
 	// after every memtable flush triggered by a write, keeping the table
 	// count bounded between major compactions.
 	AutoCompact CompactionPolicy
+	// Background, when non-nil, starts a maintenance goroutine that runs
+	// non-blocking major compactions whenever the live table count reaches
+	// the configured trigger, stalling writers once the count reaches the
+	// configured stall threshold (backpressure).
+	Background *BackgroundConfig
+	// CompactionWorkers bounds the merge worker pool used by major
+	// compactions. Zero selects GOMAXPROCS.
+	CompactionWorkers int
 	// BlockCacheBytes bounds the shared sstable block cache. Zero selects
 	// 8 MiB; negative disables caching.
 	BlockCacheBytes int
@@ -59,10 +76,51 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// tableHandle pairs an open sstable reader with its file name.
+// tableHandle pairs an open sstable reader with its file name and a
+// reference count governing its lifetime. The live table set holds one
+// reference; snapshots (scans, ranges, compactions) take another for their
+// duration. When a compaction supersedes a table it is marked obsolete and
+// the live reference dropped: the reader is closed and the file deleted
+// only once the last snapshot drains.
 type tableHandle struct {
 	name string
 	rd   *sstable.Reader
+	dir  string
+	// gen is the table-set generation that created this table.
+	gen  uint64
+	refs atomic.Int32
+	// obsolete marks a table that has been replaced by a compaction; its
+	// file is deleted when the reference count reaches zero.
+	obsolete atomic.Bool
+	// compacting marks a table captured in a live major-compaction
+	// snapshot; minor compactions must not touch it. Guarded by DB.mu.
+	compacting bool
+}
+
+func newTableHandle(name string, rd *sstable.Reader, dir string, gen uint64) *tableHandle {
+	th := &tableHandle{name: name, rd: rd, dir: dir, gen: gen}
+	th.refs.Store(1)
+	return th
+}
+
+func (th *tableHandle) retain() { th.refs.Add(1) }
+
+// release drops one reference; the last release closes the reader and, if
+// the table was superseded, removes its file.
+func (th *tableHandle) release() {
+	if th.refs.Add(-1) != 0 {
+		return
+	}
+	th.rd.Close()
+	if th.obsolete.Load() {
+		os.Remove(filepath.Join(th.dir, th.name))
+	}
+}
+
+func releaseTables(tables []*tableHandle) {
+	for _, th := range tables {
+		th.release()
+	}
 }
 
 // DB is the store. All methods are safe for concurrent use.
@@ -72,20 +130,45 @@ type DB struct {
 
 	blockCache *cache.LRU // nil when disabled
 
-	mu     sync.RWMutex
-	mem    *memtable.Table
-	log    *wal.Writer
-	man    *manifest
-	tables []*tableHandle // newest first
-	closed bool
-	// flushCount and minorCompactions count maintenance work, exposed
-	// through Stats.
+	// majorMu serializes major compactions (blocking or background); the
+	// store lock mu is only held for their short snapshot/swap sections.
+	majorMu sync.Mutex
+	// state is the major-compaction state machine, readable without mu.
+	state atomic.Int32
+
+	mu        sync.RWMutex
+	stallCond *sync.Cond // signalled when the table count drops or DB closes
+	mem       *memtable.Table
+	log       *wal.Writer
+	man       *manifest
+	tables    []*tableHandle // newest first
+	closed    bool
+	// generation counts table-set changes (flush, minor, major); each
+	// tableHandle records the generation that created it.
+	generation uint64
+	// flushCount, minorCompactions, majorCompactions and writeStalls count
+	// maintenance work, exposed through Stats.
 	flushCount       int
 	minorCompactions int
+	majorCompactions int
+	writeStalls      int
+	bgLastErr        error
+
+	bgCfg  BackgroundConfig
+	bgKick chan struct{}
+	bgQuit chan struct{}
+	bgWG   sync.WaitGroup
+
+	// hookBeforeSwap, when set (tests only), runs after every merge of a
+	// background major compaction completes but before the manifest swap.
+	// Returning an error aborts the compaction as a simulated crash:
+	// merge outputs are left on disk and the manifest is not touched.
+	hookBeforeSwap func() error
 }
 
 // Open opens (creating if necessary) a store in dir, replaying any WAL left
-// by a previous crash into the memtable.
+// by a previous crash into the memtable and deleting any sstable files a
+// crashed compaction left outside the manifest.
 func Open(dir string, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -95,17 +178,21 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := removeOrphans(dir, man); err != nil {
+		return nil, err
+	}
 	db := &DB{dir: dir, opts: opts, man: man, mem: memtable.New(opts.Seed)}
+	db.stallCond = sync.NewCond(&db.mu)
 	if opts.BlockCacheBytes > 0 {
 		db.blockCache = cache.New(opts.BlockCacheBytes)
 	}
 	for _, name := range man.tables {
 		rd, err := db.openTable(name)
 		if err != nil {
-			db.closeTables()
+			releaseTables(db.tables)
 			return nil, fmt.Errorf("lsm: open table %s: %w", name, err)
 		}
-		db.tables = append(db.tables, &tableHandle{name: name, rd: rd})
+		db.tables = append(db.tables, newTableHandle(name, rd, dir, 0))
 	}
 	// Recover the WAL, if present, into the fresh memtable.
 	walPath := filepath.Join(dir, "wal.log")
@@ -124,14 +211,14 @@ func Open(dir string, opts Options) (*DB, error) {
 			return nil
 		})
 		if err != nil {
-			db.closeTables()
+			releaseTables(db.tables)
 			return nil, err
 		}
 		man.nextSeq = maxSeq
 	}
 	log, err := wal.Create(walPath + ".new")
 	if err != nil {
-		db.closeTables()
+		releaseTables(db.tables)
 		return nil, err
 	}
 	// Preserve recovered-but-unflushed data: the fresh log only matters
@@ -145,22 +232,55 @@ func Open(dir string, opts Options) (*DB, error) {
 		}
 		if err := log.Append(rec); err != nil {
 			log.Close()
-			db.closeTables()
+			releaseTables(db.tables)
 			return nil, err
 		}
 	}
 	if err := log.Sync(); err != nil {
 		log.Close()
-		db.closeTables()
+		releaseTables(db.tables)
 		return nil, err
 	}
 	if err := os.Rename(walPath+".new", walPath); err != nil {
 		log.Close()
-		db.closeTables()
+		releaseTables(db.tables)
 		return nil, fmt.Errorf("lsm: swap wal: %w", err)
 	}
 	db.log = log
+	if opts.Background != nil {
+		db.bgCfg = opts.Background.withDefaults()
+		db.bgKick = make(chan struct{}, 1)
+		db.bgQuit = make(chan struct{})
+		db.bgWG.Add(1)
+		go db.backgroundCompactor()
+	}
 	return db, nil
+}
+
+// removeOrphans deletes sstable files in dir that the manifest does not
+// reference — the merge outputs of a compaction that crashed between
+// writing its files and committing the swap — plus any stale manifest temp
+// file. Recovery is thereby idempotent: reopening after a crash converges
+// to exactly the manifest's view of the store.
+func removeOrphans(dir string, man *manifest) error {
+	live := make(map[string]bool, len(man.tables))
+	for _, name := range man.tables {
+		live[name] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("lsm: scan for orphans: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		orphanSST := strings.HasSuffix(name, ".sst") && !live[name]
+		if orphanSST || name == manifestName+".tmp" {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("lsm: remove orphan %s: %w", name, err)
+			}
+		}
+	}
+	return nil
 }
 
 // openTable opens an sstable file and attaches the shared block cache.
@@ -175,23 +295,29 @@ func (db *DB) openTable(name string) (*sstable.Reader, error) {
 	return rd, nil
 }
 
-func (db *DB) closeTables() {
-	for _, th := range db.tables {
-		th.rd.Close()
-	}
-}
-
-// Close flushes nothing (the WAL preserves the memtable) and releases all
-// file handles. The DB is unusable afterwards.
+// Close stops background maintenance, flushes nothing (the WAL preserves
+// the memtable) and releases all file handles. An in-flight background
+// compaction aborts at its next phase boundary; snapshots still reading
+// keep their tables open until they drain. The DB is unusable afterwards.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return ErrClosed
 	}
 	db.closed = true
+	if db.bgQuit != nil {
+		close(db.bgQuit)
+	}
+	db.stallCond.Broadcast()
+	db.mu.Unlock()
+	db.bgWG.Wait()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	err := db.log.Close()
-	db.closeTables()
+	releaseTables(db.tables)
+	db.tables = nil
 	return err
 }
 
@@ -246,8 +372,89 @@ func (db *DB) write(op wal.Op, key, value []byte) error {
 				db.minorCompactions++
 			}
 		}
+		db.maybeStallLocked()
 	}
 	return nil
+}
+
+// maybeStallLocked implements write backpressure for the background
+// compactor: kick a compaction at the trigger threshold, and above the
+// stall threshold block the writer (releasing the lock while waiting)
+// until compaction brings the table count back down. The write itself has
+// already been applied; stalling only delays the return to the caller.
+func (db *DB) maybeStallLocked() {
+	if db.opts.Background == nil {
+		return
+	}
+	if len(db.tables) >= db.bgCfg.Trigger {
+		db.kickBackground()
+	}
+	if len(db.tables) >= db.bgCfg.Stall {
+		db.writeStalls++
+	}
+	for len(db.tables) >= db.bgCfg.Stall && !db.closed && db.bgLastErr == nil {
+		db.kickBackground()
+		db.stallCond.Wait()
+	}
+}
+
+// kickBackground nudges the maintenance goroutine without blocking.
+func (db *DB) kickBackground() {
+	if db.bgKick == nil {
+		return
+	}
+	select {
+	case db.bgKick <- struct{}{}:
+	default:
+	}
+}
+
+// backgroundCompactor is the maintenance goroutine: it waits for kicks from
+// the write path and runs non-blocking major compactions until the live
+// table count is back under the trigger threshold.
+func (db *DB) backgroundCompactor() {
+	defer db.bgWG.Done()
+	for {
+		select {
+		case <-db.bgQuit:
+			return
+		case <-db.bgKick:
+		}
+		for {
+			db.mu.RLock()
+			n := len(db.tables)
+			closed := db.closed
+			db.mu.RUnlock()
+			if closed || n < db.bgCfg.Trigger {
+				break
+			}
+			_, err := db.MajorCompact(db.bgCfg.Strategy, db.bgCfg.K, db.bgCfg.Seed)
+			if errors.Is(err, ErrClosed) {
+				return
+			}
+			db.mu.Lock()
+			// A success clears any earlier transient failure so
+			// backpressure stalls re-arm; a failure records the error and
+			// releases stalled writers rather than hanging them.
+			db.bgLastErr = err
+			if err != nil {
+				db.stallCond.Broadcast()
+			}
+			db.mu.Unlock()
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+// BackgroundErr returns the first error the background compactor hit, if
+// any. A non-nil result means backpressure stalls are disabled and the
+// table count may grow unbounded; callers should surface it.
+func (db *DB) BackgroundErr() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.bgLastErr
 }
 
 // Get returns the value stored for key, or ErrNotFound. The memtable
@@ -330,7 +537,8 @@ func (db *DB) flushLocked() error {
 		return err
 	}
 	// Newest first.
-	db.tables = append([]*tableHandle{{name: name, rd: rd}}, db.tables...)
+	db.generation++
+	db.tables = append([]*tableHandle{newTableHandle(name, rd, db.dir, db.generation)}, db.tables...)
 	db.man.tables = append([]string{name}, db.man.tables...)
 	if err := db.man.save(db.dir); err != nil {
 		return err
@@ -356,30 +564,46 @@ func (db *DB) resetWALLocked() error {
 	return nil
 }
 
-// Scan invokes fn for every live key-value pair in ascending key order,
-// merging the memtable and all sstables and hiding deleted keys. fn must
-// not retain its arguments. Scanning takes a snapshot under the read lock.
-func (db *DB) Scan(fn func(key, value []byte) error) error {
+// acquireSnapshot captures a consistent read view in a short critical
+// section: the memtable's entries in [start, end) — nil bounds are open —
+// are materialized into a slice (the skiplist is not safe to walk while
+// writers mutate it) and every live table is retained so a concurrent
+// compaction cannot close it. The caller must releaseTables the handles.
+func (db *DB) acquireSnapshot(start, end []byte) ([]iterator.Entry, []*tableHandle, error) {
 	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
-		db.mu.RUnlock()
-		return ErrClosed
+		return nil, nil, ErrClosed
 	}
-	children := make([]iterator.Iterator, 0, len(db.tables)+1)
-	children = append(children, db.mem.Iter())
-	for _, th := range db.tables {
-		children = append(children, th.rd.Iter())
+	var it iterator.Iterator
+	if start == nil {
+		it = db.mem.Iter()
+	} else {
+		it = db.mem.IterFrom(start)
 	}
-	db.mu.RUnlock()
-
-	it := iterator.NewDedup(iterator.NewMerging(children...), true)
+	var entries []iterator.Entry
 	for ; it.Valid(); it.Next() {
 		e := it.Entry()
-		if err := fn(e.Key, e.Value); err != nil {
-			return err
+		if end != nil && bytes.Compare(e.Key, end) >= 0 {
+			break
 		}
+		entries = append(entries, e)
 	}
-	return nil
+	tables := make([]*tableHandle, len(db.tables))
+	copy(tables, db.tables)
+	for _, th := range tables {
+		th.retain()
+	}
+	return entries, tables, nil
+}
+
+// Scan invokes fn for every live key-value pair in ascending key order,
+// merging the memtable and all sstables and hiding deleted keys. fn must
+// not retain its arguments. The snapshot is taken in a short critical
+// section; iteration proceeds off-lock, concurrently with writes and
+// compactions, against reference-counted tables.
+func (db *DB) Scan(fn func(key, value []byte) error) error {
+	return db.Range(nil, nil, fn)
 }
 
 // Range invokes fn for every live key-value pair with start <= key < end,
@@ -387,25 +611,21 @@ func (db *DB) Scan(fn func(key, value []byte) error) error {
 // scans to the last. Like Scan, it merges the memtable and all sstables
 // and hides deleted keys.
 func (db *DB) Range(start, end []byte, fn func(key, value []byte) error) error {
-	db.mu.RLock()
-	if db.closed {
-		db.mu.RUnlock()
-		return ErrClosed
+	memEntries, tables, err := db.acquireSnapshot(start, end)
+	if err != nil {
+		return err
 	}
-	children := make([]iterator.Iterator, 0, len(db.tables)+1)
-	if start == nil {
-		children = append(children, db.mem.Iter())
-	} else {
-		children = append(children, db.mem.IterFrom(start))
-	}
-	for _, th := range db.tables {
+	defer releaseTables(tables)
+
+	children := make([]iterator.Iterator, 0, len(tables)+1)
+	children = append(children, iterator.NewSlice(memEntries))
+	for _, th := range tables {
 		if start == nil {
 			children = append(children, th.rd.Iter())
 		} else {
 			children = append(children, th.rd.IterFrom(start))
 		}
 	}
-	db.mu.RUnlock()
 
 	it := iterator.NewDedup(iterator.NewMerging(children...), true)
 	for ; it.Valid(); it.Next() {
@@ -432,6 +652,16 @@ type Stats struct {
 	Flushes int
 	// MinorCompactions counts auto-triggered minor compactions since Open.
 	MinorCompactions int
+	// MajorCompactions counts completed major compactions since Open,
+	// blocking and background alike.
+	MajorCompactions int
+	// WriteStalls counts writes delayed by compaction backpressure.
+	WriteStalls int
+	// Generation counts table-set changes (flushes and compactions).
+	Generation uint64
+	// CompactionState is the major-compaction state machine's current
+	// phase: "idle", "planning", "merging" or "swapping".
+	CompactionState string
 	// BlockCacheHits and BlockCacheMisses count block-cache outcomes; both
 	// are zero when the cache is disabled.
 	BlockCacheHits, BlockCacheMisses uint64
@@ -446,6 +676,10 @@ func (db *DB) Stats() Stats {
 		MemtableKeys:     db.mem.Len(),
 		Flushes:          db.flushCount,
 		MinorCompactions: db.minorCompactions,
+		MajorCompactions: db.majorCompactions,
+		WriteStalls:      db.writeStalls,
+		Generation:       db.generation,
+		CompactionState:  db.CompactionState().String(),
 	}
 	if db.blockCache != nil {
 		st.BlockCacheHits, st.BlockCacheMisses, _ = db.blockCache.Stats()

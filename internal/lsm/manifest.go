@@ -2,11 +2,13 @@ package lsm
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 )
 
 // manifest records the durable state of the store: the next file number and
@@ -88,6 +90,24 @@ func (m *manifest) save(dir string) error {
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		return fmt.Errorf("lsm: rename manifest: %w", err)
+	}
+	// The rename is only durable once the directory entry is flushed; a
+	// compaction swap that skipped this could survive a crash with the old
+	// manifest naming deleted tables.
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames within it are durable. Platforms
+// that refuse to fsync directories (some network filesystems) degrade to
+// no-op rather than failing the commit.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("lsm: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("lsm: sync dir: %w", err)
 	}
 	return nil
 }

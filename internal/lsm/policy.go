@@ -148,6 +148,47 @@ func (p SizeTieredPolicy) Pick(tables []TableInfo) []int {
 	return bestBucket
 }
 
+// BackgroundConfig configures the background major-compaction trigger and
+// its write backpressure. The zero value of every field selects a default,
+// so &BackgroundConfig{} enables background compaction with sane settings.
+type BackgroundConfig struct {
+	// Trigger is the live table count that starts a background major
+	// compaction. Zero selects 8.
+	Trigger int
+	// Stall is the live table count at which writers block until the
+	// compactor catches up — the backpressure valve that keeps a write
+	// burst from outrunning compaction indefinitely. Zero selects
+	// 4×Trigger; values at or below Trigger are raised to Trigger+1.
+	Stall int
+	// Strategy names the merge-scheduling strategy (see the compaction
+	// package). Empty selects "BT(I)", the paper's parallel-friendly
+	// BALANCETREE ordered by smallest input.
+	Strategy string
+	// K is the maximum merge fan-in. Zero selects 4.
+	K int
+	// Seed feeds randomized strategies.
+	Seed int64
+}
+
+func (c BackgroundConfig) withDefaults() BackgroundConfig {
+	if c.Trigger <= 1 {
+		c.Trigger = 8
+	}
+	if c.Stall <= 0 {
+		c.Stall = 4 * c.Trigger
+	}
+	if c.Stall <= c.Trigger {
+		c.Stall = c.Trigger + 1
+	}
+	if c.Strategy == "" {
+		c.Strategy = "BT(I)"
+	}
+	if c.K < 2 {
+		c.K = 4
+	}
+	return c
+}
+
 // MinorCompactionResult reports one minor compaction.
 type MinorCompactionResult struct {
 	// Policy is the policy that picked the tables.
@@ -188,15 +229,32 @@ func (db *DB) MinorCompact(policy CompactionPolicy) (*MinorCompactionResult, boo
 }
 
 func (db *DB) minorCompactLocked(policy CompactionPolicy) (*MinorCompactionResult, bool, error) {
-	picked := policy.Pick(db.tableInfosLocked())
+	// Tables captured in a live major-compaction snapshot are off limits:
+	// merging one away would invalidate the snapshot the major compactor
+	// is about to swap out. The policy only sees the eligible tables;
+	// its picks are mapped back to positions in db.tables.
+	eligible := make([]int, 0, len(db.tables))
+	infos := make([]TableInfo, 0, len(db.tables))
+	for i, th := range db.tables {
+		if th.compacting {
+			continue
+		}
+		eligible = append(eligible, i)
+		infos = append(infos, TableInfo{Name: th.name, SizeBytes: th.rd.FileSize(), Entries: th.rd.EntryCount()})
+	}
+	picked := policy.Pick(infos)
 	if len(picked) < 2 {
 		return nil, false, nil
 	}
 	seen := make(map[int]bool, len(picked))
 	inputs := make([]*sstable.Reader, 0, len(picked))
-	for _, i := range picked {
-		if i < 0 || i >= len(db.tables) || seen[i] {
-			return nil, false, fmt.Errorf("lsm: policy %s picked invalid index %d", policy.Name(), i)
+	for _, e := range picked {
+		if e < 0 || e >= len(eligible) {
+			return nil, false, fmt.Errorf("lsm: policy %s picked invalid index %d", policy.Name(), e)
+		}
+		i := eligible[e]
+		if seen[i] {
+			return nil, false, fmt.Errorf("lsm: policy %s picked index %d twice", policy.Name(), e)
 		}
 		seen[i] = true
 		inputs = append(inputs, db.tables[i].rd)
@@ -244,7 +302,7 @@ func (db *DB) minorCompactLocked(policy CompactionPolicy) (*MinorCompactionResul
 	for i, th := range db.tables {
 		switch {
 		case i == newest:
-			kept = append(kept, &tableHandle{name: name, rd: rd})
+			kept = append(kept, newTableHandle(name, rd, db.dir, db.generation+1))
 			removed = append(removed, th)
 		case seen[i]:
 			removed = append(removed, th)
@@ -252,19 +310,27 @@ func (db *DB) minorCompactLocked(policy CompactionPolicy) (*MinorCompactionResul
 			kept = append(kept, th)
 		}
 	}
-	db.tables = kept
-	db.man.tables = db.man.tables[:0]
-	for _, th := range kept {
-		db.man.tables = append(db.man.tables, th.name)
+	oldManTables := db.man.tables
+	db.man.tables = make([]string, len(kept))
+	for i, th := range kept {
+		db.man.tables[i] = th.name
 	}
 	if err := db.man.save(db.dir); err != nil {
+		db.man.tables = oldManTables
 		rd.Close()
 		os.Remove(path)
 		return nil, false, err
 	}
+	db.tables = kept
+	db.generation++
+	// The table count just dropped: writers stalled on backpressure may be
+	// able to proceed without waiting for the major compactor.
+	db.stallCond.Broadcast()
+	// Retired inputs may still be referenced by concurrent scans; the last
+	// reference closes the reader and deletes the file.
 	for _, th := range removed {
-		th.rd.Close()
-		os.Remove(filepath.Join(db.dir, th.name))
+		th.obsolete.Store(true)
+		th.release()
 	}
 	return &MinorCompactionResult{
 		Policy:   policy.Name(),

@@ -1,0 +1,270 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// This file is the race harness for non-blocking major compaction:
+// readers, writers and iterators hammer the store while MajorCompact runs
+// concurrently, under `go test -race`. The tests assert the two properties
+// the snapshot/swap design must provide: no write is ever lost, and no
+// reader ever touches a table that compaction has closed (the race
+// detector and closed-file errors would catch the latter).
+
+// TestConcurrentOpsDuringMajorCompact runs writers, point readers and
+// scanners concurrently with repeated background major compactions, then
+// verifies every writer's final value survived.
+func TestConcurrentOpsDuringMajorCompact(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{
+		MemtableBytes: 2 << 10, // tiny: force frequent flushes
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Seed enough tables that the first compaction has real work.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 50; j++ {
+			key := fmt.Sprintf("seed-%02d-%03d", i, j)
+			if err := db.Put([]byte(key), bytes.Repeat([]byte("s"), 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		writers       = 4
+		opsPerWriter  = 400
+		keysPerWriter = 100
+	)
+	var (
+		writerWG sync.WaitGroup // writers run to completion
+		auxWG    sync.WaitGroup // readers/scanner/compactor run until stop
+		stop     atomic.Bool
+		testErr  atomic.Value // first error from any goroutine
+	)
+	fail := func(err error) {
+		testErr.CompareAndSwap(nil, err)
+	}
+
+	// Writers: each owns a disjoint key range and records its final
+	// values; every fifth op is a delete.
+	finals := make([]map[string]string, writers)
+	for w := 0; w < writers; w++ {
+		finals[w] = make(map[string]string)
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			final := finals[w]
+			for i := 0; i < opsPerWriter; i++ {
+				key := fmt.Sprintf("w%d-key-%03d", w, i%keysPerWriter)
+				if i%5 == 4 {
+					if err := db.Delete([]byte(key)); err != nil {
+						fail(fmt.Errorf("writer %d delete: %w", w, err))
+						return
+					}
+					delete(final, key)
+					continue
+				}
+				val := fmt.Sprintf("w%d-val-%d", w, i)
+				if err := db.Put([]byte(key), []byte(val)); err != nil {
+					fail(fmt.Errorf("writer %d put: %w", w, err))
+					return
+				}
+				final[key] = val
+			}
+		}(w)
+	}
+
+	// Point readers: seeded keys must always resolve; writer keys are in
+	// flux, so only errors other than ErrNotFound are failures.
+	for r := 0; r < 2; r++ {
+		auxWG.Add(1)
+		go func(r int) {
+			defer auxWG.Done()
+			for i := 0; !stop.Load(); i++ {
+				seeded := fmt.Sprintf("seed-%02d-%03d", i%8, i%50)
+				if _, err := db.Get([]byte(seeded)); err != nil {
+					fail(fmt.Errorf("reader %d: seeded key %s: %w", r, seeded, err))
+					return
+				}
+				churning := fmt.Sprintf("w%d-key-%03d", i%writers, i%keysPerWriter)
+				if _, err := db.Get([]byte(churning)); err != nil && !errors.Is(err, ErrNotFound) {
+					fail(fmt.Errorf("reader %d: churning key %s: %w", r, churning, err))
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Scanner: full iterations concurrent with compaction table swaps;
+	// the snapshot must stay readable after its tables are superseded.
+	auxWG.Add(1)
+	go func() {
+		defer auxWG.Done()
+		for !stop.Load() {
+			prev := ""
+			err := db.Scan(func(k, v []byte) error {
+				if string(k) <= prev {
+					return fmt.Errorf("scan out of order: %q after %q", k, prev)
+				}
+				prev = string(k)
+				return nil
+			})
+			if err != nil {
+				fail(fmt.Errorf("scanner: %w", err))
+				return
+			}
+		}
+	}()
+
+	// Compactor: repeated non-blocking major compactions while the
+	// workload runs, cycling strategies and fan-ins.
+	var compactions atomic.Int64
+	auxWG.Add(1)
+	go func() {
+		defer auxWG.Done()
+		for i := 0; !stop.Load(); i++ {
+			strat := []string{"SI", "BT(I)", "RANDOM"}[i%3]
+			if _, err := db.MajorCompact(strat, 2+i%3, int64(i)); err != nil {
+				fail(fmt.Errorf("compactor: %w", err))
+				return
+			}
+			compactions.Add(1)
+		}
+	}()
+
+	writerWG.Wait()
+	stop.Store(true)
+	auxWG.Wait()
+
+	if err, _ := testErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	if compactions.Load() == 0 {
+		t.Fatal("no compaction completed during the workload")
+	}
+
+	// One final compaction, then verify no write was lost and every
+	// deleted key stays gone.
+	if _, err := db.MajorCompact("BT(I)", 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	for w, final := range finals {
+		for i := 0; i < keysPerWriter; i++ {
+			key := fmt.Sprintf("w%d-key-%03d", w, i)
+			want, live := final[key]
+			got, err := db.Get([]byte(key))
+			switch {
+			case live && err != nil:
+				t.Fatalf("lost write: Get(%s) = %v, want %q", key, err, want)
+			case live && string(got) != want:
+				t.Fatalf("wrong value: Get(%s) = %q, want %q", key, got, want)
+			case !live && !errors.Is(err, ErrNotFound):
+				t.Fatalf("deleted key resurfaced: Get(%s) = %q, %v", key, got, err)
+			}
+		}
+	}
+}
+
+// TestBackgroundCompactionTriggerAndBackpressure drives a write burst with
+// the background compactor enabled and verifies the trigger fires, the
+// table count converges below the stall threshold, and stalled writes are
+// not lost.
+func TestBackgroundCompactionTriggerAndBackpressure(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{
+		MemtableBytes: 1 << 10,
+		Background:    &BackgroundConfig{Trigger: 4, Stall: 8, Strategy: "BT(I)", K: 3},
+		Seed:          2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	want := make(map[string]string)
+	val := bytes.Repeat([]byte("v"), 128)
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("key-%04d", i%500)
+		v := fmt.Sprintf("%s-%d", val, i)
+		if err := db.Put([]byte(key), []byte(v)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		want[key] = v
+	}
+	if err := db.BackgroundErr(); err != nil {
+		t.Fatalf("background compactor failed: %v", err)
+	}
+	st := db.Stats()
+	if st.MajorCompactions == 0 {
+		t.Fatalf("background compactor never ran: %+v", st)
+	}
+	if st.Tables >= 8 {
+		t.Fatalf("backpressure failed to bound tables: %+v", st)
+	}
+	for key, v := range want {
+		got, err := db.Get([]byte(key))
+		if err != nil || string(got) != v {
+			t.Fatalf("Get(%s) = %q, %v; want %q", key, got, err, v)
+		}
+	}
+}
+
+// TestCloseDuringBackgroundCompaction closes the store while a major
+// compaction is merging; the compaction must abort cleanly and a reopen
+// must see every acknowledged write.
+func TestCloseDuringBackgroundCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{MemtableBytes: 1 << 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string)
+	for i := 0; i < 1200; i++ {
+		key := fmt.Sprintf("key-%04d", i%300)
+		v := fmt.Sprintf("val-%d", i)
+		if err := db.Put([]byte(key), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = v
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	compactDone := make(chan error, 1)
+	go func() {
+		_, err := db.MajorCompact("BT(I)", 2, 1)
+		compactDone <- err
+	}()
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The compaction either finished before Close took effect or aborted
+	// with ErrClosed; both are valid.
+	if err := <-compactDone; err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatalf("compaction during close: %v", err)
+	}
+
+	db, err = Open(dir, Options{Seed: 4})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db.Close()
+	for key, v := range want {
+		got, err := db.Get([]byte(key))
+		if err != nil || string(got) != v {
+			t.Fatalf("after reopen: Get(%s) = %q, %v; want %q", key, got, err, v)
+		}
+	}
+}

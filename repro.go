@@ -6,10 +6,20 @@
 // memtable/sstable simulator, and a real embedded LSM storage engine whose
 // major compaction is scheduled by the same strategies).
 //
+// The storage engine runs major compaction in the background without
+// blocking reads or writes: the live sstable set is snapshotted in a short
+// critical section, the merge schedule executes off-lock on the compaction
+// package's worker pool (the paper's Section 5.1 threaded BALANCETREE),
+// and the merged result is swapped into the manifest atomically.
+// Reference-counted sstable handles keep superseded tables alive until the
+// last concurrent reader drains, and recovery deletes the orphaned merge
+// outputs of a compaction that crashed before its swap. See README.md for
+// the architecture and internal/lsm for the implementation.
+//
 // The library lives under internal/: see internal/compaction for the
 // paper's contribution, internal/simulator and internal/experiments for
 // the evaluation, and internal/lsm for the storage engine. Runnable entry
-// points are cmd/compactsim, cmd/lsmdb and the examples/ directory. The
-// benchmarks in bench_test.go regenerate every figure of the paper's
-// evaluation section; see EXPERIMENTS.md for paper-versus-measured notes.
+// points are cmd/compactsim, cmd/lsmdb, cmd/lsmserver and the examples/
+// directory. The benchmarks in bench_test.go regenerate every figure of
+// the paper's evaluation section.
 package repro
