@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/kvnet"
 	"repro/internal/lsm"
@@ -48,6 +49,7 @@ func run() error {
 		bgStrategy = flag.String("bg-strategy", "BT(I)", "merge-scheduling strategy for background compactions")
 		bgK        = flag.Int("bg-k", 4, "maximum merge fan-in for background compactions")
 		workers    = flag.Int("compact-workers", 0, "merge worker pool size (0 = GOMAXPROCS)")
+		statsEvery = flag.Duration("stats-every", 0, "periodically log write-pipeline stats (0 = off)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -91,6 +93,33 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "lsmserver: shutting down")
 		srv.Close()
 	}()
+
+	if st := db.Stats(); st.WALRecoveryTruncated {
+		fmt.Fprintf(os.Stderr,
+			"lsmserver: WAL recovery was truncated by a crash: recovered %d records (%d batches, %d bytes)\n",
+			st.WALRecoveredRecords, st.WALRecoveredBatches, st.WALRecoveredBytes)
+	}
+	if *statsEvery > 0 {
+		go func() {
+			var last lsm.Stats
+			for range time.Tick(*statsEvery) {
+				st := db.Stats()
+				groups := st.GroupCommits - last.GroupCommits
+				writes := st.GroupedWrites - last.GroupedWrites
+				syncs := st.WALSyncs - last.WALSyncs
+				groupSize, syncsPerWrite := 0.0, 0.0
+				if groups > 0 {
+					groupSize = float64(writes) / float64(groups)
+				}
+				if writes > 0 {
+					syncsPerWrite = float64(syncs) / float64(writes)
+				}
+				fmt.Printf("lsmserver: stats tables=%d mem-keys=%d writes=%d groups=%d avg-group=%.1f syncs/write=%.3f stalls=%d state=%s\n",
+					st.Tables, st.MemtableKeys, writes, groups, groupSize, syncsPerWrite, st.WriteStalls, st.CompactionState)
+				last = st
+			}
+		}()
+	}
 
 	mode := "foreground-major"
 	if *background {

@@ -88,6 +88,18 @@ func (c *Client) Delete(key []byte) error {
 	return err
 }
 
+// Write commits a batch of operations atomically in one round trip: the
+// server applies the whole batch through the engine's group-commit
+// pipeline, so it becomes durable and visible as a unit. An empty batch is
+// a no-op.
+func (c *Client) Write(batch []BatchOp) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	_, err := c.roundTrip(Request{Op: OpWrite, Batch: batch})
+	return err
+}
+
 // Scan returns up to limit entries whose keys start with prefix (all keys
 // when prefix is empty), in key order.
 func (c *Client) Scan(prefix []byte, limit int) ([]ScanEntry, error) {

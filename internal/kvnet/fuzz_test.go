@@ -8,6 +8,10 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(EncodeRequest(Request{Op: OpPut, Key: []byte("k"), Value: []byte("v")}))
 	f.Add(EncodeRequest(Request{Op: OpScan, Prefix: []byte("p"), Limit: 9}))
 	f.Add(EncodeRequest(Request{Op: OpCompact, Strategy: "SI", K: 2}))
+	f.Add(EncodeRequest(Request{Op: OpWrite, Batch: []BatchOp{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Delete: true, Key: []byte("b")},
+	}}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -20,7 +24,8 @@ func FuzzDecodeRequest(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if again.Op != req.Op || again.Strategy != req.Strategy || again.Limit != req.Limit || again.K != req.K {
+		if again.Op != req.Op || again.Strategy != req.Strategy || again.Limit != req.Limit || again.K != req.K ||
+			len(again.Batch) != len(req.Batch) {
 			t.Fatalf("request changed across round trip")
 		}
 	})

@@ -197,6 +197,79 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 	}
 }
 
+func TestWriteRequestRoundTrip(t *testing.T) {
+	req := Request{Op: OpWrite, Batch: []BatchOp{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Delete: true, Key: []byte{0, 0xff}},
+		{Key: []byte("c"), Value: nil},
+	}}
+	got, err := DecodeRequest(EncodeRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != OpWrite || len(got.Batch) != len(req.Batch) {
+		t.Fatalf("round trip = %+v", got)
+	}
+	for i, op := range req.Batch {
+		g := got.Batch[i]
+		if g.Delete != op.Delete || !bytes.Equal(g.Key, op.Key) || !bytes.Equal(g.Value, op.Value) {
+			t.Errorf("batch op %d changed: %+v -> %+v", i, op, g)
+		}
+	}
+	// Truncated and hostile encodings must error, not panic or misparse.
+	enc := EncodeRequest(req)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeRequest(enc[:cut]); err == nil && cut < len(enc)-1 {
+			t.Fatalf("truncated batch request at %d decoded without error", cut)
+		}
+	}
+}
+
+// TestWriteBatchOverWire commits a mixed put/delete batch in one round trip
+// and verifies its effects and the commit-pipeline stats it moves.
+func TestWriteBatchOverWire(t *testing.T) {
+	c, _, _ := startServer(t)
+	if err := c.Put([]byte("doomed"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	batch := []BatchOp{
+		{Key: []byte("b1"), Value: []byte("v1")},
+		{Key: []byte("b2"), Value: []byte("v2")},
+		{Delete: true, Key: []byte("doomed")},
+		{Key: []byte("b3"), Value: bytes.Repeat([]byte("z"), 4096)},
+	}
+	if err := c.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range batch[:2] {
+		got, err := c.Get(op.Key)
+		if err != nil || !bytes.Equal(got, op.Value) {
+			t.Fatalf("Get(%s) = %q, %v", op.Key, got, err)
+		}
+	}
+	if _, err := c.Get([]byte("doomed")); err != ErrNotFound {
+		t.Errorf("batched delete did not apply: %v", err)
+	}
+	if err := c.Write(nil); err != nil { // empty batch is a no-op
+		t.Fatal(err)
+	}
+	// An empty key anywhere in the batch rejects the whole batch.
+	if err := c.Write([]BatchOp{{Key: []byte("ok"), Value: []byte("v")}, {Key: nil}}); err == nil {
+		t.Errorf("batch with empty key accepted")
+	}
+	if _, err := c.Get([]byte("ok")); err != ErrNotFound {
+		t.Errorf("rejected batch partially applied: %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 put + 1 batch of 4 committed = at least 5 records over ≥ 2 groups.
+	if st.GroupCommits < 2 || st.GroupedWrites < 5 {
+		t.Errorf("pipeline stats not reported: %+v", st)
+	}
+}
+
 func TestProtocolRoundTrip(t *testing.T) {
 	reqs := []Request{
 		{Op: OpPut, Key: []byte("k"), Value: []byte("v")},
@@ -224,7 +297,8 @@ func TestProtocolRoundTrip(t *testing.T) {
 		{Status: StatusError, Err: "boom"},
 		{Status: StatusOK, Entries: []ScanEntry{{Key: []byte("a"), Value: []byte("1")}}},
 		{Status: StatusOK, Compact: &CompactInfo{TablesBefore: 3, Merges: 2, BytesRead: 10, BytesWritten: 5, CostActual: 7, DurationMicro: 99}},
-		{Status: StatusOK, Stats: &StatsInfo{Tables: 1, TableBytes: 2, MemtableKeys: 3, Flushes: 4, MinorCompactions: 5}},
+		{Status: StatusOK, Stats: &StatsInfo{Tables: 1, TableBytes: 2, MemtableKeys: 3, Flushes: 4, MinorCompactions: 5,
+			GroupCommits: 6, GroupedWrites: 7, WALSyncs: 8, WriteStalls: 9}},
 	}
 	for _, resp := range resps {
 		got, err := DecodeResponse(EncodeResponse(resp))

@@ -30,6 +30,10 @@ const (
 	OpFlush
 	OpCompact
 	OpStats
+	// OpWrite commits a batch of puts and deletes atomically: the server
+	// applies it through the engine's group-commit pipeline, so the whole
+	// batch becomes durable and visible as a unit.
+	OpWrite
 )
 
 // Status is the first byte of every response.
@@ -49,6 +53,13 @@ const MaxMessageSize = 32 << 20
 // ErrTooLarge reports a frame exceeding MaxMessageSize.
 var ErrTooLarge = errors.New("kvnet: message too large")
 
+// BatchOp is one operation inside an OpWrite batch.
+type BatchOp struct {
+	Delete bool
+	Key    []byte
+	Value  []byte // ignored for deletes
+}
+
 // Request is a decoded client request.
 type Request struct {
 	Op       Op
@@ -58,6 +69,7 @@ type Request struct {
 	Limit    uint64
 	Strategy string
 	K        uint64
+	Batch    []BatchOp // OpWrite only
 }
 
 // ScanEntry is one key-value pair in a scan response.
@@ -82,6 +94,13 @@ type StatsInfo struct {
 	MemtableKeys     uint64
 	Flushes          uint64
 	MinorCompactions uint64
+	// GroupCommits, GroupedWrites and WALSyncs describe the commit
+	// pipeline: GroupedWrites/GroupCommits is the average group size,
+	// WALSyncs/GroupedWrites the fsyncs paid per write.
+	GroupCommits  uint64
+	GroupedWrites uint64
+	WALSyncs      uint64
+	WriteStalls   uint64
 }
 
 // Response is a decoded server response.
@@ -162,6 +181,19 @@ func EncodeRequest(req Request) []byte {
 	case OpCompact:
 		out = appendBytes(out, []byte(req.Strategy))
 		out = binary.AppendUvarint(out, req.K)
+	case OpWrite:
+		out = binary.AppendUvarint(out, uint64(len(req.Batch)))
+		for _, op := range req.Batch {
+			kind := byte(0)
+			if op.Delete {
+				kind = 1
+			}
+			out = append(out, kind)
+			out = appendBytes(out, op.Key)
+			if !op.Delete {
+				out = appendBytes(out, op.Value)
+			}
+		}
 	}
 	return out
 }
@@ -203,6 +235,39 @@ func DecodeRequest(buf []byte) (Request, error) {
 		if req.K, _, err = readUvarint(buf); err != nil {
 			return req, err
 		}
+	case OpWrite:
+		var n uint64
+		if n, buf, err = readUvarint(buf); err != nil {
+			return req, err
+		}
+		// Every op consumes at least two payload bytes (kind + key length),
+		// so a count above len(buf)/2 is structurally bogus; and the
+		// pre-allocation is capped regardless, so a hostile count can never
+		// force a large allocation — the slice grows only as ops decode.
+		if n > uint64(len(buf))/2 {
+			return req, fmt.Errorf("kvnet: batch count %d exceeds payload", n)
+		}
+		req.Batch = make([]BatchOp, 0, min(n, 1024))
+		for i := uint64(0); i < n; i++ {
+			if len(buf) < 1 {
+				return req, fmt.Errorf("kvnet: truncated batch op")
+			}
+			kind := buf[0]
+			buf = buf[1:]
+			if kind > 1 {
+				return req, fmt.Errorf("kvnet: unknown batch op kind %d", kind)
+			}
+			op := BatchOp{Delete: kind == 1}
+			if op.Key, buf, err = readBytes(buf); err != nil {
+				return req, err
+			}
+			if !op.Delete {
+				if op.Value, buf, err = readBytes(buf); err != nil {
+					return req, err
+				}
+			}
+			req.Batch = append(req.Batch, op)
+		}
 	case OpFlush, OpStats:
 	default:
 		return req, fmt.Errorf("kvnet: unknown op %d", req.Op)
@@ -230,7 +295,8 @@ func EncodeResponse(resp Response) []byte {
 	case resp.Stats != nil:
 		out = append(out, 'S')
 		s := resp.Stats
-		for _, v := range []uint64{s.Tables, s.TableBytes, s.MemtableKeys, s.Flushes, s.MinorCompactions} {
+		for _, v := range []uint64{s.Tables, s.TableBytes, s.MemtableKeys, s.Flushes, s.MinorCompactions,
+			s.GroupCommits, s.GroupedWrites, s.WALSyncs, s.WriteStalls} {
 			out = binary.AppendUvarint(out, v)
 		}
 	case resp.Entries != nil:
@@ -306,7 +372,8 @@ func DecodeResponse(buf []byte) (Response, error) {
 		resp.Compact = c
 	case 'S':
 		s := &StatsInfo{}
-		for _, dst := range []*uint64{&s.Tables, &s.TableBytes, &s.MemtableKeys, &s.Flushes, &s.MinorCompactions} {
+		for _, dst := range []*uint64{&s.Tables, &s.TableBytes, &s.MemtableKeys, &s.Flushes, &s.MinorCompactions,
+			&s.GroupCommits, &s.GroupedWrites, &s.WALSyncs, &s.WriteStalls} {
 			if *dst, buf, err = readUvarint(buf); err != nil {
 				return resp, err
 			}

@@ -136,6 +136,19 @@ func (s *Server) execute(req Request) Response {
 			return errResponse(err)
 		}
 		return Response{Status: StatusOK}
+	case OpWrite:
+		var batch lsm.WriteBatch
+		for _, op := range req.Batch {
+			if op.Delete {
+				batch.Delete(op.Key)
+			} else {
+				batch.Put(op.Key, op.Value)
+			}
+		}
+		if err := s.db.Write(&batch); err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK}
 	case OpScan:
 		limit := req.Limit
 		if limit == 0 || limit > 100000 {
@@ -193,6 +206,10 @@ func (s *Server) execute(req Request) Response {
 			MemtableKeys:     uint64(st.MemtableKeys),
 			Flushes:          uint64(st.Flushes),
 			MinorCompactions: uint64(st.MinorCompactions),
+			GroupCommits:     st.GroupCommits,
+			GroupedWrites:    st.GroupedWrites,
+			WALSyncs:         st.WALSyncs,
+			WriteStalls:      uint64(st.WriteStalls),
 		}}
 	default:
 		return Response{Status: StatusError, Err: fmt.Sprintf("unknown op %d", req.Op)}

@@ -1,0 +1,289 @@
+// Group-commit write path. Writers — Put, Delete and explicit WriteBatch
+// commits — do not take the store lock for their I/O. Each writer enqueues
+// its batch on a commit queue and parks; the first waiter becomes the
+// leader, drains a prefix of the queue into one group, assigns the group a
+// contiguous sequence range, appends the whole group to the WAL as a single
+// atomic frame with at most one fsync, applies it to the memtable under a
+// short store-lock section, runs post-apply maintenance (flush, auto minor
+// compaction, backpressure), and finally wakes its followers and hands
+// leadership to the next waiter. The fsync cost therefore amortizes over
+// the whole group, and the store lock is never held across a syscall.
+package lsm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// WriteBatch accumulates Put and Delete operations for a single atomic
+// commit via DB.Write: all of the batch's operations become visible
+// together, occupy one contiguous sequence range, and are recovered
+// all-or-nothing after a crash. A batch buffers its keys and values in one
+// internal arena, so it can be reused via Reset without reallocating.
+// A WriteBatch is not safe for concurrent use.
+type WriteBatch struct {
+	data []byte // arena: keys and values, back to back
+	ops  []batchOp
+}
+
+type batchOp struct {
+	del            bool
+	keyOff, keyLen int
+	valOff, valLen int
+}
+
+// Put records a write of key → value.
+func (b *WriteBatch) Put(key, value []byte) {
+	op := batchOp{keyOff: len(b.data), keyLen: len(key)}
+	b.data = append(b.data, key...)
+	op.valOff, op.valLen = len(b.data), len(value)
+	b.data = append(b.data, value...)
+	b.ops = append(b.ops, op)
+}
+
+// Delete records a tombstone for key.
+func (b *WriteBatch) Delete(key []byte) {
+	op := batchOp{del: true, keyOff: len(b.data), keyLen: len(key)}
+	b.data = append(b.data, key...)
+	b.ops = append(b.ops, op)
+}
+
+// Len returns the number of operations in the batch.
+func (b *WriteBatch) Len() int { return len(b.ops) }
+
+// Empty reports whether the batch holds no operations.
+func (b *WriteBatch) Empty() bool { return len(b.ops) == 0 }
+
+// Reset clears the batch for reuse, retaining its arena capacity.
+func (b *WriteBatch) Reset() {
+	b.data = b.data[:0]
+	b.ops = b.ops[:0]
+}
+
+// sizeBytes approximates the batch's WAL footprint, for group sizing.
+func (b *WriteBatch) sizeBytes() int { return len(b.data) + 8*len(b.ops) }
+
+// record materializes operation i as a WAL record at sequence seq. The
+// returned slices alias the batch arena and stay valid until Reset.
+func (b *WriteBatch) record(i int, seq uint64) wal.Record {
+	op := b.ops[i]
+	r := wal.Record{Op: wal.OpPut, Seq: seq, Key: b.data[op.keyOff : op.keyOff+op.keyLen]}
+	if op.del {
+		r.Op = wal.OpDelete
+	} else {
+		r.Value = b.data[op.valOff : op.valOff+op.valLen]
+	}
+	return r
+}
+
+// commitReq is one writer parked in the commit queue. wake receives true
+// when the writer must take over as leader, false when its group committed
+// (err then holds the outcome).
+type commitReq struct {
+	batch *WriteBatch
+	sync  bool
+	err   error
+	wake  chan bool
+}
+
+// maxGroupBytes caps how much batch data one commit group absorbs. It
+// bounds group latency and keeps the group frame far below the WAL's frame
+// limit; a single oversized batch still commits alone as its own group.
+const maxGroupBytes = 1 << 20
+
+// writeBatchPool recycles the single-op batches behind Put and Delete so
+// the hot path allocates only the commit request.
+var writeBatchPool = sync.Pool{New: func() any { return new(WriteBatch) }}
+
+// Write commits the batch atomically: every operation, or none, survives a
+// crash, and readers observe the batch as a unit. Honors Options.SyncWAL.
+// The batch may be reused (after Reset) once Write returns. Concurrent
+// Write calls are group-committed: one WAL append and at most one fsync
+// per group, not per batch.
+func (db *DB) Write(b *WriteBatch) error {
+	if b == nil || b.Len() == 0 {
+		return nil
+	}
+	for _, op := range b.ops {
+		if op.keyLen == 0 {
+			return fmt.Errorf("lsm: empty key")
+		}
+	}
+	db.writersInFlight.Add(1)
+	defer db.writersInFlight.Add(-1)
+	req := &commitReq{batch: b, sync: db.opts.SyncWAL, wake: make(chan bool, 1)}
+	db.commitMu.Lock()
+	db.commitQueue = append(db.commitQueue, req)
+	leader := len(db.commitQueue) == 1
+	db.commitMu.Unlock()
+	if !leader {
+		// Park until the group containing this batch commits, or until
+		// leadership arrives because the previous leader finished first.
+		if lead := <-req.wake; !lead {
+			return req.err
+		}
+	}
+	db.leadGroup(req)
+	return req.err
+}
+
+// leadGroup runs one commit group with head (the current queue front) as
+// leader, then hands leadership to the next queued writer, if any.
+func (db *DB) leadGroup(head *commitReq) {
+	// A leader with no followers — but with other writers in flight —
+	// yields once before forming its group: writers that are runnable but
+	// not yet enqueued get a scheduling slot to join, which matters most
+	// when GOMAXPROCS is low — a leader blocked in fsync can otherwise
+	// hold the only P, so no one joins groups and amortization never kicks
+	// in. The in-flight check keeps a lone writer from donating its
+	// timeslice to unrelated goroutines (a yield can cost a full scheduler
+	// quantum when readers are CPU-bound).
+	if db.writersInFlight.Load() > 1 {
+		db.commitMu.Lock()
+		solo := len(db.commitQueue) == 1
+		db.commitMu.Unlock()
+		if solo {
+			runtime.Gosched()
+		}
+	}
+
+	// Collect the group: a prefix of the queue. A sync leader absorbs
+	// non-sync followers (they get durability for free); a non-sync leader
+	// stops before the first sync request so a non-sync group never pays an
+	// fsync it didn't ask for — the sync writer leads the next group.
+	db.commitMu.Lock()
+	group := db.commitQueue[:1:1]
+	size := head.batch.sizeBytes()
+	for _, r := range db.commitQueue[1:] {
+		if r.sync && !head.sync {
+			break
+		}
+		if sz := r.batch.sizeBytes(); size+sz <= maxGroupBytes {
+			group = append(group, r)
+			size += sz
+		} else {
+			break
+		}
+	}
+	db.commitMu.Unlock()
+
+	var stall bool
+	err := db.commitGroup(group, head.sync, &stall)
+	for _, r := range group {
+		r.err = err
+	}
+	if stall {
+		// Backpressure runs outside the pipeline lock so the background
+		// compactor can flush and swap while this group's writers wait.
+		db.mu.Lock()
+		db.maybeStallLocked()
+		db.mu.Unlock()
+	}
+
+	// Pop the group and pass leadership on before releasing followers, so
+	// the next group's I/O can start immediately.
+	db.commitMu.Lock()
+	db.commitQueue = append(db.commitQueue[:0], db.commitQueue[len(group):]...)
+	var next *commitReq
+	if len(db.commitQueue) > 0 {
+		next = db.commitQueue[0]
+	}
+	db.commitMu.Unlock()
+	if next != nil {
+		next.wake <- true
+	}
+	for _, r := range group[1:] {
+		r.wake <- false
+	}
+}
+
+// commitGroup performs one group commit: sequence assignment under the
+// store lock, WAL append + optional fsync under only the pipeline lock,
+// memtable apply and maintenance back under the store lock. On return the
+// group is durable (if sync) and visible. Sets *stall when the commit
+// flushed the memtable and backpressure should be evaluated.
+func (db *DB) commitGroup(group []*commitReq, doSync bool, stall *bool) error {
+	db.pipeMu.Lock()
+	defer db.pipeMu.Unlock()
+
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	n := 0
+	for _, r := range group {
+		n += r.batch.Len()
+	}
+	seq := db.man.nextSeq
+	db.man.nextSeq += uint64(n)
+	log := db.log // stable while pipeMu is held: WAL swaps take pipeMu
+	db.mu.Unlock()
+
+	// Encode and write the whole group as one WAL frame — one buffer, one
+	// write syscall, at most one fsync — while readers and new enqueuers
+	// proceed. The scratch record slice is reused across groups.
+	recs := db.walRecs[:0]
+	s := seq
+	for _, r := range group {
+		for i := 0; i < r.batch.Len(); i++ {
+			recs = append(recs, r.batch.record(i, s))
+			s++
+		}
+	}
+	db.walRecs = recs[:0]
+	if err := log.AppendBatch(recs); err != nil {
+		return err
+	}
+	if doSync {
+		if err := log.Sync(); err != nil {
+			return err
+		}
+	}
+
+	// Apply under the store lock: Get and Scan observe the group
+	// atomically. The leader also runs the write path's maintenance —
+	// flush, auto minor compaction, background trigger — on behalf of the
+	// whole group.
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, rec := range recs {
+		if rec.Op == wal.OpDelete {
+			db.mem.Delete(rec.Key, rec.Seq)
+		} else {
+			db.mem.Put(rec.Key, rec.Value, rec.Seq)
+		}
+	}
+	db.groupCommits++
+	db.groupedWrites += uint64(n)
+	if doSync {
+		db.walSyncs++
+	}
+	if db.closed {
+		// Close raced in after the sequence check. The group is durable in
+		// the WAL and replays on reopen; skip maintenance on a closing DB.
+		return nil
+	}
+	if db.mem.SizeBytes() >= db.opts.MemtableBytes {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+		if db.opts.AutoCompact != nil {
+			for {
+				_, ran, err := db.minorCompactLocked(db.opts.AutoCompact)
+				if err != nil {
+					return err
+				}
+				if !ran {
+					break
+				}
+				db.minorCompactions++
+			}
+		}
+		*stall = db.opts.Background != nil
+	}
+	return nil
+}

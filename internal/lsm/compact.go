@@ -108,16 +108,21 @@ func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResul
 	defer db.majorMu.Unlock()
 	start := time.Now()
 
-	// Planning: flush and snapshot under the lock, then plan off-lock.
+	// Planning: flush and snapshot under the locks, then plan off-lock.
+	// The flush swaps the WAL, so the short planning section also holds
+	// the commit-pipeline lock (pipeMu before mu, the global order).
+	db.pipeMu.Lock()
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
+		db.pipeMu.Unlock()
 		return nil, ErrClosed
 	}
 	db.setState(CompactionPlanning)
 	if err := db.flushLocked(); err != nil {
 		db.setState(CompactionIdle)
 		db.mu.Unlock()
+		db.pipeMu.Unlock()
 		return nil, err
 	}
 	res := &CompactionResult{Strategy: strategy, Mode: "background", TablesBefore: len(db.tables)}
@@ -125,6 +130,7 @@ func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResul
 		db.setState(CompactionIdle)
 		res.TablesAfter = len(db.tables)
 		db.mu.Unlock()
+		db.pipeMu.Unlock()
 		res.Duration = time.Since(start)
 		return res, nil
 	}
@@ -135,6 +141,7 @@ func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResul
 		th.compacting = true
 	}
 	db.mu.Unlock()
+	db.pipeMu.Unlock()
 
 	// abort releases the snapshot and resets the state machine without
 	// touching the table set; used on every failure path past this point.
@@ -274,6 +281,10 @@ func (db *DB) MajorCompactBlocking(strategy string, k int, seed int64) (*Compact
 	}
 	db.majorMu.Lock()
 	defer db.majorMu.Unlock()
+	// The blocking baseline excludes all concurrent activity: it holds the
+	// commit pipeline and the store lock for the entire run.
+	db.pipeMu.Lock()
+	defer db.pipeMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {

@@ -136,6 +136,24 @@ type DB struct {
 	// state is the major-compaction state machine, readable without mu.
 	state atomic.Int32
 
+	// pipeMu is the commit-pipeline lock: it serializes WAL I/O (group
+	// appends, fsyncs, log swaps) with memtable replacement, so a group
+	// commit's WAL-append → memtable-apply window can run without holding
+	// mu while flushes still observe a quiesced pipeline. Lock order:
+	// pipeMu before mu; never acquire pipeMu while holding mu.
+	pipeMu sync.Mutex
+	// commitMu guards the commit queue of parked writers; the queue head is
+	// the current group leader (see batch.go).
+	commitMu    sync.Mutex
+	commitQueue []*commitReq
+	// walRecs is the leader's scratch slice for group encoding, guarded by
+	// pipeMu.
+	walRecs []wal.Record
+	// writersInFlight counts Write calls currently between entry and
+	// return; a solo leader yields for group formation only when other
+	// writers are actually in flight (see leadGroup).
+	writersInFlight atomic.Int32
+
 	mu        sync.RWMutex
 	stallCond *sync.Cond // signalled when the table count drops or DB closes
 	mem       *memtable.Table
@@ -153,6 +171,15 @@ type DB struct {
 	majorCompactions int
 	writeStalls      int
 	bgLastErr        error
+	// groupCommits, groupedWrites and walSyncs count commit-pipeline work:
+	// groups committed, records committed through groups, and WAL fsyncs
+	// issued, exposed through Stats (avg group size, syncs per write).
+	groupCommits  uint64
+	groupedWrites uint64
+	walSyncs      uint64
+	// walRecovery records what WAL replay recovered at Open, including
+	// whether the log was truncated by a crash (see Stats).
+	walRecovery wal.ReplayStats
 
 	bgCfg  BackgroundConfig
 	bgKick chan struct{}
@@ -198,7 +225,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	walPath := filepath.Join(dir, "wal.log")
 	if _, err := os.Stat(walPath); err == nil {
 		maxSeq := man.nextSeq
-		err := wal.Replay(walPath, func(r wal.Record) error {
+		stats, err := wal.Replay(walPath, func(r wal.Record) error {
 			switch r.Op {
 			case wal.OpPut:
 				db.mem.Put(r.Key, r.Value, r.Seq)
@@ -214,6 +241,10 @@ func Open(dir string, opts Options) (*DB, error) {
 			releaseTables(db.tables)
 			return nil, err
 		}
+		// Record what recovery found — including a truncated log, which is
+		// a legitimate crash artifact but one operators should be able to
+		// see (Stats.WALRecoveryTruncated).
+		db.walRecovery = stats
 		man.nextSeq = maxSeq
 	}
 	log, err := wal.Create(walPath + ".new")
@@ -223,18 +254,41 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	// Preserve recovered-but-unflushed data: the fresh log only matters
 	// once the memtable flushes or new writes arrive; we re-log recovered
-	// entries so the old log can be replaced atomically.
+	// entries (in chunked batch frames, not one write per record) so the
+	// old log can be replaced atomically.
+	var recs []wal.Record
+	chunkBytes := 0
+	appendChunk := func() error {
+		if len(recs) == 0 {
+			return nil
+		}
+		err := log.AppendBatch(recs)
+		recs, chunkBytes = recs[:0], 0
+		return err
+	}
 	for it := db.mem.Iter(); it.Valid(); it.Next() {
 		e := it.Entry()
 		rec := wal.Record{Op: wal.OpPut, Seq: e.Seq, Key: e.Key, Value: e.Value}
 		if e.Tombstone {
 			rec = wal.Record{Op: wal.OpDelete, Seq: e.Seq, Key: e.Key}
 		}
-		if err := log.Append(rec); err != nil {
-			log.Close()
-			releaseTables(db.tables)
-			return nil, err
+		recs = append(recs, rec)
+		chunkBytes += len(rec.Key) + len(rec.Value) + 32
+		// Chunks are bounded by record count and by encoded size: a
+		// recovered memtable full of large values must never build a frame
+		// the replayer (MaxFrameBytes) would refuse.
+		if len(recs) >= 1024 || chunkBytes >= 4<<20 {
+			if err := appendChunk(); err != nil {
+				log.Close()
+				releaseTables(db.tables)
+				return nil, err
+			}
 		}
+	}
+	if err := appendChunk(); err != nil {
+		log.Close()
+		releaseTables(db.tables)
+		return nil, err
 	}
 	if err := log.Sync(); err != nil {
 		log.Close()
@@ -313,6 +367,11 @@ func (db *DB) Close() error {
 	db.mu.Unlock()
 	db.bgWG.Wait()
 
+	// Quiesce the commit pipeline before closing the log: an in-flight
+	// group leader holds pipeMu across its WAL I/O, and its records must
+	// reach the (still open) log even though closed is already set.
+	db.pipeMu.Lock()
+	defer db.pipeMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	err := db.log.Close()
@@ -321,60 +380,28 @@ func (db *DB) Close() error {
 	return err
 }
 
-// Put stores key → value.
+// Put stores key → value. Concurrent Puts are group-committed: writers
+// enqueue on the commit pipeline and a single leader performs one WAL
+// append (and at most one fsync) for the whole group — see batch.go.
 func (db *DB) Put(key, value []byte) error {
-	return db.write(wal.OpPut, key, value)
+	b := writeBatchPool.Get().(*WriteBatch)
+	b.Reset()
+	b.Put(key, value)
+	err := db.Write(b)
+	writeBatchPool.Put(b)
+	return err
 }
 
 // Delete removes key by writing a tombstone; the key physically disappears
-// at the next major compaction.
+// at the next major compaction. Like Put, deletes ride the group-commit
+// pipeline.
 func (db *DB) Delete(key []byte) error {
-	return db.write(wal.OpDelete, key, nil)
-}
-
-func (db *DB) write(op wal.Op, key, value []byte) error {
-	if len(key) == 0 {
-		return fmt.Errorf("lsm: empty key")
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	seq := db.man.nextSeq
-	db.man.nextSeq++
-	if err := db.log.Append(wal.Record{Op: op, Seq: seq, Key: key, Value: value}); err != nil {
-		return err
-	}
-	if db.opts.SyncWAL {
-		if err := db.log.Sync(); err != nil {
-			return err
-		}
-	}
-	if op == wal.OpDelete {
-		db.mem.Delete(key, seq)
-	} else {
-		db.mem.Put(key, value, seq)
-	}
-	if db.mem.SizeBytes() >= db.opts.MemtableBytes {
-		if err := db.flushLocked(); err != nil {
-			return err
-		}
-		if db.opts.AutoCompact != nil {
-			for {
-				_, ran, err := db.minorCompactLocked(db.opts.AutoCompact)
-				if err != nil {
-					return err
-				}
-				if !ran {
-					break
-				}
-				db.minorCompactions++
-			}
-		}
-		db.maybeStallLocked()
-	}
-	return nil
+	b := writeBatchPool.Get().(*WriteBatch)
+	b.Reset()
+	b.Delete(key)
+	err := db.Write(b)
+	writeBatchPool.Put(b)
+	return err
 }
 
 // maybeStallLocked implements write backpressure for the background
@@ -500,6 +527,8 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 
 // Flush forces the memtable to an sstable even if it is below threshold.
 func (db *DB) Flush() error {
+	db.pipeMu.Lock()
+	defer db.pipeMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -508,6 +537,9 @@ func (db *DB) Flush() error {
 	return db.flushLocked()
 }
 
+// flushLocked writes the memtable to a fresh sstable and starts a new WAL.
+// Callers must hold both pipeMu and mu: the pipeline lock keeps the
+// WAL swap from racing a group commit's append-then-apply window.
 func (db *DB) flushLocked() error {
 	if db.mem.Len() == 0 {
 		return nil
@@ -665,6 +697,22 @@ type Stats struct {
 	// BlockCacheHits and BlockCacheMisses count block-cache outcomes; both
 	// are zero when the cache is disabled.
 	BlockCacheHits, BlockCacheMisses uint64
+	// GroupCommits counts commit groups written through the pipeline, and
+	// GroupedWrites the records they carried; GroupedWrites/GroupCommits is
+	// the average group size.
+	GroupCommits, GroupedWrites uint64
+	// WALSyncs counts WAL fsyncs issued by group leaders; with SyncWAL,
+	// WALSyncs/GroupedWrites is the (amortized) syncs-per-write ratio.
+	WALSyncs uint64
+	// WALRecoveredRecords and WALRecoveredBatches count what WAL replay
+	// recovered at Open; WALRecoveredBytes is the length of the log prefix
+	// that replayed cleanly.
+	WALRecoveredRecords, WALRecoveredBatches int
+	WALRecoveredBytes                        int64
+	// WALRecoveryTruncated reports that replay stopped at a torn or
+	// corrupt frame instead of a clean end-of-file: the store recovered a
+	// crash-truncated prefix rather than the full log.
+	WALRecoveryTruncated bool
 }
 
 // Stats returns a snapshot of store statistics.
@@ -680,6 +728,14 @@ func (db *DB) Stats() Stats {
 		WriteStalls:      db.writeStalls,
 		Generation:       db.generation,
 		CompactionState:  db.CompactionState().String(),
+
+		GroupCommits:         db.groupCommits,
+		GroupedWrites:        db.groupedWrites,
+		WALSyncs:             db.walSyncs,
+		WALRecoveredRecords:  db.walRecovery.Records,
+		WALRecoveredBatches:  db.walRecovery.Batches,
+		WALRecoveredBytes:    db.walRecovery.GoodBytes,
+		WALRecoveryTruncated: db.walRecovery.Truncated,
 	}
 	if db.blockCache != nil {
 		st.BlockCacheHits, st.BlockCacheMisses, _ = db.blockCache.Stats()

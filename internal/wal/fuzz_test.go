@@ -1,18 +1,36 @@
 package wal
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
+// frameFor builds a valid frame around recs, for seeding the fuzzer.
+func frameFor(recs ...Record) []byte {
+	var payload []byte
+	for _, r := range recs {
+		payload = appendRecord(payload, r)
+	}
+	out := make([]byte, frameHeader, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
 // FuzzReplay feeds arbitrary file contents to the replayer: it must never
 // panic, and must treat any structural damage as a torn tail (clean stop)
 // rather than an error or bogus records.
 func FuzzReplay(f *testing.F) {
-	rec := encodeRecord(Record{Op: OpPut, Seq: 1, Key: []byte("k"), Value: []byte("v")})
+	rec := frameFor(Record{Op: OpPut, Seq: 1, Key: []byte("k"), Value: []byte("v")})
+	batch := frameFor(
+		Record{Op: OpPut, Seq: 2, Key: []byte("a"), Value: []byte("1")},
+		Record{Op: OpDelete, Seq: 3, Key: []byte("b")},
+	)
 	f.Add(rec)
-	f.Add(append(rec, rec...))
+	f.Add(append(rec, batch...))
 	f.Add(rec[:len(rec)-1])
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
@@ -21,14 +39,22 @@ func FuzzReplay(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		err := Replay(path, func(r Record) error {
+		n := 0
+		st, err := Replay(path, func(r Record) error {
 			if r.Op != OpPut && r.Op != OpDelete {
 				t.Fatalf("replay surfaced invalid op %d", r.Op)
 			}
+			n++
 			return nil
 		})
 		if err != nil {
 			t.Fatalf("replay errored on fuzz input: %v", err)
+		}
+		if st.Records != n {
+			t.Fatalf("stats.Records = %d, delivered %d", st.Records, n)
+		}
+		if st.GoodBytes > int64(len(data)) {
+			t.Fatalf("GoodBytes %d exceeds input size %d", st.GoodBytes, len(data))
 		}
 	})
 }
@@ -43,10 +69,13 @@ func FuzzRecordRoundTrip(f *testing.F) {
 		if del {
 			rec = Record{Op: OpDelete, Seq: 42, Key: key}
 		}
-		enc := encodeRecord(rec)
-		got, err := decodePayload(enc[frameHeader:])
+		enc := appendRecord(nil, rec)
+		got, rest, err := decodeRecord(enc)
 		if err != nil {
 			t.Fatalf("decode: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("decode left %d bytes", len(rest))
 		}
 		if got.Op != rec.Op || got.Seq != rec.Seq || string(got.Key) != string(rec.Key) {
 			t.Fatalf("round trip changed record")

@@ -29,16 +29,20 @@ func writeLog(t *testing.T, path string, recs []Record) {
 	}
 }
 
-func replayAll(t *testing.T, path string) []Record {
+func replayAll(t *testing.T, path string) ([]Record, ReplayStats) {
 	t.Helper()
 	var got []Record
-	if err := Replay(path, func(r Record) error {
+	st, err := Replay(path, func(r Record) error {
 		got = append(got, r)
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatalf("Replay: %v", err)
 	}
-	return got
+	if st.Records != len(got) {
+		t.Fatalf("stats.Records = %d, delivered %d", st.Records, len(got))
+	}
+	return got, st
 }
 
 func TestAppendReplayRoundTrip(t *testing.T) {
@@ -49,9 +53,22 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 		{Op: OpPut, Seq: 3, Key: []byte("b"), Value: bytes.Repeat([]byte("x"), 10000)},
 	}
 	writeLog(t, path, recs)
-	got := replayAll(t, path)
+	got, st := replayAll(t, path)
 	if len(got) != len(recs) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	if st.Truncated {
+		t.Errorf("clean log reported truncated")
+	}
+	if st.Batches != len(recs) {
+		t.Errorf("Batches = %d, want %d (one frame per Append)", st.Batches, len(recs))
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GoodBytes != fi.Size() {
+		t.Errorf("GoodBytes = %d, want file size %d", st.GoodBytes, fi.Size())
 	}
 	for i, want := range recs {
 		g := got[i]
@@ -64,16 +81,110 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAppendBatchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch1 := []Record{
+		{Op: OpPut, Seq: 1, Key: []byte("a"), Value: []byte("1")},
+		{Op: OpDelete, Seq: 2, Key: []byte("b")},
+		{Op: OpPut, Seq: 3, Key: []byte("c"), Value: []byte("3")},
+	}
+	batch2 := []Record{
+		{Op: OpPut, Seq: 4, Key: []byte("d"), Value: bytes.Repeat([]byte("y"), 5000)},
+	}
+	if err := w.AppendBatch(batch1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(nil); err != nil { // empty batch is a no-op
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(batch2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st := replayAll(t, path)
+	want := append(append([]Record(nil), batch1...), batch2...)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	if st.Batches != 2 {
+		t.Errorf("Batches = %d, want 2", st.Batches)
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op || got[i].Seq != want[i].Seq ||
+			!bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchAtomicOnTornTail cuts a two-batch log at every offset inside the
+// second batch's frame and verifies the second batch vanishes entirely —
+// never a partial batch — while the first batch survives intact.
+func TestBatchAtomicOnTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch([]Record{
+		{Op: OpPut, Seq: 1, Key: []byte("a"), Value: []byte("1")},
+		{Op: OpPut, Seq: 2, Key: []byte("b"), Value: []byte("2")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	firstLen := w.Size()
+	if err := w.AppendBatch([]Record{
+		{Op: OpPut, Seq: 3, Key: []byte("c"), Value: []byte("3")},
+		{Op: OpPut, Seq: 4, Key: []byte("d"), Value: []byte("4")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := firstLen; cut < int64(len(data)); cut++ {
+		torn := filepath.Join(dir, fmt.Sprintf("torn-%d", cut))
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, st := replayAll(t, torn)
+		if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+			t.Fatalf("cut %d: replayed %d records, want exactly the first batch", cut, len(got))
+		}
+		if st.Batches != 1 || st.GoodBytes != firstLen {
+			t.Errorf("cut %d: stats = %+v, want 1 batch / %d good bytes", cut, st, firstLen)
+		}
+		if cut > firstLen && !st.Truncated {
+			t.Errorf("cut %d: truncation not reported", cut)
+		}
+	}
+}
+
 func TestEmptyLog(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "log")
 	writeLog(t, path, nil)
-	if got := replayAll(t, path); len(got) != 0 {
+	got, st := replayAll(t, path)
+	if len(got) != 0 {
 		t.Errorf("replayed %d records from empty log", len(got))
+	}
+	if st.Truncated {
+		t.Errorf("empty log reported truncated")
 	}
 }
 
 func TestReplayMissingFile(t *testing.T) {
-	err := Replay(filepath.Join(t.TempDir(), "nope"), func(Record) error { return nil })
+	_, err := Replay(filepath.Join(t.TempDir(), "nope"), func(Record) error { return nil })
 	if err == nil {
 		t.Errorf("replay of missing file succeeded")
 	}
@@ -96,9 +207,15 @@ func TestTornTailRecoversPrefix(t *testing.T) {
 		if err := os.WriteFile(torn, data[:len(data)-cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		got := replayAll(t, torn)
+		got, st := replayAll(t, torn)
 		if len(got) != 1 || got[0].Seq != 1 {
 			t.Errorf("cut %d: replayed %d records, want just the first", cut, len(got))
+		}
+		if !st.Truncated {
+			t.Errorf("cut %d: truncation not reported", cut)
+		}
+		if st.GoodBytes != int64(len(data))/2 {
+			t.Errorf("cut %d: GoodBytes = %d, want %d", cut, st.GoodBytes, len(data)/2)
 		}
 	}
 }
@@ -119,9 +236,12 @@ func TestCorruptMiddleStopsCleanly(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got := replayAll(t, path)
+	got, st := replayAll(t, path)
 	if len(got) != 1 || got[0].Seq != 1 {
 		t.Errorf("replayed %d records after corruption, want 1", len(got))
+	}
+	if !st.Truncated {
+		t.Errorf("corruption not reported as truncation")
 	}
 }
 
@@ -133,8 +253,12 @@ func TestImplausibleLengthTreatedAsTorn(t *testing.T) {
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if got := replayAll(t, path); len(got) != 0 {
+	got, st := replayAll(t, path)
+	if len(got) != 0 {
 		t.Errorf("replayed %d records", len(got))
+	}
+	if !st.Truncated {
+		t.Errorf("implausible length not reported as truncation")
 	}
 }
 
@@ -142,7 +266,7 @@ func TestReplayCallbackError(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "log")
 	writeLog(t, path, []Record{{Op: OpPut, Seq: 1, Key: []byte("k"), Value: []byte("v")}})
 	sentinel := errors.New("stop")
-	err := Replay(path, func(Record) error { return sentinel })
+	_, err := Replay(path, func(Record) error { return sentinel })
 	if !errors.Is(err, sentinel) {
 		t.Errorf("Replay err = %v, want sentinel", err)
 	}
@@ -163,6 +287,38 @@ func TestWriterSize(t *testing.T) {
 	}
 	if w.Size() == 0 {
 		t.Errorf("Size = 0 after append")
+	}
+}
+
+// TestSyncFailurePoisonsWriter forces a sync failure (fsync on a closed
+// file) and verifies the writer refuses all further work with the sticky
+// error: appends after an untrustworthy sync must not be acknowledged,
+// or replay (which stops at the first damaged frame) could silently
+// discard them.
+func TestSyncFailurePoisonsWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Op: OpPut, Seq: 1, Key: []byte("k"), Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("healthy writer reports sticky error: %v", err)
+	}
+	w.Close()
+	if err := w.Sync(); err == nil {
+		t.Fatal("sync on closed file succeeded")
+	}
+	if w.Err() == nil {
+		t.Fatal("failed sync did not poison the writer")
+	}
+	if err := w.Append(Record{Op: OpPut, Seq: 2, Key: []byte("k2"), Value: []byte("v")}); err == nil {
+		t.Fatal("append accepted after poisoning")
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("sync accepted after poisoning")
 	}
 }
 
@@ -191,7 +347,7 @@ func TestQuickRoundTrip(t *testing.T) {
 			return false
 		}
 		var got []Record
-		if err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		if _, err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
 			return false
 		}
 		if len(got) != len(want) {
@@ -199,6 +355,59 @@ func TestQuickRoundTrip(t *testing.T) {
 		}
 		for j := range want {
 			if got[j].Op != want[j].Op || got[j].Seq != want[j].Seq || !bytes.Equal(got[j].Key, want[j].Key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBatchSplit appends the same records once as arbitrary batches
+// and once as singles; replay must deliver identical sequences, proving
+// batch framing changes durability granularity but never content.
+func TestQuickBatchSplit(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(keys [][]byte, splits []uint8) bool {
+		i++
+		recs := make([]Record, len(keys))
+		for j, k := range keys {
+			recs[j] = Record{Op: OpPut, Seq: uint64(j), Key: k, Value: []byte{byte(j)}}
+		}
+		batched := filepath.Join(dir, fmt.Sprintf("b-%d", i))
+		w, err := Create(batched)
+		if err != nil {
+			return false
+		}
+		rest := recs
+		for si := 0; len(rest) > 0; si++ {
+			n := 1
+			if si < len(splits) {
+				n = 1 + int(splits[si])%4
+			}
+			if n > len(rest) {
+				n = len(rest)
+			}
+			if err := w.AppendBatch(rest[:n]); err != nil {
+				return false
+			}
+			rest = rest[n:]
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		var got []Record
+		if _, err := Replay(batched, func(r Record) error { got = append(got, r); return nil }); err != nil {
+			return false
+		}
+		if len(got) != len(recs) {
+			return false
+		}
+		for j := range recs {
+			if got[j].Seq != recs[j].Seq || !bytes.Equal(got[j].Key, recs[j].Key) {
 				return false
 			}
 		}
@@ -223,6 +432,58 @@ func BenchmarkAppend(b *testing.B) {
 		rec.Seq = uint64(i)
 		if err := w.Append(rec); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendBatch(b *testing.B) {
+	for _, size := range []int{8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "log")
+			w, err := Create(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			val := bytes.Repeat([]byte("v"), 100)
+			recs := make([]Record, size)
+			for i := range recs {
+				recs[i] = Record{Op: OpPut, Seq: uint64(i), Key: []byte(fmt.Sprintf("key-%08d", i)), Value: val}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.AppendBatch(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size), "recs/op")
+		})
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "log")
+	w, err := Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("v"), 100)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if err := w.Append(Record{Op: OpPut, Seq: uint64(i), Key: []byte(fmt.Sprintf("key-%08d", i)), Value: val}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := Replay(path, func(Record) error { return nil })
+		if err != nil || st.Records != n {
+			b.Fatalf("replay: %v, %d records", err, st.Records)
 		}
 	}
 }
