@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	lsmdb -dir /tmp/db
+//	lsmdb -dir /tmp/db [-shards 4]
 //
 // Commands (stdin, one per line):
 //
@@ -31,17 +31,19 @@ import (
 
 	"repro/internal/compaction"
 	"repro/internal/lsm"
+	"repro/internal/store"
 )
 
 func main() {
 	dir := flag.String("dir", "", "database directory (required)")
 	sync := flag.Bool("sync", false, "fsync the WAL on every write")
+	shards := flag.Int("shards", 0, "engine shard count (0 = adopt existing store, 1 for a new one)")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "lsmdb: -dir is required")
 		os.Exit(2)
 	}
-	db, err := lsm.Open(*dir, lsm.Options{SyncWAL: *sync})
+	db, err := store.Open(*dir, store.Options{Shards: *shards, Options: lsm.Options{SyncWAL: *sync}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmdb:", err)
 		os.Exit(1)
@@ -68,7 +70,7 @@ func main() {
 	}
 }
 
-func execute(db *lsm.DB, line string) error {
+func execute(db *store.Store, line string) error {
 	fields := strings.Fields(line)
 	cmd, args := fields[0], fields[1:]
 	switch cmd {
@@ -152,9 +154,14 @@ func execute(db *lsm.DB, line string) error {
 		fmt.Printf("inserted %d keys\n", n)
 		return nil
 	case "stats":
-		st := db.Stats()
-		fmt.Printf("tables=%d table_bytes=%d memtable_keys=%d flushes=%d\n",
-			st.Tables, st.TableBytes, st.MemtableKeys, st.Flushes)
+		shardStats := db.ShardStats()
+		st := store.Aggregate(shardStats)
+		fmt.Printf("shards=%d tables=%d table_bytes=%d memtable_keys=%d flushes=%d filter_neg=%d\n",
+			db.ShardCount(), st.Tables, st.TableBytes, st.MemtableKeys, st.Flushes, st.FilterNegatives)
+		for i, ss := range shardStats {
+			fmt.Printf("  shard %03d: tables=%d table_bytes=%d memtable_keys=%d flushes=%d\n",
+				i, ss.Tables, ss.TableBytes, ss.MemtableKeys, ss.Flushes)
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)

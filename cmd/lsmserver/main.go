@@ -10,10 +10,15 @@
 // stalling writers at -bg-stall (backpressure); reads and writes keep
 // being served while the merge runs.
 //
+// With -shards N the key space partitions over N independent engine
+// shards (per-shard WAL, commit pipeline and compaction) inside this one
+// process; the wire protocol is unchanged, clients simply see one store.
+//
 // Usage:
 //
 //	lsmserver -dir /var/lib/lsm -listen 127.0.0.1:7700 -auto size-tiered
 //	lsmserver -dir /var/lib/lsm -background -bg-trigger 8 -bg-strategy "BT(I)"
+//	lsmserver -dir /var/lib/lsm -shards 4 -sync
 package main
 
 import (
@@ -22,11 +27,13 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/kvnet"
 	"repro/internal/lsm"
+	"repro/internal/store"
 )
 
 func main() {
@@ -41,7 +48,7 @@ func run() error {
 		dir        = flag.String("dir", "", "database directory (required)")
 		listen     = flag.String("listen", "127.0.0.1:7700", "listen address")
 		auto       = flag.String("auto", "size-tiered", "auto minor compaction: size-tiered, threshold, none")
-		memSize    = flag.Int("memtable", 4<<20, "memtable flush threshold in bytes")
+		memSize    = flag.Int("memtable", 4<<20, "memtable flush threshold in bytes, per shard (total buffered memory is shards x this)")
 		sync       = flag.Bool("sync", false, "fsync the WAL on every write")
 		background = flag.Bool("background", false, "run non-blocking background major compactions")
 		bgTrigger  = flag.Int("bg-trigger", 8, "table count that triggers a background major compaction")
@@ -50,13 +57,17 @@ func run() error {
 		bgK        = flag.Int("bg-k", 4, "maximum merge fan-in for background compactions")
 		workers    = flag.Int("compact-workers", 0, "merge worker pool size (0 = GOMAXPROCS)")
 		statsEvery = flag.Duration("stats-every", 0, "periodically log write-pipeline stats (0 = off)")
+		shards     = flag.Int("shards", 0, "engine shard count (0 = adopt existing store, 1 for a new one)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
 	}
 
-	opts := lsm.Options{MemtableBytes: *memSize, SyncWAL: *sync, CompactionWorkers: *workers}
+	opts := store.Options{
+		Shards:  *shards,
+		Options: lsm.Options{MemtableBytes: *memSize, SyncWAL: *sync, CompactionWorkers: *workers},
+	}
 	if *background {
 		opts.Background = &lsm.BackgroundConfig{
 			Trigger:  *bgTrigger,
@@ -74,7 +85,7 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown auto policy %q", *auto)
 	}
-	db, err := lsm.Open(*dir, opts)
+	db, err := store.Open(*dir, opts)
 	if err != nil {
 		return err
 	}
@@ -103,7 +114,8 @@ func run() error {
 		go func() {
 			var last lsm.Stats
 			for range time.Tick(*statsEvery) {
-				st := db.Stats()
+				shardStats := db.ShardStats()
+				st := store.Aggregate(shardStats)
 				groups := st.GroupCommits - last.GroupCommits
 				writes := st.GroupedWrites - last.GroupedWrites
 				syncs := st.WALSyncs - last.WALSyncs
@@ -114,8 +126,18 @@ func run() error {
 				if writes > 0 {
 					syncsPerWrite = float64(syncs) / float64(writes)
 				}
-				fmt.Printf("lsmserver: stats tables=%d mem-keys=%d writes=%d groups=%d avg-group=%.1f syncs/write=%.3f stalls=%d state=%s\n",
-					st.Tables, st.MemtableKeys, writes, groups, groupSize, syncsPerWrite, st.WriteStalls, st.CompactionState)
+				cacheHitPct := 0.0
+				if lookups := st.BlockCacheHits + st.BlockCacheMisses; lookups > 0 {
+					cacheHitPct = 100 * float64(st.BlockCacheHits) / float64(lookups)
+				}
+				perShard := make([]string, 0, len(shardStats))
+				for _, ss := range shardStats {
+					perShard = append(perShard, fmt.Sprint(ss.Tables))
+				}
+				fmt.Printf("lsmserver: stats tables=%d(%s) mem-keys=%d writes=%d groups=%d avg-group=%.1f syncs/write=%.3f cache-hit=%.1f%% filter-neg=%d filter-fp=%d stalls=%d state=%s\n",
+					st.Tables, strings.Join(perShard, "/"), st.MemtableKeys, writes, groups, groupSize,
+					syncsPerWrite, cacheHitPct, st.FilterNegatives, st.FilterFalsePositives,
+					st.WriteStalls, st.CompactionState)
 				last = st
 			}
 		}()
@@ -125,7 +147,7 @@ func run() error {
 	if *background {
 		mode = fmt.Sprintf("background-major(trigger=%d, strategy=%s)", *bgTrigger, *bgStrategy)
 	}
-	fmt.Printf("lsmserver: serving %s on %s (auto=%s, %s)\n", *dir, ln.Addr(), *auto, mode)
+	fmt.Printf("lsmserver: serving %s on %s (shards=%d, auto=%s, %s)\n", *dir, ln.Addr(), db.ShardCount(), *auto, mode)
 	err = srv.Serve(ln)
 	if err == net.ErrClosed {
 		return nil

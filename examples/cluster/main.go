@@ -1,9 +1,12 @@
 // cluster: a three-node NoSQL cluster in one process — the paper's
-// deployment picture. Keys shard over the nodes with consistent hashing;
-// each node buffers writes in its own memtable, accumulates sstables, and
-// runs major compaction locally. The router fans a cluster-wide compaction
-// out and reports each node's cost, showing compaction is a purely local
-// decision exactly as the paper treats it.
+// deployment picture. Keys shard over the nodes with consistent hashing,
+// and each node is itself a two-shard store (the same cluster.KeyHash
+// partitions the key space at both layers): writes buffer in per-shard
+// memtables, sstables accumulate per shard, and major compaction runs
+// locally per shard. The router fans cluster-wide maintenance — flush,
+// then major compaction — out to every node and reports each node's cost,
+// showing compaction is a purely local decision exactly as the paper
+// treats it.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/kvnet"
 	"repro/internal/lsm"
+	"repro/internal/store"
 	"repro/internal/ycsb"
 )
 
@@ -23,7 +27,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cluster: ")
 
-	const nodes = 3
+	const (
+		nodes         = 3
+		shardsPerNode = 2
+	)
 	addrs := make([]string, 0, nodes)
 	for i := 0; i < nodes; i++ {
 		dir, err := os.MkdirTemp("", fmt.Sprintf("cluster-node%d-", i))
@@ -31,7 +38,10 @@ func main() {
 			log.Fatal(err)
 		}
 		defer os.RemoveAll(dir)
-		db, err := lsm.Open(dir, lsm.Options{MemtableBytes: 64 << 10})
+		db, err := store.Open(dir, store.Options{
+			Shards:  shardsPerNode,
+			Options: lsm.Options{MemtableBytes: 64 << 10},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -45,7 +55,7 @@ func main() {
 		defer srv.Close()
 		addrs = append(addrs, ln.Addr().String())
 	}
-	fmt.Printf("started %d nodes: %v\n", nodes, addrs)
+	fmt.Printf("started %d nodes x %d shards: %v\n", nodes, shardsPerNode, addrs)
 
 	rt, err := cluster.DialCluster(addrs, 64)
 	if err != nil {
@@ -109,16 +119,26 @@ func main() {
 		fmt.Printf("  %s: %d sstables, %d bytes, %d flushes\n", n, st.Tables, st.TableBytes, st.Flushes)
 	}
 
-	// Cluster-wide major compaction, scheduled per node by BT(I).
+	// Cluster-wide major compaction, fanned out by the router and scheduled
+	// per shard on every node by BT(I).
 	infos, err := rt.CompactAll("BT(I)", 2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nper-node BT(I) major compaction:")
+	fmt.Println("\nper-node BT(I) major compaction (each node compacts its shards locally):")
 	for _, n := range names {
 		info := infos[n]
-		fmt.Printf("  %s: %d tables → 1 in %d merges, cost %d keys, %d bytes moved\n",
+		fmt.Printf("  %s: %d tables in %d merges, cost %d keys, %d bytes moved\n",
 			n, info.TablesBefore, info.Merges, info.CostActual, info.BytesRead+info.BytesWritten)
+	}
+	stats, err = rt.StatsAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range names {
+		if got := stats[n].Tables; got > shardsPerNode {
+			log.Fatalf("node %s still has %d tables after fan-out compaction", n, got)
+		}
 	}
 
 	// The router still resolves every key after compaction.

@@ -4,22 +4,32 @@
 // and compares all five evaluated strategies on compaction cost and time.
 // Watch for the paper's shapes: cost falls as updates rise, RANDOM is worst
 // at 0% updates, and the spread vanishes at 100%.
+//
+// With -shards N (N > 0) the 50%-update workload additionally runs against
+// the real sharded engine: the YCSB operations commit through N per-shard
+// group-commit pipelines and the cluster-wide compaction happens per shard.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/compaction"
+	"repro/internal/lsm"
 	"repro/internal/simulator"
+	"repro/internal/store"
 	"repro/internal/ycsb"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ycsb_compaction: ")
+	shards := flag.Int("shards", 0, "also drive the workload through a real store with this many shards (0 = simulator only)")
+	flag.Parse()
 
 	const (
 		operationCount = 30000
@@ -63,4 +73,75 @@ func main() {
 	if err := tw.Flush(); err != nil {
 		log.Fatal(err)
 	}
+
+	if *shards > 0 {
+		runEngine(*shards, operationCount, recordCount)
+	}
+}
+
+// runEngine replays the 50%-update YCSB workload against a real sharded
+// store and reports write throughput plus the per-shard compaction shape.
+func runEngine(shards, operationCount, recordCount int) {
+	dir, err := os.MkdirTemp("", "ycsb-engine-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{Shards: shards, Options: lsm.Options{MemtableBytes: 64 << 10}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	gen, err := ycsb.NewGenerator(ycsb.Config{
+		RecordCount:      recordCount,
+		OperationCount:   operationCount,
+		UpdateProportion: 0.5,
+		InsertProportion: 0.5,
+		Distribution:     ycsb.Latest,
+		Seed:             7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	writes := 0
+	start := time.Now()
+	emit := func(op ycsb.Op) {
+		if !op.Mutates() {
+			return
+		}
+		if err := st.Put([]byte(fmt.Sprintf("user%016x", op.Key)), []byte("profile-data")); err != nil {
+			log.Fatal(err)
+		}
+		writes++
+	}
+	for {
+		op, ok := gen.NextLoad()
+		if !ok {
+			break
+		}
+		emit(op)
+	}
+	for {
+		op, ok := gen.NextRun()
+		if !ok {
+			break
+		}
+		emit(op)
+	}
+	if err := st.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("\nengine mode: %d writes through %d shards in %v (%.0f writes/sec)\n",
+		writes, st.ShardCount(), elapsed.Round(time.Millisecond), float64(writes)/elapsed.Seconds())
+	for i, ss := range st.ShardStats() {
+		fmt.Printf("  shard %d: %d sstables, %d flushes\n", i, ss.Tables, ss.Flushes)
+	}
+	res, err := st.MajorCompact("BT(I)", 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-shard BT(I) compaction: %d tables -> %d in %d merges, cost %d keys, %v\n",
+		res.TablesBefore, res.TablesAfter, len(res.StepStats), res.CostActual, res.Duration.Round(time.Millisecond))
 }

@@ -9,6 +9,21 @@ import (
 	"repro/internal/lsm"
 )
 
+func TestKeyHashShared(t *testing.T) {
+	// KeyHash is the placement hash shared with the in-process shard
+	// router (internal/store): deterministic, and sensitive to every byte.
+	if KeyHash([]byte("key-1")) != KeyHash([]byte("key-1")) {
+		t.Fatal("KeyHash not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[KeyHash([]byte(fmt.Sprintf("key-%d", i)))] = true
+	}
+	if len(seen) != 1000 {
+		t.Errorf("KeyHash collided on %d/1000 similar keys", 1000-len(seen))
+	}
+}
+
 func TestRingLookupStable(t *testing.T) {
 	r := NewRing(64)
 	r.AddNode("a")

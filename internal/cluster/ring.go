@@ -34,22 +34,29 @@ func NewRing(replicas int) *Ring {
 	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
 }
 
-func ringHash(s string) uint64 {
+// KeyHash maps a key to the ring's hash space: FNV-1a with a 64-bit
+// finalizer for avalanche on similar keys. It is the single hash shared by
+// every layer that partitions the key space — the network ring below and
+// the in-process shard router in internal/store — so a key's placement is
+// computed the same way whether shards live in one process or many.
+func KeyHash(key []byte) uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
 	)
 	h := uint64(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
 		h *= prime
 	}
-	// Finalize for better avalanche on similar strings.
+	// Finalize for better avalanche on similar keys.
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
 	return h
 }
+
+func ringHash(s string) uint64 { return KeyHash([]byte(s)) }
 
 // AddNode inserts a node (idempotent).
 func (r *Ring) AddNode(name string) {
@@ -93,7 +100,7 @@ func (r *Ring) Lookup(key []byte) string {
 	if len(r.vnodes) == 0 {
 		return ""
 	}
-	h := ringHash(string(key))
+	h := KeyHash(key)
 	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
 	if i == len(r.vnodes) {
 		i = 0

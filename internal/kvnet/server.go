@@ -12,11 +12,26 @@ import (
 	"repro/internal/lsm"
 )
 
-// Server serves one LSM engine to many concurrent connections. Connection
-// handling is one goroutine per connection; the engine provides its own
-// synchronization.
+// Engine is the storage surface the server exposes over the wire. Both
+// the single-partition engine (*lsm.DB) and the sharded store
+// (*store.Store) satisfy it, so a node can serve one shard or many behind
+// the same protocol.
+type Engine interface {
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, error)
+	Delete(key []byte) error
+	Write(b *lsm.WriteBatch) error
+	Scan(fn func(key, value []byte) error) error
+	Flush() error
+	MajorCompact(strategy string, k int, seed int64) (*lsm.CompactionResult, error)
+	Stats() lsm.Stats
+}
+
+// Server serves one storage engine to many concurrent connections.
+// Connection handling is one goroutine per connection; the engine provides
+// its own synchronization.
 type Server struct {
-	db *lsm.DB
+	db Engine
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -27,7 +42,7 @@ type Server struct {
 
 // NewServer wraps db. The caller retains ownership of db and closes it
 // after the server shuts down.
-func NewServer(db *lsm.DB) *Server {
+func NewServer(db Engine) *Server {
 	return &Server{db: db, conns: make(map[net.Conn]struct{})}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wal"
 )
@@ -53,6 +54,19 @@ func (b *WriteBatch) Delete(key []byte) {
 
 // Len returns the number of operations in the batch.
 func (b *WriteBatch) Len() int { return len(b.ops) }
+
+// Op returns operation i: its key, its value (nil for deletes) and whether
+// it is a delete. The returned slices alias the batch arena and stay valid
+// until Reset; callers that split batches (the sharded store routing each
+// operation to its owning shard) copy through a fresh batch's Put/Delete.
+func (b *WriteBatch) Op(i int) (key, value []byte, del bool) {
+	op := b.ops[i]
+	key = b.data[op.keyOff : op.keyOff+op.keyLen]
+	if op.del {
+		return key, nil, true
+	}
+	return key, b.data[op.valOff : op.valOff+op.valLen], false
+}
 
 // Empty reports whether the batch holds no operations.
 func (b *WriteBatch) Empty() bool { return len(b.ops) == 0 }
@@ -112,8 +126,9 @@ func (db *DB) Write(b *WriteBatch) error {
 			return fmt.Errorf("lsm: empty key")
 		}
 	}
-	db.writersInFlight.Add(1)
-	defer db.writersInFlight.Add(-1)
+	load := db.loadGauge()
+	load.Add(1)
+	defer load.Add(-1)
 	req := &commitReq{batch: b, sync: db.opts.SyncWAL, wake: make(chan bool, 1)}
 	db.commitMu.Lock()
 	db.commitQueue = append(db.commitQueue, req)
@@ -130,6 +145,16 @@ func (db *DB) Write(b *WriteBatch) error {
 	return req.err
 }
 
+// loadGauge returns the writers-in-flight gauge the commit pipeline
+// consults: the store-wide shared gauge when configured, this DB's own
+// counter otherwise.
+func (db *DB) loadGauge() *atomic.Int32 {
+	if db.opts.WriteLoad != nil {
+		return db.opts.WriteLoad
+	}
+	return &db.writersInFlight
+}
+
 // leadGroup runs one commit group with head (the current queue front) as
 // leader, then hands leadership to the next queued writer, if any.
 func (db *DB) leadGroup(head *commitReq) {
@@ -140,8 +165,11 @@ func (db *DB) leadGroup(head *commitReq) {
 	// hold the only P, so no one joins groups and amortization never kicks
 	// in. The in-flight check keeps a lone writer from donating its
 	// timeslice to unrelated goroutines (a yield can cost a full scheduler
-	// quantum when readers are CPU-bound).
-	if db.writersInFlight.Load() > 1 {
+	// quantum when readers are CPU-bound). The gauge is shared across
+	// shards when Options.WriteLoad is set, so a shard's solo leader still
+	// yields while sibling shards' writers are in flight — those writers
+	// finish their commits and come back around to this shard.
+	if db.loadGauge().Load() > 1 {
 		db.commitMu.Lock()
 		solo := len(db.commitQueue) == 1
 		db.commitMu.Unlock()

@@ -64,14 +64,28 @@ type Options struct {
 	// Compression selects the sstable data-block codec for flushes and
 	// compactions. The zero value stores blocks raw.
 	Compression sstable.Compression
+	// WriteLoad, when non-nil, is a shared gauge of writers in flight
+	// across a family of related DBs — the shards of a store.Store. A
+	// group-commit leader consults the gauge (in place of this DB's own
+	// in-flight count) when deciding whether yielding could grow its
+	// group: with many shards a single shard's own count is usually 1
+	// even while sibling shards' writers stream in, so without the shared
+	// gauge per-shard groups never form and the fsync amortization of
+	// group commit is lost to the partitioning.
+	WriteLoad *atomic.Int32
 }
+
+// DefaultBlockCacheBytes is the block-cache budget selected when
+// Options.BlockCacheBytes is zero. The sharded store splits the same
+// default across its shards, so the two layers stay in step.
+const DefaultBlockCacheBytes = 8 << 20
 
 func (o Options) withDefaults() Options {
 	if o.MemtableBytes <= 0 {
 		o.MemtableBytes = 4 << 20
 	}
 	if o.BlockCacheBytes == 0 {
-		o.BlockCacheBytes = 8 << 20
+		o.BlockCacheBytes = DefaultBlockCacheBytes
 	}
 	return o
 }
@@ -129,6 +143,9 @@ type DB struct {
 	opts Options
 
 	blockCache *cache.LRU // nil when disabled
+	// filterMetrics accumulates Bloom-filter outcomes across all table
+	// readers, surviving table turnover under compaction.
+	filterMetrics sstable.FilterMetrics
 
 	// majorMu serializes major compactions (blocking or background); the
 	// store lock mu is only held for their short snapshot/swap sections.
@@ -346,6 +363,7 @@ func (db *DB) openTable(name string) (*sstable.Reader, error) {
 	if db.blockCache != nil {
 		rd.SetBlockCache(db.blockCache)
 	}
+	rd.SetFilterMetrics(&db.filterMetrics)
 	return rd, nil
 }
 
@@ -643,12 +661,42 @@ func (db *DB) Scan(fn func(key, value []byte) error) error {
 // scans to the last. Like Scan, it merges the memtable and all sstables
 // and hides deleted keys.
 func (db *DB) Range(start, end []byte, fn func(key, value []byte) error) error {
-	memEntries, tables, err := db.acquireSnapshot(start, end)
+	it, release, err := db.NewIterator(start, end)
 	if err != nil {
 		return err
 	}
-	defer releaseTables(tables)
+	defer release()
+	for ; it.Valid(); it.Next() {
+		e := it.Entry()
+		if err := fn(e.Key, e.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
+// boundedIter truncates a sorted stream at an exclusive end key.
+type boundedIter struct {
+	iterator.Iterator
+	end []byte
+}
+
+func (it *boundedIter) Valid() bool {
+	return it.Iterator.Valid() && bytes.Compare(it.Iterator.Entry().Key, it.end) < 0
+}
+
+// NewIterator returns an iterator over the live entries with
+// start <= key < end (nil bounds are open), merged across the memtable and
+// all sstables with deleted keys hidden, plus a release function the caller
+// must invoke when done iterating. The snapshot is taken in a short
+// critical section; iteration proceeds off-lock against reference-counted
+// tables, concurrently with writes and compactions. The sharded store
+// k-way-merges one such iterator per shard into a single ordered stream.
+func (db *DB) NewIterator(start, end []byte) (iterator.Iterator, func(), error) {
+	memEntries, tables, err := db.acquireSnapshot(start, end)
+	if err != nil {
+		return nil, nil, err
+	}
 	children := make([]iterator.Iterator, 0, len(tables)+1)
 	children = append(children, iterator.NewSlice(memEntries))
 	for _, th := range tables {
@@ -658,18 +706,11 @@ func (db *DB) Range(start, end []byte, fn func(key, value []byte) error) error {
 			children = append(children, th.rd.IterFrom(start))
 		}
 	}
-
-	it := iterator.NewDedup(iterator.NewMerging(children...), true)
-	for ; it.Valid(); it.Next() {
-		e := it.Entry()
-		if end != nil && bytes.Compare(e.Key, end) >= 0 {
-			return nil
-		}
-		if err := fn(e.Key, e.Value); err != nil {
-			return err
-		}
+	var it iterator.Iterator = iterator.NewDedup(iterator.NewMerging(children...), true)
+	if end != nil {
+		it = &boundedIter{Iterator: it, end: end}
 	}
-	return nil
+	return it, func() { releaseTables(tables) }, nil
 }
 
 // Stats reports store state.
@@ -697,6 +738,11 @@ type Stats struct {
 	// BlockCacheHits and BlockCacheMisses count block-cache outcomes; both
 	// are zero when the cache is disabled.
 	BlockCacheHits, BlockCacheMisses uint64
+	// FilterNegatives counts point lookups a Bloom filter rejected without
+	// reading a data block (the I/O the filters saved); FilterFalsePositives
+	// counts lookups a filter let through that found no key (the wasted
+	// block probes). Their ratio is the realized filter effectiveness.
+	FilterNegatives, FilterFalsePositives uint64
 	// GroupCommits counts commit groups written through the pipeline, and
 	// GroupedWrites the records they carried; GroupedWrites/GroupCommits is
 	// the average group size.
@@ -728,6 +774,9 @@ func (db *DB) Stats() Stats {
 		WriteStalls:      db.writeStalls,
 		Generation:       db.generation,
 		CompactionState:  db.CompactionState().String(),
+
+		FilterNegatives:      db.filterMetrics.Negatives.Load(),
+		FilterFalsePositives: db.filterMetrics.FalsePositives.Load(),
 
 		GroupCommits:         db.groupCommits,
 		GroupedWrites:        db.groupedWrites,

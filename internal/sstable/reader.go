@@ -17,6 +17,17 @@ import (
 // readerIDs hands each Reader a unique ID for block-cache keying.
 var readerIDs atomic.Uint64
 
+// FilterMetrics accumulates Bloom-filter effectiveness counters across all
+// the readers of a store (tables come and go under compaction, so the
+// counters must outlive any single Reader). Negatives are lookups the
+// filter rejected without touching a data block — the work the filter
+// saved; FalsePositives are lookups the filter let through that found no
+// key — the wasted block reads. All fields are safe for concurrent update.
+type FilterMetrics struct {
+	Negatives      atomic.Uint64
+	FalsePositives atomic.Uint64
+}
+
 // Reader serves point lookups and ordered scans from a finished sstable.
 // It is safe for concurrent use: all methods read through an io.ReaderAt.
 type Reader struct {
@@ -27,6 +38,7 @@ type Reader struct {
 	filter *bloom.Filter
 	closer io.Closer // non-nil when the Reader owns the underlying file
 	blocks *cache.LRU
+	fm     *FilterMetrics
 }
 
 // NewReader opens a table stored in r, whose total length is size bytes.
@@ -75,6 +87,10 @@ func Open(path string) (*Reader, error) {
 // SetBlockCache attaches a shared LRU cache used for data-block reads.
 // Call before serving reads; passing nil disables caching.
 func (rd *Reader) SetBlockCache(c *cache.LRU) { rd.blocks = c }
+
+// SetFilterMetrics attaches a store-shared Bloom-filter counter set that
+// Get updates; passing nil disables counting.
+func (rd *Reader) SetFilterMetrics(m *FilterMetrics) { rd.fm = m }
 
 // Close releases the underlying file when the Reader was created by Open
 // (otherwise it only detaches cached blocks).
@@ -196,8 +212,22 @@ func (rd *Reader) blockFor(key []byte) int {
 func (rd *Reader) Get(key []byte) (iterator.Entry, error) {
 	var zero iterator.Entry
 	if !rd.filter.MayContain(key) {
+		if rd.fm != nil {
+			rd.fm.Negatives.Add(1)
+		}
 		return zero, ErrNotFound
 	}
+	e, err := rd.getPastFilter(key)
+	if err == ErrNotFound && rd.fm != nil {
+		rd.fm.FalsePositives.Add(1)
+	}
+	return e, err
+}
+
+// getPastFilter is the block-probing half of Get, after the Bloom filter
+// has said "maybe".
+func (rd *Reader) getPastFilter(key []byte) (iterator.Entry, error) {
+	var zero iterator.Entry
 	bi := rd.blockFor(key)
 	if bi < 0 {
 		return zero, ErrNotFound

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/kvnet"
+	"repro/internal/lsm"
+)
+
+// TestStoreOverKvnet serves a 4-shard store through the unchanged kvnet
+// protocol — the lsmserver -shards deployment — and exercises every op
+// end to end: routed puts/gets/deletes, an atomic cross-shard batch, a
+// globally ordered scan, fan-in flush, per-shard major compaction and
+// aggregated stats.
+func TestStoreOverKvnet(t *testing.T) {
+	s := openStore(t, 4, lsm.Options{MemtableBytes: 32 << 10})
+	srv := kvnet.NewServer(s)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	c, err := kvnet.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 600
+	for i := 0; i < n; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Write([]kvnet.BatchOp{
+		{Key: []byte("batch-a"), Value: []byte("1")},
+		{Key: []byte("batch-b"), Value: []byte("2")},
+		{Delete: true, Key: []byte("key-00000")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Get([]byte("key-00123")); err != nil || string(v) != "123" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := c.Get([]byte("key-00000")); !errors.Is(err, kvnet.ErrNotFound) {
+		t.Fatalf("deleted key Get = %v", err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.Scan([]byte("key-"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n-1 {
+		t.Fatalf("scan returned %d entries, want %d", len(entries), n-1)
+	}
+	for i := 1; i < len(entries); i++ {
+		if string(entries[i-1].Key) >= string(entries[i].Key) {
+			t.Fatal("cross-shard scan out of global order")
+		}
+	}
+	// Build a second generation of tables so the fan-out compaction has
+	// real merging to do on every shard.
+	for i := 0; i < n; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Compact("BT(I)", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TablesBefore < 4 || info.Merges == 0 {
+		t.Fatalf("compaction over %d tables in %d merges; want per-shard merges", info.TablesBefore, info.Merges)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tables != 4 {
+		t.Errorf("after per-shard major compaction Tables = %d, want 4 (one per shard)", st.Tables)
+	}
+	if st.GroupedWrites == 0 {
+		t.Error("aggregated GroupedWrites is zero")
+	}
+	if v, err := c.Get([]byte("key-00123")); err != nil || string(v) != "v2" {
+		t.Fatalf("Get after compaction = %q, %v", v, err)
+	}
+}

@@ -1,0 +1,519 @@
+// Package store partitions the LSM engine into independent shards — the
+// in-process analogue of the paper's deployment model, where every server
+// compacts its own local sstables. A Store routes each key to one of N
+// lsm.DB shards with the same hash the network ring uses
+// (cluster.KeyHash), so a key's placement is computed identically whether
+// the partitions live in one process or across a cluster.
+//
+// Each shard is a complete engine: its own directory, WAL, group-commit
+// queue and background-compaction maintenance goroutine. Writers on
+// different shards never contend — N group-commit leaders append to N WALs
+// concurrently — which is what turns the single-leader commit pipeline
+// into a parallel one.
+//
+// Cross-shard semantics are deliberately relaxed where a single DB is
+// strict:
+//
+//   - Write splits a batch by shard and commits the sub-batches through
+//     each shard's pipeline concurrently. Each sub-batch is atomic and
+//     crash-durable on its shard, but there is no cross-shard commit
+//     point: a crash (or a reader racing the commit) can observe some
+//     shards' sub-batches without the others.
+//   - Scan and Range k-way-merge per-shard iterators into one globally
+//     ordered stream. Each shard's view is a point-in-time snapshot, but
+//     the snapshots are not taken at the same instant across shards.
+//
+// A Store with a single shard behaves exactly like the DB it wraps.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/iterator"
+	"repro/internal/lsm"
+)
+
+// markerName is the file in the store root recording the shard count. The
+// count is fixed at creation: reopening with a different count would split
+// the key space differently and orphan existing data, so Open refuses it.
+const markerName = "SHARDS"
+
+// Options tunes a Store. The embedded lsm.Options apply to every shard,
+// with two adjustments: the block-cache budget is split evenly across
+// shards (so BlockCacheBytes stays the total), and each shard's skiplist
+// seed is offset by its index. MemtableBytes remains per shard — total
+// buffered memory is Shards × MemtableBytes.
+type Options struct {
+	// Shards is the number of partitions. Zero adopts the count persisted
+	// in the store directory, or 1 for a new store. Opening an existing
+	// store with a different non-zero count is an error. A directory
+	// holding a pre-store unsharded lsm.DB opens as a single legacy shard
+	// rooted at the directory itself (Shards above 1 is refused there).
+	Shards int
+	lsm.Options
+}
+
+// Store is a sharded LSM store exposing the lsm.DB API. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir    string
+	shards []*lsm.DB
+	// subs pools per-Write scratch sub-batches, one slot per shard.
+	subs sync.Pool
+}
+
+// readMarker parses the persisted shard count, returning 0 when absent.
+func readMarker(dir string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, markerName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: read shard marker: %w", err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("store: corrupt shard marker %q", strings.TrimSpace(string(data)))
+	}
+	return n, nil
+}
+
+// writeMarker durably persists the shard count: write-temp, fsync, rename,
+// fsync-dir — the same sequence the engine's manifest uses, so a crash
+// leaves either no marker or a complete one, never a torn file that would
+// refuse every subsequent Open.
+func writeMarker(dir string, n int) error {
+	tmp := filepath.Join(dir, markerName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: write shard marker: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", n); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write shard marker: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync shard marker: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close shard marker: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, markerName)); err != nil {
+		return fmt.Errorf("store: rename shard marker: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: sync store dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync store dir: %w", err)
+	}
+	return nil
+}
+
+// legacyLayout reports whether dir holds a pre-store unsharded lsm.DB. A
+// manifest is only cut at the first flush, so a store whose acknowledged
+// data still lives entirely in its WAL must be recognized too — missing it
+// would re-initialize the directory and silently lose those writes.
+func legacyLayout(dir string) (bool, error) {
+	for _, name := range []string{"MANIFEST", "wal.log"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return false, fmt.Errorf("store: probe %s: %w", name, err)
+		}
+	}
+	ssts, err := filepath.Glob(filepath.Join(dir, "*.sst"))
+	if err != nil {
+		return false, fmt.Errorf("store: probe sstables: %w", err)
+	}
+	return len(ssts) > 0, nil
+}
+
+// Open opens (creating if necessary) a sharded store rooted at dir, with
+// shard i living in dir/shard-NNN. All shard WALs replay in parallel, so
+// crash recovery costs one shard's replay time, not the sum.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("store: negative shard count %d", opts.Shards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: mkdir: %w", err)
+	}
+	persisted, err := readMarker(dir)
+	if err != nil {
+		return nil, err
+	}
+	n := opts.Shards
+	legacy := false
+	writeMarkerAfterOpen := false
+	switch {
+	case persisted == 0:
+		// A directory already holding an unsharded lsm.DB (a pre-store
+		// layout: manifest, WAL or sstables in the root) is adopted in
+		// place as a single legacy shard rooted at dir itself — no marker
+		// is written, so the directory keeps working with plain lsm.Open
+		// too. Re-sharding it would strand its data, so a shard count
+		// above 1 is refused.
+		isLegacy, err := legacyLayout(dir)
+		if err != nil {
+			return nil, err
+		}
+		if isLegacy {
+			if n > 1 {
+				return nil, fmt.Errorf("store: %s holds an unsharded lsm store; cannot shard over it (open with Shards <= 1)", dir)
+			}
+			n, legacy = 1, true
+			break
+		}
+		if n == 0 {
+			n = 1
+		}
+		// The marker is committed only after every shard opens, so a
+		// failed first open does not pin a shard count the caller may
+		// want to retry differently.
+		writeMarkerAfterOpen = true
+	case n == 0:
+		n = persisted
+	case n != persisted:
+		return nil, fmt.Errorf("store: %s was created with %d shards, cannot open with %d", dir, persisted, n)
+	}
+
+	// Split the block-cache budget so BlockCacheBytes bounds the store, not
+	// each shard. Zero means "default total" (the lsm default, 8 MiB);
+	// negative disables caching and passes through unchanged. The floor of
+	// one byte only keeps the per-shard value from hitting lsm's 0-means-
+	// default rule — the configured total stays the bound.
+	shardOpts := opts.Options
+	if shardOpts.BlockCacheBytes == 0 {
+		shardOpts.BlockCacheBytes = lsm.DefaultBlockCacheBytes
+	}
+	if shardOpts.BlockCacheBytes > 0 {
+		per := shardOpts.BlockCacheBytes / n
+		if per < 1 {
+			per = 1
+		}
+		shardOpts.BlockCacheBytes = per
+	}
+
+	// All shards share one writers-in-flight gauge so each shard's
+	// group-commit leader can tell that sibling shards' writers are
+	// streaming in and yield for group formation (see lsm.Options.WriteLoad).
+	if shardOpts.WriteLoad == nil {
+		shardOpts.WriteLoad = new(atomic.Int32)
+	}
+
+	s := &Store{dir: dir, shards: make([]*lsm.DB, n)}
+	s.subs.New = func() any { return make([]lsm.WriteBatch, n) }
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			so := shardOpts
+			so.Seed += int64(i)
+			sdir := s.shardDir(i)
+			if legacy {
+				sdir = dir // adopted unsharded layout: the single shard is the root
+			}
+			s.shards[i], errs[i] = lsm.Open(sdir, so)
+		}(i)
+	}
+	wg.Wait()
+	closeAll := func() {
+		for _, db := range s.shards {
+			if db != nil {
+				db.Close()
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	if writeMarkerAfterOpen {
+		if err := writeMarker(dir, n); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) shardDir(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// ShardCount returns the number of shards.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// ShardFor returns the index of the shard owning key.
+func (s *Store) ShardFor(key []byte) int {
+	return int(cluster.KeyHash(key) % uint64(len(s.shards)))
+}
+
+// Shard returns shard i's engine, for per-shard inspection (stats, tests).
+func (s *Store) Shard(i int) *lsm.DB { return s.shards[i] }
+
+// Close closes every shard; shard errors are combined.
+func (s *Store) Close() error {
+	return s.forAll(func(db *lsm.DB) error { return db.Close() })
+}
+
+// forAll runs fn on every shard concurrently, combining shard errors.
+func (s *Store) forAll(fn func(db *lsm.DB) error) error {
+	return s.forAllIndexed(func(_ int, db *lsm.DB) error { return fn(db) })
+}
+
+// Put stores key → value on the owning shard.
+func (s *Store) Put(key, value []byte) error {
+	return s.shards[s.ShardFor(key)].Put(key, value)
+}
+
+// Get returns the value stored for key, or lsm.ErrNotFound.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	return s.shards[s.ShardFor(key)].Get(key)
+}
+
+// Delete removes key on the owning shard.
+func (s *Store) Delete(key []byte) error {
+	return s.shards[s.ShardFor(key)].Delete(key)
+}
+
+// Write commits the batch, splitting it by owning shard and committing the
+// sub-batches through each shard's group-commit pipeline concurrently.
+// Within one shard the sub-batch is atomic — all of its operations are
+// recovered or none — and operations on the same key keep their batch
+// order. Across shards atomicity is relaxed: there is no global commit
+// point, so a crash between shard commits can persist some sub-batches
+// without the others, and a concurrent reader can observe the same. An
+// error means at least one sub-batch failed; others may have committed.
+func (s *Store) Write(b *lsm.WriteBatch) error {
+	if b == nil || b.Len() == 0 {
+		return nil
+	}
+	// Validate before splitting: a malformed batch must reject whole, not
+	// after some shards already committed their sub-batches.
+	for i := 0; i < b.Len(); i++ {
+		if key, _, _ := b.Op(i); len(key) == 0 {
+			return fmt.Errorf("store: empty key")
+		}
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].Write(b)
+	}
+	subs := s.subs.Get().([]lsm.WriteBatch)
+	defer func() {
+		for i := range subs {
+			subs[i].Reset()
+		}
+		s.subs.Put(subs)
+	}()
+	for i := 0; i < b.Len(); i++ {
+		key, value, del := b.Op(i)
+		sub := &subs[s.ShardFor(key)]
+		if del {
+			sub.Delete(key)
+		} else {
+			sub.Put(key, value)
+		}
+	}
+	// The last non-empty sub-batch commits on the caller's goroutine, so a
+	// batch that lands on one shard spawns no goroutines at all.
+	last := -1
+	for i := range subs {
+		if !subs[i].Empty() {
+			last = i
+		}
+	}
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	for i := range subs {
+		if subs[i].Empty() || i == last {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.shards[i].Write(&subs[i])
+		}(i)
+	}
+	errs[last] = s.shards[last].Write(&subs[last])
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Flush forces every shard's memtable to an sstable.
+func (s *Store) Flush() error {
+	return s.forAll(func(db *lsm.DB) error { return db.Flush() })
+}
+
+// Scan invokes fn for every live key-value pair across all shards in
+// ascending key order. See Range for snapshot semantics.
+func (s *Store) Scan(fn func(key, value []byte) error) error {
+	return s.Range(nil, nil, fn)
+}
+
+// Range invokes fn for every live key-value pair with start <= key < end
+// in ascending global key order, k-way-merging one snapshot iterator per
+// shard. Hash partitioning makes shard key sets disjoint, so the merge
+// needs no cross-shard dedup. Each shard's iterator is a consistent
+// point-in-time snapshot of that shard, but the per-shard snapshots are
+// acquired sequentially, not atomically across shards.
+func (s *Store) Range(start, end []byte, fn func(key, value []byte) error) error {
+	children := make([]iterator.Iterator, 0, len(s.shards))
+	releases := make([]func(), 0, len(s.shards))
+	defer func() {
+		for _, rel := range releases {
+			rel()
+		}
+	}()
+	for _, db := range s.shards {
+		it, release, err := db.NewIterator(start, end)
+		if err != nil {
+			return err
+		}
+		releases = append(releases, release)
+		children = append(children, it)
+	}
+	it := iterator.NewMerging(children...)
+	for ; it.Valid(); it.Next() {
+		e := it.Entry()
+		if err := fn(e.Key, e.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MajorCompact runs a major compaction on every shard concurrently — the
+// paper's picture of many servers compacting locally, in miniature — and
+// returns the aggregated result: summed table counts, costs and I/O, the
+// concatenated per-merge stats, and the wall-clock duration of the slowest
+// shard. Per-shard results are available through Shard(i).
+func (s *Store) MajorCompact(strategy string, k int, seed int64) (*lsm.CompactionResult, error) {
+	start := time.Now()
+	results := make([]*lsm.CompactionResult, len(s.shards))
+	err := s.forAllIndexed(func(i int, db *lsm.DB) error {
+		res, err := db.MajorCompact(strategy, k, seed+int64(i))
+		results[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := &lsm.CompactionResult{Strategy: strategy, Mode: results[0].Mode}
+	for _, res := range results {
+		agg.TablesBefore += res.TablesBefore
+		agg.TablesAfter += res.TablesAfter
+		agg.StepStats = append(agg.StepStats, res.StepStats...)
+		agg.BytesRead += res.BytesRead
+		agg.BytesWritten += res.BytesWritten
+		agg.CostSimple += res.CostSimple
+		agg.CostActual += res.CostActual
+	}
+	agg.Duration = time.Since(start)
+	return agg, nil
+}
+
+// forAllIndexed is forAll with the shard index.
+func (s *Store) forAllIndexed(fn func(i int, db *lsm.DB) error) error {
+	if len(s.shards) == 1 {
+		return fn(0, s.shards[0])
+	}
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, db := range s.shards {
+		wg.Add(1)
+		go func(i int, db *lsm.DB) {
+			defer wg.Done()
+			errs[i] = fn(i, db)
+		}(i, db)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// BackgroundErr returns the first error any shard's background compactor
+// hit, if any.
+func (s *Store) BackgroundErr() error {
+	for _, db := range s.shards {
+		if err := db.BackgroundErr(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// statePhaseRank orders compaction phases by how deep into a compaction a
+// shard is, so the aggregate reports the busiest shard's phase.
+var statePhaseRank = map[string]int{
+	lsm.CompactionIdle.String():     0,
+	lsm.CompactionPlanning.String(): 1,
+	lsm.CompactionMerging.String():  2,
+	lsm.CompactionSwapping.String(): 3,
+}
+
+// Stats returns store statistics aggregated across shards; see Aggregate.
+// Use ShardStats for the per-shard breakdown, or call Aggregate on a
+// ShardStats slice to get both from one pass over the shards.
+func (s *Store) Stats() lsm.Stats {
+	return Aggregate(s.ShardStats())
+}
+
+// Aggregate combines per-shard statistics into one store-wide view:
+// counters are summed, WALRecoveryTruncated is true if any shard recovered
+// a truncated log, and CompactionState reports the busiest phase any shard
+// is in (idle < planning < merging < swapping).
+func Aggregate(shardStats []lsm.Stats) lsm.Stats {
+	var agg lsm.Stats
+	agg.CompactionState = lsm.CompactionIdle.String()
+	for _, st := range shardStats {
+		agg.Tables += st.Tables
+		agg.TableBytes += st.TableBytes
+		agg.MemtableKeys += st.MemtableKeys
+		agg.Flushes += st.Flushes
+		agg.MinorCompactions += st.MinorCompactions
+		agg.MajorCompactions += st.MajorCompactions
+		agg.WriteStalls += st.WriteStalls
+		agg.Generation += st.Generation
+		if statePhaseRank[st.CompactionState] > statePhaseRank[agg.CompactionState] {
+			agg.CompactionState = st.CompactionState
+		}
+		agg.BlockCacheHits += st.BlockCacheHits
+		agg.BlockCacheMisses += st.BlockCacheMisses
+		agg.FilterNegatives += st.FilterNegatives
+		agg.FilterFalsePositives += st.FilterFalsePositives
+		agg.GroupCommits += st.GroupCommits
+		agg.GroupedWrites += st.GroupedWrites
+		agg.WALSyncs += st.WALSyncs
+		agg.WALRecoveredRecords += st.WALRecoveredRecords
+		agg.WALRecoveredBatches += st.WALRecoveredBatches
+		agg.WALRecoveredBytes += st.WALRecoveredBytes
+		agg.WALRecoveryTruncated = agg.WALRecoveryTruncated || st.WALRecoveryTruncated
+	}
+	return agg
+}
+
+// ShardStats returns each shard's statistics, indexed by shard.
+func (s *Store) ShardStats() []lsm.Stats {
+	out := make([]lsm.Stats, len(s.shards))
+	for i, db := range s.shards {
+		out[i] = db.Stats()
+	}
+	return out
+}

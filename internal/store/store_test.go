@@ -1,0 +1,664 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/wal"
+)
+
+func openStore(t *testing.T, shards int, opts lsm.Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), Options{Shards: shards, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+type kv struct{ k, v string }
+
+func collect(t *testing.T, scan func(func(key, value []byte) error) error) []kv {
+	t.Helper()
+	var out []kv
+	if err := scan(func(k, v []byte) error {
+		out = append(out, kv{string(k), string(v)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStoreEquivalence is the observational-equivalence property test: a
+// sharded store with N ∈ {1, 2, 8} shards must behave exactly like a
+// single lsm.DB under random Put/Delete/Write/Scan sequences interleaved
+// with flushes and major compactions.
+func TestStoreEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s := openStore(t, shards, lsm.Options{MemtableBytes: 16 << 10, Seed: 3})
+			ref, err := lsm.Open(t.TempDir(), lsm.Options{MemtableBytes: 16 << 10, Seed: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+
+			rng := rand.New(rand.NewSource(int64(shards) * 71))
+			key := func() []byte { return []byte(fmt.Sprintf("key-%04d", rng.Intn(800))) }
+			const ops = 3000
+			for i := 0; i < ops; i++ {
+				switch rng.Intn(10) {
+				case 0: // delete
+					k := key()
+					if err := s.Delete(k); err != nil {
+						t.Fatal(err)
+					}
+					if err := ref.Delete(k); err != nil {
+						t.Fatal(err)
+					}
+				case 1, 2: // multi-op batch, scattering across shards
+					var sb, rb lsm.WriteBatch
+					for j := 0; j < 1+rng.Intn(6); j++ {
+						k := key()
+						if rng.Intn(4) == 0 {
+							sb.Delete(k)
+							rb.Delete(k)
+						} else {
+							v := []byte(fmt.Sprintf("batch-%d-%d", i, j))
+							sb.Put(k, v)
+							rb.Put(k, v)
+						}
+					}
+					if err := s.Write(&sb); err != nil {
+						t.Fatal(err)
+					}
+					if err := ref.Write(&rb); err != nil {
+						t.Fatal(err)
+					}
+				case 3:
+					if i%500 == 3 { // occasional maintenance
+						if err := s.Flush(); err != nil {
+							t.Fatal(err)
+						}
+						if err := ref.Flush(); err != nil {
+							t.Fatal(err)
+						}
+						if _, err := s.MajorCompact("BT(I)", 2, int64(i)); err != nil {
+							t.Fatal(err)
+						}
+						if _, err := ref.MajorCompact("BT(I)", 2, int64(i)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				default:
+					k, v := key(), []byte(fmt.Sprintf("val-%d", i))
+					if err := s.Put(k, v); err != nil {
+						t.Fatal(err)
+					}
+					if err := ref.Put(k, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if i%1000 == 999 {
+					got, want := collect(t, s.Scan), collect(t, ref.Scan)
+					if len(got) != len(want) {
+						t.Fatalf("op %d: scan lengths diverge: store %d, ref %d", i, len(got), len(want))
+					}
+					for j := range got {
+						if got[j] != want[j] {
+							t.Fatalf("op %d: scan diverges at %d: store %+v, ref %+v", i, j, got[j], want[j])
+						}
+					}
+				}
+			}
+
+			// Point reads agree over the whole key space.
+			for i := 0; i < 800; i++ {
+				k := []byte(fmt.Sprintf("key-%04d", i))
+				gv, gerr := s.Get(k)
+				wv, werr := ref.Get(k)
+				if !errors.Is(gerr, werr) && (gerr != nil || werr != nil) {
+					t.Fatalf("Get(%s): store err %v, ref err %v", k, gerr, werr)
+				}
+				if !bytes.Equal(gv, wv) {
+					t.Fatalf("Get(%s): store %q, ref %q", k, gv, wv)
+				}
+			}
+
+			// Bounded ranges agree, including bounds that split shards.
+			got := collect(t, func(fn func(k, v []byte) error) error {
+				return s.Range([]byte("key-0100"), []byte("key-0500"), fn)
+			})
+			want := collect(t, func(fn func(k, v []byte) error) error {
+				return ref.Range([]byte("key-0100"), []byte("key-0500"), fn)
+			})
+			if len(got) != len(want) {
+				t.Fatalf("range lengths diverge: store %d, ref %d", len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("range diverges at %d: store %+v, ref %+v", j, got[j], want[j])
+				}
+			}
+
+			// Scan output globally sorted (the k-way merge's contract).
+			for j := 1; j < len(got); j++ {
+				if got[j-1].k >= got[j].k {
+					t.Fatalf("merged scan out of order: %q before %q", got[j-1].k, got[j].k)
+				}
+			}
+
+			// And survives a reopen (all shard WALs replay in parallel).
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := Open(s.dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if s2.ShardCount() != shards {
+				t.Fatalf("reopen adopted %d shards, want %d", s2.ShardCount(), shards)
+			}
+			got2, want2 := collect(t, s2.Scan), collect(t, ref.Scan)
+			if len(got2) != len(want2) {
+				t.Fatalf("post-reopen scan lengths diverge: %d vs %d", len(got2), len(want2))
+			}
+			for j := range got2 {
+				if got2[j] != want2[j] {
+					t.Fatalf("post-reopen scan diverges at %d", j)
+				}
+			}
+		})
+	}
+}
+
+// batchTag extracts the "gNNbNNN" batch tag from a crash-test key.
+func batchTag(key []byte) string {
+	s := string(key)
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// TestStoreCrashRecoveryPerShard kills a sharded store mid-write —
+// concurrent writers commit tagged cross-shard batches, then every shard's
+// WAL is truncated at an independent arbitrary offset, simulating a crash
+// with different amounts of each WAL durable. Every shard must recover a
+// prefix-closed, sub-batch-atomic state: for each shard, the recovered
+// sub-batches are a prefix of that shard's commit order, and each
+// sub-batch's keys on that shard are all present or all absent. (There is
+// deliberately no cross-shard prefix property — the documented relaxed
+// atomicity of cross-shard writes.)
+func TestStoreCrashRecoveryPerShard(t *testing.T) {
+	const shards = 4
+	dir := t.TempDir()
+	s, err := Open(dir, Options{
+		Shards:  shards,
+		Options: lsm.Options{SyncWAL: true, MemtableBytes: 256 << 20, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		batches = 20
+		keysPer = 6 // enough keys that most batches span several shards
+	)
+	var wg sync.WaitGroup
+	var writeErr atomic.Value
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var b lsm.WriteBatch
+			for bi := 0; bi < batches; bi++ {
+				b.Reset()
+				tag := fmt.Sprintf("g%02db%03d", g, bi)
+				for j := 0; j < keysPer; j++ {
+					b.Put([]byte(fmt.Sprintf("%s-k%d", tag, j)), []byte(tag))
+				}
+				if err := s.Write(&b); err != nil {
+					writeErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err, _ := writeErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per shard: the full WAL bytes, the sub-batch commit order, and each
+	// sub-batch's key count on that shard.
+	walData := make([][]byte, shards)
+	orders := make([][]string, shards)
+	expect := make([]map[string]int, shards)
+	for sh := 0; sh < shards; sh++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard-%03d", sh), "wal.log")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walData[sh] = data
+		expect[sh] = make(map[string]int)
+		if _, err := wal.Replay(path, func(r wal.Record) error {
+			tag := batchTag(r.Key)
+			if expect[sh][tag] == 0 {
+				orders[sh] = append(orders[sh], tag)
+			}
+			expect[sh][tag]++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		cdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cdir, markerName), []byte("4\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cuts := make([]int, shards)
+		for sh := 0; sh < shards; sh++ {
+			switch trial {
+			case 0:
+				cuts[sh] = len(walData[sh]) // clean crash: everything durable
+			case 1:
+				cuts[sh] = 0 // crash before any WAL write
+			default:
+				cuts[sh] = rng.Intn(len(walData[sh]) + 1)
+			}
+			sdir := filepath.Join(cdir, fmt.Sprintf("shard-%03d", sh))
+			if err := os.MkdirAll(sdir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(sdir, "wal.log"), walData[sh][:cuts[sh]], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s2, err := Open(cdir, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: reopen: %v", trial, err)
+		}
+		if s2.ShardCount() != shards {
+			t.Fatalf("trial %d: adopted %d shards", trial, s2.ShardCount())
+		}
+		// Group the recovered keys per shard per tag.
+		recovered := make([]map[string]int, shards)
+		for sh := range recovered {
+			recovered[sh] = make(map[string]int)
+		}
+		err = s2.Scan(func(k, v []byte) error {
+			tag := batchTag(k)
+			if string(v) != tag {
+				return fmt.Errorf("key %s has value %q, want %q", k, v, tag)
+			}
+			recovered[s2.ShardFor(k)][tag]++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("trial %d: scan: %v", trial, err)
+		}
+		for sh := 0; sh < shards; sh++ {
+			// (a) Sub-batch atomicity: a shard holds all of its slice of a
+			// batch or none of it.
+			for tag, n := range recovered[sh] {
+				if n != expect[sh][tag] {
+					t.Fatalf("trial %d shard %d cut %d: batch %s partially applied: %d/%d keys",
+						trial, sh, cuts[sh], tag, n, expect[sh][tag])
+				}
+			}
+			// (b) Prefix-closedness in the shard's commit order.
+			for i, tag := range orders[sh] {
+				if _, ok := recovered[sh][tag]; ok != (i < len(recovered[sh])) {
+					t.Fatalf("trial %d shard %d cut %d: recovered %d sub-batches but #%d (%s) present=%v: not a prefix",
+						trial, sh, cuts[sh], len(recovered[sh]), i, tag, ok)
+				}
+			}
+			// (c) Acknowledged durability on a clean crash.
+			if cuts[sh] == len(walData[sh]) && len(recovered[sh]) != len(orders[sh]) {
+				t.Fatalf("trial %d shard %d: full WAL recovered %d/%d sub-batches",
+					trial, sh, len(recovered[sh]), len(orders[sh]))
+			}
+		}
+		s2.Close()
+	}
+}
+
+// TestStoreRaceShards4 is the -race suite for the sharded store: mixed
+// Put/Delete/cross-shard Write against Get/Scan on 4 shards while tiny
+// memtables force constant flushes and per-shard background compactions
+// churn every shard's table set.
+func TestStoreRaceShards4(t *testing.T) {
+	// The 4 KiB per-shard memtable against 4 writers × 60 keys × ~300-byte
+	// values keeps every shard flushing (the key set splits 4 ways, and
+	// overwrites of live keys do not grow a memtable).
+	s := openStore(t, 4, lsm.Options{
+		MemtableBytes: 4 << 10,
+		Background:    &lsm.BackgroundConfig{Trigger: 4, Stall: 10, Strategy: "BT(I)", K: 3},
+		Seed:          11,
+	})
+
+	const (
+		writers      = 4
+		opsPerWriter = 180
+		keysPer      = 60
+	)
+	var (
+		wg      sync.WaitGroup
+		auxWG   sync.WaitGroup
+		stop    atomic.Bool
+		testErr atomic.Value
+	)
+	fail := func(err error) { testErr.CompareAndSwap(nil, err) }
+	pad := strings.Repeat("x", 256)
+
+	finals := make([]map[string]string, writers)
+	for w := 0; w < writers; w++ {
+		finals[w] = make(map[string]string)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			final := finals[w]
+			var b lsm.WriteBatch
+			for i := 0; i < opsPerWriter; i++ {
+				key := fmt.Sprintf("w%d-key-%03d", w, i%keysPer)
+				switch i % 7 {
+				case 3:
+					if err := s.Delete([]byte(key)); err != nil {
+						fail(fmt.Errorf("writer %d delete: %w", w, err))
+						return
+					}
+					delete(final, key)
+				case 5: // cross-shard batch: two puts and a delete
+					b.Reset()
+					k2 := fmt.Sprintf("w%d-key-%03d", w, (i+1)%keysPer)
+					k3 := fmt.Sprintf("w%d-key-%03d", w, (i+2)%keysPer)
+					v := fmt.Sprintf("w%d-batch-%d-%s", w, i, pad)
+					b.Put([]byte(key), []byte(v))
+					b.Put([]byte(k2), []byte(v))
+					b.Delete([]byte(k3))
+					if err := s.Write(&b); err != nil {
+						fail(fmt.Errorf("writer %d batch: %w", w, err))
+						return
+					}
+					final[key], final[k2] = v, v
+					delete(final, k3)
+				default:
+					v := fmt.Sprintf("w%d-val-%d-%s", w, i, pad)
+					if err := s.Put([]byte(key), []byte(v)); err != nil {
+						fail(fmt.Errorf("writer %d put: %w", w, err))
+						return
+					}
+					final[key] = v
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < 2; r++ {
+		auxWG.Add(1)
+		go func(r int) {
+			defer auxWG.Done()
+			for i := 0; !stop.Load(); i++ {
+				key := fmt.Sprintf("w%d-key-%03d", i%writers, i%keysPer)
+				if _, err := s.Get([]byte(key)); err != nil && !errors.Is(err, lsm.ErrNotFound) {
+					fail(fmt.Errorf("reader %d: %w", r, err))
+					return
+				}
+			}
+		}(r)
+	}
+	auxWG.Add(1)
+	go func() {
+		defer auxWG.Done()
+		for !stop.Load() {
+			prev := ""
+			err := s.Scan(func(k, v []byte) error {
+				if string(k) <= prev {
+					return fmt.Errorf("scan out of order: %q after %q", k, prev)
+				}
+				prev = string(k)
+				return nil
+			})
+			if err != nil {
+				fail(fmt.Errorf("scanner: %w", err))
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	auxWG.Wait()
+	if err, _ := testErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BackgroundErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Flushes == 0 {
+		t.Error("stress never flushed: memtable threshold not exercised")
+	}
+	for w, final := range finals {
+		for i := 0; i < keysPer; i++ {
+			key := fmt.Sprintf("w%d-key-%03d", w, i)
+			want, live := final[key]
+			got, err := s.Get([]byte(key))
+			switch {
+			case live && err != nil:
+				t.Fatalf("lost write: Get(%s) = %v, want %q", key, err, want)
+			case live && string(got) != want:
+				t.Fatalf("wrong value: Get(%s) = %q, want %q", key, got, want)
+			case !live && !errors.Is(err, lsm.ErrNotFound):
+				t.Fatalf("deleted key resurfaced: Get(%s) = %q, %v", key, got, err)
+			}
+		}
+	}
+}
+
+// TestStoreShardMarker covers the persisted-shard-count contract: the
+// count is fixed at creation, adopted on reopen with Shards=0, enforced on
+// mismatch, and an unsharded lsm.DB directory is refused.
+func TestStoreShardMarker(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir, Options{Shards: 5}); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	s2, err := Open(dir, Options{}) // adopt
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ShardCount() != 3 {
+		t.Fatalf("adopted %d shards, want 3", s2.ShardCount())
+	}
+	if v, err := s2.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("Get after adopt = %q, %v", v, err)
+	}
+	s2.Close()
+
+	// A directory holding an unsharded lsm.DB is adopted in place as one
+	// legacy shard (so upgraded binaries keep serving old databases), but
+	// re-sharding it is refused.
+	plain := t.TempDir()
+	db, err := lsm.Open(plain, lsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if _, err := Open(plain, Options{Shards: 2}); err == nil {
+		t.Fatal("sharding over an unsharded store accepted")
+	}
+	legacy, err := Open(plain, Options{})
+	if err != nil {
+		t.Fatalf("adopting an unsharded store: %v", err)
+	}
+	if legacy.ShardCount() != 1 {
+		t.Fatalf("legacy store adopted as %d shards", legacy.ShardCount())
+	}
+	if v, err := legacy.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("Get through legacy adoption = %q, %v", v, err)
+	}
+	if err := legacy.Put([]byte("k2"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// No marker was written: the directory still opens with plain lsm.Open.
+	db, err = lsm.Open(plain, lsm.Options{})
+	if err != nil {
+		t.Fatalf("plain reopen after legacy adoption: %v", err)
+	}
+	if v, err := db.Get([]byte("k2")); err != nil || string(v) != "v2" {
+		t.Fatalf("plain Get after legacy adoption = %q, %v", v, err)
+	}
+	db.Close()
+
+	if _, err := Open(t.TempDir(), Options{Shards: -1}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
+
+// TestStoreAdoptsWALOnlyLegacyDB covers the nastiest legacy shape: an
+// unsharded lsm.DB that never flushed, so its acknowledged data lives only
+// in wal.log and no MANIFEST exists. Open must recognize it as a legacy
+// layout and replay the WAL — re-initializing the directory as a fresh
+// sharded store would silently lose the writes.
+func TestStoreAdoptsWALOnlyLegacyDB(t *testing.T) {
+	dir := t.TempDir()
+	db, err := lsm.Open(dir, lsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("unflushed"), []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil { // no Flush: WAL only, no MANIFEST
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("precondition: MANIFEST unexpectedly present (%v)", err)
+	}
+
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.ShardCount() != 1 {
+		t.Fatalf("WAL-only legacy store adopted as %d shards", s.ShardCount())
+	}
+	if v, err := s.Get([]byte("unflushed")); err != nil || string(v) != "survives" {
+		t.Fatalf("Get(unflushed) = %q, %v; WAL-only legacy data lost", v, err)
+	}
+}
+
+// TestStoreStatsAggregation checks that Stats sums per-shard counters and
+// ShardStats exposes the breakdown, and that a cross-shard batch really
+// commits through multiple shard pipelines.
+func TestStoreStatsAggregation(t *testing.T) {
+	s := openStore(t, 4, lsm.Options{})
+	var b lsm.WriteBatch
+	const n = 64
+	for i := 0; i < n; i++ {
+		b.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte("v"))
+	}
+	if err := s.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.GroupedWrites != n {
+		t.Errorf("aggregate GroupedWrites = %d, want %d", st.GroupedWrites, n)
+	}
+	per := s.ShardStats()
+	if len(per) != 4 {
+		t.Fatalf("ShardStats returned %d entries", len(per))
+	}
+	shardsWithWrites, sum := 0, uint64(0)
+	for _, ss := range per {
+		sum += ss.GroupedWrites
+		if ss.GroupedWrites > 0 {
+			shardsWithWrites++
+		}
+	}
+	if sum != st.GroupedWrites {
+		t.Errorf("per-shard GroupedWrites sum %d != aggregate %d", sum, st.GroupedWrites)
+	}
+	if shardsWithWrites < 2 {
+		t.Errorf("cross-shard batch landed on %d shards; want the split to fan out", shardsWithWrites)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Tables != shardsWithWrites {
+		t.Errorf("aggregate Tables = %d, want %d (one sstable per written shard)", st.Tables, shardsWithWrites)
+	}
+
+	// Filter counters aggregate too: probing absent keys after the flush
+	// drives Bloom negatives on some shard.
+	for i := 0; i < 200; i++ {
+		if _, err := s.Get([]byte(fmt.Sprintf("absent-%04d", i))); !errors.Is(err, lsm.ErrNotFound) {
+			t.Fatal(err)
+		}
+	}
+	st = s.Stats()
+	if st.FilterNegatives == 0 {
+		t.Error("no Bloom-filter negatives recorded for absent-key probes")
+	}
+}
+
+// TestStoreRouterBalance checks the KeyHash router spreads realistic keys
+// roughly evenly over shards — the property that makes per-shard pipelines
+// scale.
+func TestStoreRouterBalance(t *testing.T) {
+	s := openStore(t, 8, lsm.Options{})
+	counts := make([]int, 8)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[s.ShardFor([]byte(fmt.Sprintf("user%08d", i)))]++
+	}
+	for sh, c := range counts {
+		share := float64(c) / keys
+		if share < 0.06 || share > 0.20 {
+			t.Errorf("shard %d owns %.1f%% of keys; want roughly 12.5%%", sh, share*100)
+		}
+	}
+}
