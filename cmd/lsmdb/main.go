@@ -1,8 +1,9 @@
 // Command lsmdb is a small interactive/scriptable shell over the LSM
-// engine, for poking at the real write path: puts land in the WAL and
-// memtable, flushes cut sstables, and `compact <strategy>` runs a major
-// compaction scheduled by any of the paper's strategies, printing the
-// abstract cost alongside the real bytes moved.
+// engine, for poking at the real write path through the public kv API:
+// puts land in the WAL and memtable, flushes cut sstables, and
+// `compact <strategy>` runs a major compaction scheduled by any of the
+// paper's strategies, printing the abstract cost alongside the real bytes
+// moved.
 //
 // Usage:
 //
@@ -14,6 +15,7 @@
 //	get <key>
 //	del <key>
 //	scan [limit]
+//	range <start> <end> [limit]
 //	flush
 //	compact <strategy> [k]     e.g. compact BT(I) 2
 //	fill <n>                   insert n synthetic keys
@@ -23,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,8 +33,7 @@ import (
 	"strings"
 
 	"repro/internal/compaction"
-	"repro/internal/lsm"
-	"repro/internal/store"
+	"repro/kv"
 )
 
 func main() {
@@ -43,7 +45,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lsmdb: -dir is required")
 		os.Exit(2)
 	}
-	db, err := store.Open(*dir, store.Options{Shards: *shards, Options: lsm.Options{SyncWAL: *sync}})
+	opts := []kv.Option{kv.WithShards(*shards)}
+	if *sync {
+		opts = append(opts, kv.WithSyncWAL())
+	}
+	db, err := kv.Open(*dir, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmdb:", err)
 		os.Exit(1)
@@ -70,7 +76,8 @@ func main() {
 	}
 }
 
-func execute(db *store.Store, line string) error {
+func execute(db kv.Engine, line string) error {
+	ctx := context.Background()
 	fields := strings.Fields(line)
 	cmd, args := fields[0], fields[1:]
 	switch cmd {
@@ -78,12 +85,12 @@ func execute(db *store.Store, line string) error {
 		if len(args) < 2 {
 			return fmt.Errorf("usage: put <key> <value>")
 		}
-		return db.Put([]byte(args[0]), []byte(strings.Join(args[1:], " ")))
+		return db.Put(ctx, []byte(args[0]), []byte(strings.Join(args[1:], " ")))
 	case "get":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: get <key>")
 		}
-		v, err := db.Get([]byte(args[0]))
+		v, err := db.Get(ctx, []byte(args[0]))
 		if err != nil {
 			return err
 		}
@@ -93,7 +100,7 @@ func execute(db *store.Store, line string) error {
 		if len(args) != 1 {
 			return fmt.Errorf("usage: del <key>")
 		}
-		return db.Delete([]byte(args[0]))
+		return db.Delete(ctx, []byte(args[0]))
 	case "scan":
 		limit := -1
 		if len(args) == 1 {
@@ -103,40 +110,41 @@ func execute(db *store.Store, line string) error {
 			}
 			limit = n
 		}
-		count := 0
-		err := db.Scan(func(k, v []byte) error {
-			if limit >= 0 && count >= limit {
-				return fmt.Errorf("limit")
-			}
-			fmt.Printf("%s = %s\n", k, v)
-			count++
-			return nil
-		})
-		if err != nil && err.Error() != "limit" {
-			return err
+		return printRange(ctx, db, nil, nil, limit)
+	case "range":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: range <start> <end> [limit]")
 		}
-		fmt.Printf("(%d keys)\n", count)
-		return nil
+		limit := -1
+		if len(args) >= 3 {
+			n, err := strconv.Atoi(args[2])
+			if err != nil {
+				return err
+			}
+			limit = n
+		}
+		return printRange(ctx, db, []byte(args[0]), []byte(args[1]), limit)
 	case "flush":
-		return db.Flush()
+		return db.Flush(ctx)
 	case "compact":
 		if len(args) < 1 {
 			return fmt.Errorf("usage: compact <strategy> [k]")
 		}
-		k := 2
+		copts := kv.CompactOptions{Strategy: args[0]}
 		if len(args) >= 2 {
 			n, err := strconv.Atoi(args[1])
 			if err != nil {
 				return err
 			}
-			k = n
+			copts.K = n
 		}
-		res, err := db.MajorCompact(args[0], k, 1)
+		res, err := db.Compact(ctx, &copts)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("compacted %d tables in %d merges: cost=%d keys (costactual), io=%d bytes (%d read + %d written), took %v\n",
-			res.TablesBefore, len(res.StepStats), res.CostActual, res.TotalIO(), res.BytesRead, res.BytesWritten, res.Duration)
+			res.TablesBefore, res.Merges, res.CostActual,
+			res.BytesRead+res.BytesWritten, res.BytesRead, res.BytesWritten, res.Duration)
 		return nil
 	case "fill":
 		if len(args) != 1 {
@@ -147,18 +155,20 @@ func execute(db *store.Store, line string) error {
 			return err
 		}
 		for i := 0; i < n; i++ {
-			if err := db.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			if err := db.Put(ctx, []byte(fmt.Sprintf("key-%08d", i)), []byte(fmt.Sprintf("value-%d", i))); err != nil {
 				return err
 			}
 		}
 		fmt.Printf("inserted %d keys\n", n)
 		return nil
 	case "stats":
-		shardStats := db.ShardStats()
-		st := store.Aggregate(shardStats)
+		st, err := db.Stats(ctx)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("shards=%d tables=%d table_bytes=%d memtable_keys=%d flushes=%d filter_neg=%d\n",
-			db.ShardCount(), st.Tables, st.TableBytes, st.MemtableKeys, st.Flushes, st.FilterNegatives)
-		for i, ss := range shardStats {
+			st.Shards, st.Tables, st.TableBytes, st.MemtableKeys, st.Flushes, st.FilterNegatives)
+		for i, ss := range st.PerShard {
 			fmt.Printf("  shard %03d: tables=%d table_bytes=%d memtable_keys=%d flushes=%d\n",
 				i, ss.Tables, ss.TableBytes, ss.MemtableKeys, ss.Flushes)
 		}
@@ -166,4 +176,26 @@ func execute(db *store.Store, line string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// printRange drains an iterator to stdout, stopping at limit when >= 0.
+func printRange(ctx context.Context, db kv.Engine, start, end []byte, limit int) error {
+	it, err := db.NewIterator(ctx, start, end)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	count := 0
+	for ; it.Valid(); it.Next() {
+		if limit >= 0 && count >= limit {
+			break
+		}
+		fmt.Printf("%s = %s\n", it.Key(), it.Value())
+		count++
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("(%d keys)\n", count)
+	return nil
 }

@@ -5,23 +5,26 @@
 // describes) keep the table count bounded, and clients can trigger a major
 // compaction with any of the paper's strategies.
 //
+// The process is a thin shell over the public kv package: kv.Open builds
+// the engine (single partition or -shards N hash-sharded), kv.NewServer
+// serves it, and -stats-http exposes the same statistics kv.Engine.Stats
+// reports as JSON (GET /stats) for scraping — no log-line parsing needed.
+//
 // With -background, a maintenance goroutine additionally runs non-blocking
 // major compactions whenever the live table count reaches -bg-trigger,
 // stalling writers at -bg-stall (backpressure); reads and writes keep
 // being served while the merge runs.
 //
-// With -shards N the key space partitions over N independent engine
-// shards (per-shard WAL, commit pipeline and compaction) inside this one
-// process; the wire protocol is unchanged, clients simply see one store.
-//
 // Usage:
 //
 //	lsmserver -dir /var/lib/lsm -listen 127.0.0.1:7700 -auto size-tiered
 //	lsmserver -dir /var/lib/lsm -background -bg-trigger 8 -bg-strategy "BT(I)"
-//	lsmserver -dir /var/lib/lsm -shards 4 -sync
+//	lsmserver -dir /var/lib/lsm -shards 4 -sync -stats-http 127.0.0.1:7701
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -31,9 +34,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/kvnet"
-	"repro/internal/lsm"
-	"repro/internal/store"
+	"repro/kv"
 )
 
 func main() {
@@ -57,6 +58,7 @@ func run() error {
 		bgK        = flag.Int("bg-k", 4, "maximum merge fan-in for background compactions")
 		workers    = flag.Int("compact-workers", 0, "merge worker pool size (0 = GOMAXPROCS)")
 		statsEvery = flag.Duration("stats-every", 0, "periodically log write-pipeline stats (0 = off)")
+		statsHTTP  = flag.String("stats-http", "", "serve engine stats as JSON at this address (GET /stats; empty = off)")
 		shards     = flag.Int("shards", 0, "engine shard count (0 = adopt existing store, 1 for a new one)")
 	)
 	flag.Parse()
@@ -64,38 +66,40 @@ func run() error {
 		return fmt.Errorf("-dir is required")
 	}
 
-	opts := store.Options{
-		Shards:  *shards,
-		Options: lsm.Options{MemtableBytes: *memSize, SyncWAL: *sync, CompactionWorkers: *workers},
+	opts := []kv.Option{
+		kv.WithShards(*shards),
+		kv.WithMemtableBytes(*memSize),
+		kv.WithCompactionWorkers(*workers),
+		kv.WithAutoCompact(*auto),
+	}
+	if *sync {
+		opts = append(opts, kv.WithSyncWAL())
 	}
 	if *background {
-		opts.Background = &lsm.BackgroundConfig{
+		opts = append(opts, kv.WithBackgroundCompaction(kv.BackgroundConfig{
 			Trigger:  *bgTrigger,
 			Stall:    *bgStall,
 			Strategy: *bgStrategy,
 			K:        *bgK,
-		}
+		}))
 	}
-	switch *auto {
-	case "size-tiered":
-		opts.AutoCompact = lsm.SizeTieredPolicy{}
-	case "threshold":
-		opts.AutoCompact = lsm.ThresholdPolicy{}
-	case "none":
-	default:
-		return fmt.Errorf("unknown auto policy %q", *auto)
+	if *statsHTTP != "" {
+		opts = append(opts, kv.WithStatsHandler(*statsHTTP))
 	}
-	db, err := store.Open(*dir, opts)
+	eng, err := kv.Open(*dir, opts...)
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer eng.Close()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	srv := kvnet.NewServer(db)
+	srv, err := kv.NewServer(eng)
+	if err != nil {
+		return err
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -105,52 +109,74 @@ func run() error {
 		srv.Close()
 	}()
 
-	if st := db.Stats(); st.WALRecoveryTruncated {
+	ctx := context.Background()
+	st, err := eng.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if st.WALRecoveryTruncated {
 		fmt.Fprintf(os.Stderr,
 			"lsmserver: WAL recovery was truncated by a crash: recovered %d records (%d batches, %d bytes)\n",
 			st.WALRecoveredRecords, st.WALRecoveredBatches, st.WALRecoveredBytes)
 	}
 	if *statsEvery > 0 {
-		go func() {
-			var last lsm.Stats
-			for range time.Tick(*statsEvery) {
-				shardStats := db.ShardStats()
-				st := store.Aggregate(shardStats)
-				groups := st.GroupCommits - last.GroupCommits
-				writes := st.GroupedWrites - last.GroupedWrites
-				syncs := st.WALSyncs - last.WALSyncs
-				groupSize, syncsPerWrite := 0.0, 0.0
-				if groups > 0 {
-					groupSize = float64(writes) / float64(groups)
-				}
-				if writes > 0 {
-					syncsPerWrite = float64(syncs) / float64(writes)
-				}
-				cacheHitPct := 0.0
-				if lookups := st.BlockCacheHits + st.BlockCacheMisses; lookups > 0 {
-					cacheHitPct = 100 * float64(st.BlockCacheHits) / float64(lookups)
-				}
-				perShard := make([]string, 0, len(shardStats))
-				for _, ss := range shardStats {
-					perShard = append(perShard, fmt.Sprint(ss.Tables))
-				}
-				fmt.Printf("lsmserver: stats tables=%d(%s) mem-keys=%d writes=%d groups=%d avg-group=%.1f syncs/write=%.3f cache-hit=%.1f%% filter-neg=%d filter-fp=%d stalls=%d state=%s\n",
-					st.Tables, strings.Join(perShard, "/"), st.MemtableKeys, writes, groups, groupSize,
-					syncsPerWrite, cacheHitPct, st.FilterNegatives, st.FilterFalsePositives,
-					st.WriteStalls, st.CompactionState)
-				last = st
-			}
-		}()
+		go logStats(ctx, eng, *statsEvery)
 	}
 
 	mode := "foreground-major"
 	if *background {
 		mode = fmt.Sprintf("background-major(trigger=%d, strategy=%s)", *bgTrigger, *bgStrategy)
 	}
-	fmt.Printf("lsmserver: serving %s on %s (shards=%d, auto=%s, %s)\n", *dir, ln.Addr(), db.ShardCount(), *auto, mode)
+	extra := ""
+	if *statsHTTP != "" {
+		extra = fmt.Sprintf(", stats at http://%s/stats", *statsHTTP)
+	}
+	fmt.Printf("lsmserver: serving %s on %s (shards=%d, auto=%s, %s%s)\n",
+		*dir, ln.Addr(), st.Shards, *auto, mode, extra)
 	err = srv.Serve(ln)
-	if err == net.ErrClosed {
+	if errors.Is(err, net.ErrClosed) {
 		return nil
 	}
 	return err
+}
+
+// logStats periodically prints a one-line pipeline summary; the JSON
+// endpoint (-stats-http) is the machine-readable channel, this one is for
+// humans tailing the log.
+func logStats(ctx context.Context, eng kv.Engine, every time.Duration) {
+	var last kv.Stats
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for range tick.C {
+		st, err := eng.Stats(ctx)
+		if err != nil {
+			return
+		}
+		groups := st.GroupCommits - last.GroupCommits
+		writes := st.GroupedWrites - last.GroupedWrites
+		syncs := st.WALSyncs - last.WALSyncs
+		groupSize, syncsPerWrite := 0.0, 0.0
+		if groups > 0 {
+			groupSize = float64(writes) / float64(groups)
+		}
+		if writes > 0 {
+			syncsPerWrite = float64(syncs) / float64(writes)
+		}
+		cacheHitPct := 0.0
+		if lookups := st.BlockCacheHits + st.BlockCacheMisses; lookups > 0 {
+			cacheHitPct = 100 * float64(st.BlockCacheHits) / float64(lookups)
+		}
+		perShard := make([]string, 0, len(st.PerShard))
+		for _, ss := range st.PerShard {
+			perShard = append(perShard, fmt.Sprint(ss.Tables))
+		}
+		if len(perShard) == 0 {
+			perShard = append(perShard, fmt.Sprint(st.Tables))
+		}
+		fmt.Printf("lsmserver: stats tables=%d(%s) mem-keys=%d writes=%d groups=%d avg-group=%.1f syncs/write=%.3f cache-hit=%.1f%% filter-neg=%d filter-fp=%d stalls=%d state=%s\n",
+			st.Tables, strings.Join(perShard, "/"), st.MemtableKeys, writes, groups, groupSize,
+			syncsPerWrite, cacheHitPct, st.FilterNegatives, st.FilterFalsePositives,
+			st.WriteStalls, st.CompactionState)
+		last = st
+	}
 }

@@ -1,20 +1,22 @@
-// client_server: the full NoSQL-server picture in one process. A kvnet
-// server wraps an LSM store with size-tiered auto minor compaction; a
-// client drives a YCSB-style write-heavy workload over TCP, then triggers
-// major compactions with two different strategies and compares their real
-// disk I/O — the paper's optimization problem exercised end to end over
-// the wire.
+// client_server: the full NoSQL-server picture in one process, built
+// entirely from the public kv package. kv.Open builds an embedded store
+// with size-tiered auto minor compaction, kv.NewServer serves it over
+// TCP, and kv.Dial returns a remote kv.Engine — the same interface the
+// embedded store implements — that drives a YCSB-style write-heavy
+// workload over the wire, then triggers a major compaction and compares
+// its real disk I/O — the paper's optimization problem exercised end to
+// end over the network.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"os"
 
-	"repro/internal/kvnet"
-	"repro/internal/lsm"
 	"repro/internal/ycsb"
+	"repro/kv"
 )
 
 func main() {
@@ -27,10 +29,11 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	db, err := lsm.Open(dir, lsm.Options{
-		MemtableBytes: 128 << 10,
-		AutoCompact:   lsm.SizeTieredPolicy{MinThreshold: 4},
-	})
+	ctx := context.Background()
+	db, err := kv.Open(dir,
+		kv.WithMemtableBytes(128<<10),
+		kv.WithAutoCompact("size-tiered"),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,12 +43,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := kvnet.NewServer(db)
+	srv, err := kv.NewServer(db)
+	if err != nil {
+		log.Fatal(err)
+	}
 	go srv.Serve(ln)
 	defer srv.Close()
 	fmt.Printf("server on %s\n", ln.Addr())
 
-	client, err := kvnet.Dial(ln.Addr().String())
+	client, err := kv.Dial(ln.Addr().String())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +72,7 @@ func main() {
 	}
 	write := func(op ycsb.Op) error {
 		key := []byte(fmt.Sprintf("user%016x", op.Key))
-		return client.Put(key, []byte(fmt.Sprintf("payload-%d", op.Key%97)))
+		return client.Put(ctx, key, []byte(fmt.Sprintf("payload-%d", op.Key%97)))
 	}
 	for {
 		op, ok := gen.NextLoad()
@@ -88,35 +94,39 @@ func main() {
 			}
 		}
 	}
-	if err := client.Flush(); err != nil {
+	if err := client.Flush(ctx); err != nil {
 		log.Fatal(err)
 	}
-	st, err := client.Stats()
+	st, err := client.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("after workload: %d sstables, %d bytes, %d flushes, %d auto minor compactions\n",
 		st.Tables, st.TableBytes, st.Flushes, st.MinorCompactions)
 
-	// Major compaction over the wire, RANDOM vs BT(I). Reload between runs
-	// is unnecessary — the second run compacts the single table trivially —
-	// so compare on cost reported for the first real run instead.
-	for _, strat := range []string{"BT(I)"} {
-		info, err := client.Compact(strat, 2)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%s major compaction: %d tables in %d merges, cost %d keys, %d bytes read + %d written, %d µs\n",
-			strat, info.TablesBefore, info.Merges, info.CostActual,
-			info.BytesRead, info.BytesWritten, info.DurationMicro)
-	}
-
-	entries, err := client.Scan([]byte("user"), 5)
+	// Major compaction over the wire with the paper's recommended
+	// strategy, through the same Engine interface the embedded store has.
+	info, err := client.Compact(ctx, &kv.CompactOptions{Strategy: "BT(I)", K: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("first %d keys after compaction:\n", len(entries))
-	for _, e := range entries {
-		fmt.Printf("  %s = %s\n", e.Key, e.Value)
+	fmt.Printf("%s major compaction: %d tables in %d merges, cost %d keys, %d bytes read + %d written, %v\n",
+		info.Strategy, info.TablesBefore, info.Merges, info.CostActual,
+		info.BytesRead, info.BytesWritten, info.Duration)
+
+	// Stream the first keys back with a remote iterator (paged under the
+	// hood, same Iterator interface as the embedded engine).
+	it, err := client.NewIterator(ctx, []byte("user"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer it.Close()
+	fmt.Println("first 5 keys after compaction:")
+	for n := 0; it.Valid() && n < 5; it.Next() {
+		fmt.Printf("  %s = %s\n", it.Key(), it.Value())
+		n++
+	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -17,15 +19,14 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
-	"repro/internal/kvnet"
-	"repro/internal/lsm"
-	"repro/internal/store"
 	"repro/internal/ycsb"
+	"repro/kv"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cluster: ")
+	ctx := context.Background()
 
 	const (
 		nodes         = 3
@@ -38,15 +39,18 @@ func main() {
 			log.Fatal(err)
 		}
 		defer os.RemoveAll(dir)
-		db, err := store.Open(dir, store.Options{
-			Shards:  shardsPerNode,
-			Options: lsm.Options{MemtableBytes: 64 << 10},
-		})
+		db, err := kv.Open(dir,
+			kv.WithShards(shardsPerNode),
+			kv.WithMemtableBytes(64<<10),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer db.Close()
-		srv := kvnet.NewServer(db)
+		srv, err := kv.NewServer(db)
+		if err != nil {
+			log.Fatal(err)
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -81,7 +85,7 @@ func main() {
 			return
 		}
 		key := []byte(fmt.Sprintf("user%016x", op.Key))
-		if err := rt.Put(key, []byte("profile-data")); err != nil {
+		if err := rt.Put(ctx, key, []byte("profile-data")); err != nil {
 			log.Fatal(err)
 		}
 		writes++
@@ -100,11 +104,11 @@ func main() {
 		}
 		emit(op)
 	}
-	if err := rt.FlushAll(); err != nil {
+	if err := rt.FlushAll(ctx); err != nil {
 		log.Fatal(err)
 	}
 
-	stats, err := rt.StatsAll()
+	stats, err := rt.StatsAll(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,7 +125,7 @@ func main() {
 
 	// Cluster-wide major compaction, fanned out by the router and scheduled
 	// per shard on every node by BT(I).
-	infos, err := rt.CompactAll("BT(I)", 2)
+	infos, err := rt.CompactAll(ctx, "BT(I)", 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -131,7 +135,7 @@ func main() {
 		fmt.Printf("  %s: %d tables in %d merges, cost %d keys, %d bytes moved\n",
 			n, info.TablesBefore, info.Merges, info.CostActual, info.BytesRead+info.BytesWritten)
 	}
-	stats, err = rt.StatsAll()
+	stats, err = rt.StatsAll(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -143,10 +147,10 @@ func main() {
 
 	// The router still resolves every key after compaction.
 	probe := []byte(fmt.Sprintf("user%016x", uint64(0)))
-	if _, err := rt.Get(probe); err != nil && err != kvnet.ErrNotFound {
+	if _, err := rt.Get(ctx, probe); err != nil && !errors.Is(err, kv.ErrNotFound) {
 		log.Fatal(err)
 	}
-	entries, err := rt.Scan([]byte("user"), 3)
+	entries, err := rt.Scan(ctx, []byte("user"), 3)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,19 +1,21 @@
-// kvstore: drive the real LSM engine end to end — write enough data to cut
-// several sstables, delete a slice of keys, then run a major compaction
-// scheduled by BT(I) (the paper's recommended strategy) and show that the
-// abstract cost model lines up with the actual bytes moved on disk. With
-// -shards N the same workload runs against a hash-partitioned store whose
-// shards flush and compact independently.
+// kvstore: drive the real LSM engine end to end through the public kv
+// API — write enough data to cut several sstables, delete a slice of
+// keys, then run a major compaction scheduled by BT(I) (the paper's
+// recommended strategy) and show that the abstract cost model lines up
+// with the actual bytes moved on disk. With -shards N the same workload
+// runs against a hash-partitioned store whose shards flush and compact
+// independently — behind the same kv.Engine.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/lsm"
-	"repro/internal/store"
+	"repro/kv"
 )
 
 func main() {
@@ -28,7 +30,8 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	db, err := store.Open(dir, store.Options{Shards: *shards, Options: lsm.Options{MemtableBytes: 64 << 10}})
+	ctx := context.Background()
+	db, err := kv.Open(dir, kv.WithShards(*shards), kv.WithMemtableBytes(64<<10))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,48 +42,54 @@ func main() {
 		for i := 0; i < 1500; i++ {
 			key := fmt.Sprintf("user%05d", i*(gen+1)%2000)
 			val := fmt.Sprintf("profile-v%d-%d", gen, i)
-			if err := db.Put([]byte(key), []byte(val)); err != nil {
+			if err := db.Put(ctx, []byte(key), []byte(val)); err != nil {
 				log.Fatal(err)
 			}
 		}
-		if err := db.Flush(); err != nil {
+		if err := db.Flush(ctx); err != nil {
 			log.Fatal(err)
 		}
 	}
 	// Delete a range; the tombstones will be purged by the compaction.
 	for i := 0; i < 200; i++ {
-		if err := db.Delete([]byte(fmt.Sprintf("user%05d", i))); err != nil {
+		if err := db.Delete(ctx, []byte(fmt.Sprintf("user%05d", i))); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	st := db.Stats()
-	fmt.Printf("before compaction: %d shards, %d sstables, %d bytes on disk\n",
-		db.ShardCount(), st.Tables, st.TableBytes)
-
-	res, err := db.MajorCompact("BT(I)", 2, 1)
+	st, err := db.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("compacted %d tables in %d merges using %s\n", res.TablesBefore, len(res.StepStats), res.Strategy)
+	fmt.Printf("before compaction: %d shards, %d sstables, %d bytes on disk\n",
+		st.Shards, st.Tables, st.TableBytes)
+
+	res, err := db.Compact(ctx, &kv.CompactOptions{Strategy: "BT(I)", K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compacted %d tables in %d merges using %s\n", res.TablesBefore, res.Merges, res.Strategy)
 	fmt.Printf("  abstract cost:  %d keys (costactual, Section 2)\n", res.CostActual)
 	fmt.Printf("  real disk I/O:  %d bytes read, %d bytes written\n", res.BytesRead, res.BytesWritten)
 	fmt.Printf("  bytes per key:  %.1f (the proportionality the cost model assumes)\n",
-		float64(res.TotalIO())/float64(res.CostActual))
+		float64(res.BytesRead+res.BytesWritten)/float64(res.CostActual))
 	fmt.Printf("  wall time:      %v\n", res.Duration)
 
-	st = db.Stats()
+	st, err = db.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("after compaction: %d sstable(s), %d bytes on disk\n", st.Tables, st.TableBytes)
-	for i, ss := range db.ShardStats() {
+	for i, ss := range st.PerShard {
 		fmt.Printf("  shard %d: %d sstable(s), %d bytes\n", i, ss.Tables, ss.TableBytes)
 	}
 
 	// Reads work throughout: a deleted key stays gone, a live key resolves
 	// to its newest version.
-	if _, err := db.Get([]byte("user00000")); err != lsm.ErrNotFound {
+	if _, err := db.Get(ctx, []byte("user00000")); !errors.Is(err, kv.ErrNotFound) {
 		log.Fatalf("deleted key resurfaced: %v", err)
 	}
-	v, err := db.Get([]byte("user00500"))
+	v, err := db.Get(ctx, []byte("user00500"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,10 +20,9 @@ import (
 	"time"
 
 	"repro/internal/compaction"
-	"repro/internal/lsm"
 	"repro/internal/simulator"
-	"repro/internal/store"
 	"repro/internal/ycsb"
+	"repro/kv"
 )
 
 func main() {
@@ -87,7 +87,8 @@ func runEngine(shards, operationCount, recordCount int) {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	st, err := store.Open(dir, store.Options{Shards: shards, Options: lsm.Options{MemtableBytes: 64 << 10}})
+	ctx := context.Background()
+	st, err := kv.Open(dir, kv.WithShards(shards), kv.WithMemtableBytes(64<<10))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func runEngine(shards, operationCount, recordCount int) {
 		if !op.Mutates() {
 			return
 		}
-		if err := st.Put([]byte(fmt.Sprintf("user%016x", op.Key)), []byte("profile-data")); err != nil {
+		if err := st.Put(ctx, []byte(fmt.Sprintf("user%016x", op.Key)), []byte("profile-data")); err != nil {
 			log.Fatal(err)
 		}
 		writes++
@@ -129,19 +130,23 @@ func runEngine(shards, operationCount, recordCount int) {
 		}
 		emit(op)
 	}
-	if err := st.Flush(); err != nil {
+	if err := st.Flush(ctx); err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("\nengine mode: %d writes through %d shards in %v (%.0f writes/sec)\n",
-		writes, st.ShardCount(), elapsed.Round(time.Millisecond), float64(writes)/elapsed.Seconds())
-	for i, ss := range st.ShardStats() {
-		fmt.Printf("  shard %d: %d sstables, %d flushes\n", i, ss.Tables, ss.Flushes)
-	}
-	res, err := st.MajorCompact("BT(I)", 2, 1)
+	stats, err := st.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("per-shard BT(I) compaction: %d tables -> %d in %d merges, cost %d keys, %v\n",
-		res.TablesBefore, res.TablesAfter, len(res.StepStats), res.CostActual, res.Duration.Round(time.Millisecond))
+	fmt.Printf("\nengine mode: %d writes through %d shards in %v (%.0f writes/sec)\n",
+		writes, stats.Shards, elapsed.Round(time.Millisecond), float64(writes)/elapsed.Seconds())
+	for i, ss := range stats.PerShard {
+		fmt.Printf("  shard %d: %d sstables, %d flushes\n", i, ss.Tables, ss.Flushes)
+	}
+	res, err := st.Compact(ctx, &kv.CompactOptions{Strategy: "BT(I)", K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-shard BT(I) compaction: %d tables in %d merges, cost %d keys, %v\n",
+		res.TablesBefore, res.Merges, res.CostActual, res.Duration.Round(time.Millisecond))
 }

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
+	"time"
 
 	"repro/internal/kvnet"
 	"repro/internal/lsm"
@@ -138,35 +140,35 @@ func TestRouterCRUD(t *testing.T) {
 	const n = 600
 	for i := 0; i < n; i++ {
 		k := []byte(fmt.Sprintf("key-%05d", i))
-		if err := rt.Put(k, []byte(fmt.Sprint(i))); err != nil {
+		if err := rt.Put(context.Background(), k, []byte(fmt.Sprint(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < n; i++ {
 		k := []byte(fmt.Sprintf("key-%05d", i))
-		v, err := rt.Get(k)
+		v, err := rt.Get(context.Background(), k)
 		if err != nil || string(v) != fmt.Sprint(i) {
 			t.Fatalf("Get(%s) = %q, %v", k, v, err)
 		}
 	}
-	if err := rt.Delete([]byte("key-00042")); err != nil {
+	if err := rt.Delete(context.Background(), []byte("key-00042")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.Get([]byte("key-00042")); err != kvnet.ErrNotFound {
+	if _, err := rt.Get(context.Background(), []byte("key-00042")); err != kvnet.ErrNotFound {
 		t.Errorf("deleted key Get = %v", err)
 	}
 	// Keys actually spread across nodes.
-	stats, err := rt.StatsAll()
+	stats, err := rt.StatsAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(stats) != 3 {
 		t.Fatalf("stats from %d nodes", len(stats))
 	}
-	if err := rt.FlushAll(); err != nil {
+	if err := rt.FlushAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	stats, err = rt.StatsAll()
+	stats, err = rt.StatsAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,15 +188,15 @@ func TestRouterCompactAll(t *testing.T) {
 	for gen := 0; gen < 3; gen++ {
 		for i := 0; i < 300; i++ {
 			k := []byte(fmt.Sprintf("key-%05d", i))
-			if err := rt.Put(k, []byte(fmt.Sprintf("v%d", gen))); err != nil {
+			if err := rt.Put(context.Background(), k, []byte(fmt.Sprintf("v%d", gen))); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := rt.FlushAll(); err != nil {
+		if err := rt.FlushAll(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
-	infos, err := rt.CompactAll("BT(I)", 2)
+	infos, err := rt.CompactAll(context.Background(), "BT(I)", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +215,7 @@ func TestRouterCompactAll(t *testing.T) {
 	if compactions == 0 {
 		t.Errorf("no node had enough tables to compact")
 	}
-	stats, err := rt.StatsAll()
+	stats, err := rt.StatsAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +225,7 @@ func TestRouterCompactAll(t *testing.T) {
 		}
 	}
 	// Reads still correct after cluster-wide compaction.
-	v, err := rt.Get([]byte("key-00123"))
+	v, err := rt.Get(context.Background(), []byte("key-00123"))
 	if err != nil || string(v) != "v2" {
 		t.Errorf("Get after compact = %q, %v", v, err)
 	}
@@ -232,14 +234,14 @@ func TestRouterCompactAll(t *testing.T) {
 func TestRouterScanMergesSorted(t *testing.T) {
 	rt := startCluster(t, 3)
 	for i := 0; i < 200; i++ {
-		if err := rt.Put([]byte(fmt.Sprintf("p:%04d", i)), []byte("x")); err != nil {
+		if err := rt.Put(context.Background(), []byte(fmt.Sprintf("p:%04d", i)), []byte("x")); err != nil {
 			t.Fatal(err)
 		}
-		if err := rt.Put([]byte(fmt.Sprintf("q:%04d", i)), []byte("y")); err != nil {
+		if err := rt.Put(context.Background(), []byte(fmt.Sprintf("q:%04d", i)), []byte("y")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	entries, err := rt.Scan([]byte("p:"), 0)
+	entries, err := rt.Scan(context.Background(), []byte("p:"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +253,7 @@ func TestRouterScanMergesSorted(t *testing.T) {
 			t.Fatalf("merged scan out of order")
 		}
 	}
-	limited, err := rt.Scan(nil, 50)
+	limited, err := rt.Scan(context.Background(), nil, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,5 +268,42 @@ func TestDialClusterErrors(t *testing.T) {
 	}
 	if _, err := DialCluster([]string{"127.0.0.1:1"}, 8); err == nil {
 		t.Errorf("unreachable node accepted")
+	}
+}
+
+// TestRouterRedialsReapedConnection: a router whose node connection was
+// reaped by the server's idle timeout must re-dial transparently instead
+// of failing every subsequent operation.
+func TestRouterRedialsReapedConnection(t *testing.T) {
+	db, err := lsm.Open(t.TempDir(), lsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := kvnet.NewServer(db)
+	srv.IdleTimeout = 50 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	rt, err := DialCluster([]string{ln.Addr().String()}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ctx := context.Background()
+	if err := rt.Put(ctx, []byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Let the server reap the idle connection, then keep using the router.
+	time.Sleep(300 * time.Millisecond)
+	if err := rt.Put(ctx, []byte("k"), []byte("v2")); err != nil {
+		t.Fatalf("Put after idle reap = %v, want transparent redial", err)
+	}
+	if v, err := rt.Get(ctx, []byte("k")); err != nil || string(v) != "v2" {
+		t.Fatalf("Get after redial = %q, %v", v, err)
 	}
 }

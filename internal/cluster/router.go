@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,11 +11,16 @@ import (
 )
 
 // Router is a cluster client: it owns one kvnet.Client per node and routes
-// each key to its owner via the ring. Safe for concurrent use.
+// each key to its owner via the ring. Safe for concurrent use. A node's
+// connection is re-dialed transparently when the previous one was poisoned
+// by a cancelled request or reaped by the server's idle timeout — a kvnet
+// connection never recovers in place (the frame stream loses sync), so
+// recovery lives here.
 type Router struct {
-	mu    sync.RWMutex
-	ring  *Ring
-	conns map[string]*kvnet.Client
+	mu     sync.RWMutex
+	ring   *Ring
+	conns  map[string]*kvnet.Client
+	closed bool
 }
 
 // DialCluster connects to every address and builds a router. Node names
@@ -40,6 +46,7 @@ func DialCluster(addrs []string, vnodesPerNode int) (*Router, error) {
 func (rt *Router) Close() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.closed = true
 	var first error
 	for _, c := range rt.conns {
 		if err := c.Close(); err != nil && first == nil {
@@ -57,76 +64,139 @@ func (rt *Router) Owner(key []byte) string {
 	return rt.ring.Lookup(key)
 }
 
-func (rt *Router) clientFor(key []byte) (*kvnet.Client, string, error) {
+// client returns node's connection, re-dialing if the cached one was
+// closed or poisoned.
+func (rt *Router) client(node string) (*kvnet.Client, error) {
 	rt.mu.RLock()
-	defer rt.mu.RUnlock()
-	node := rt.ring.Lookup(key)
 	c, ok := rt.conns[node]
-	if !ok {
-		return nil, "", fmt.Errorf("cluster: no connection for node %q", node)
+	closed := rt.closed
+	rt.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("cluster: router closed")
 	}
-	return c, node, nil
+	if ok && c.Healthy() {
+		return c, nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return nil, fmt.Errorf("cluster: router closed")
+	}
+	// Recheck under the write lock: another goroutine may have re-dialed.
+	if c, ok := rt.conns[node]; ok && c.Healthy() {
+		return c, nil
+	}
+	c, err := kvnet.Dial(node)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: redial %s: %w", node, err)
+	}
+	rt.conns[node] = c
+	return c, nil
+}
+
+// ownerNode resolves the ring owner of key.
+func (rt *Router) ownerNode(key []byte) (string, error) {
+	rt.mu.RLock()
+	node := rt.ring.Lookup(key)
+	rt.mu.RUnlock()
+	if node == "" {
+		return "", fmt.Errorf("cluster: empty ring")
+	}
+	return node, nil
+}
+
+// do runs fn against node's connection. A cached connection can turn out
+// stale only once it is used — the server's idle timeout reaps quiet
+// connections silently, and the client cannot tell until the next I/O
+// fails — so a transport-level failure (the connection is poisoned
+// afterwards) gets one retry on a fresh connection. Every protocol
+// operation is idempotent, so the single retry is safe even if the failed
+// attempt reached the server.
+func (rt *Router) do(ctx context.Context, node string, fn func(c *kvnet.Client) error) error {
+	c, err := rt.client(node)
+	if err != nil {
+		return err
+	}
+	err = fn(c)
+	if err == nil || c.Healthy() || ctx.Err() != nil {
+		// Success, a typed server-side error (the connection survived), or
+		// the caller's own context expired — nothing to retry.
+		return err
+	}
+	c, rerr := rt.client(node)
+	if rerr != nil {
+		return err
+	}
+	return fn(c)
 }
 
 // Put routes a write to the owning node.
-func (rt *Router) Put(key, value []byte) error {
-	c, _, err := rt.clientFor(key)
+func (rt *Router) Put(ctx context.Context, key, value []byte) error {
+	node, err := rt.ownerNode(key)
 	if err != nil {
 		return err
 	}
-	return c.Put(key, value)
+	return rt.do(ctx, node, func(c *kvnet.Client) error { return c.Put(ctx, key, value) })
 }
 
 // Get routes a read to the owning node.
-func (rt *Router) Get(key []byte) ([]byte, error) {
-	c, _, err := rt.clientFor(key)
+func (rt *Router) Get(ctx context.Context, key []byte) ([]byte, error) {
+	node, err := rt.ownerNode(key)
 	if err != nil {
 		return nil, err
 	}
-	return c.Get(key)
+	var v []byte
+	err = rt.do(ctx, node, func(c *kvnet.Client) error {
+		var err error
+		v, err = c.Get(ctx, key)
+		return err
+	})
+	return v, err
 }
 
 // Delete routes a delete to the owning node.
-func (rt *Router) Delete(key []byte) error {
-	c, _, err := rt.clientFor(key)
+func (rt *Router) Delete(ctx context.Context, key []byte) error {
+	node, err := rt.ownerNode(key)
 	if err != nil {
 		return err
 	}
-	return c.Delete(key)
+	return rt.do(ctx, node, func(c *kvnet.Client) error { return c.Delete(ctx, key) })
 }
 
 // forAll runs fn against every node concurrently and collects per-node
-// errors.
-func (rt *Router) forAll(fn func(node string, c *kvnet.Client) error) map[string]error {
+// errors. Each node's call goes through do, so poisoned or idle-reaped
+// connections are re-dialed (and the operation retried once) before the
+// error surfaces.
+func (rt *Router) forAll(ctx context.Context, fn func(node string, c *kvnet.Client) error) map[string]error {
 	rt.mu.RLock()
-	conns := make(map[string]*kvnet.Client, len(rt.conns))
-	for n, c := range rt.conns {
-		conns[n] = c
+	nodes := make([]string, 0, len(rt.conns))
+	for n := range rt.conns {
+		nodes = append(nodes, n)
 	}
 	rt.mu.RUnlock()
 
 	var (
 		wg   sync.WaitGroup
 		emu  sync.Mutex
-		errs = make(map[string]error, len(conns))
+		errs = make(map[string]error, len(nodes))
 	)
-	for node, c := range conns {
+	for _, node := range nodes {
 		wg.Add(1)
-		go func(node string, c *kvnet.Client) {
+		go func(node string) {
 			defer wg.Done()
-			err := fn(node, c)
+			err := rt.do(ctx, node, func(c *kvnet.Client) error { return fn(node, c) })
 			emu.Lock()
 			errs[node] = err
 			emu.Unlock()
-		}(node, c)
+		}(node)
 	}
 	wg.Wait()
 	return errs
 }
 
 // FlushAll flushes every node's memtable; the first error is returned.
-func (rt *Router) FlushAll() error {
-	for node, err := range rt.forAll(func(_ string, c *kvnet.Client) error { return c.Flush() }) {
+func (rt *Router) FlushAll(ctx context.Context) error {
+	for node, err := range rt.forAll(ctx, func(_ string, c *kvnet.Client) error { return c.Flush(ctx) }) {
 		if err != nil {
 			return fmt.Errorf("cluster: flush %s: %w", node, err)
 		}
@@ -136,13 +206,13 @@ func (rt *Router) FlushAll() error {
 
 // CompactAll triggers a major compaction on every node with the given
 // strategy, returning per-node results.
-func (rt *Router) CompactAll(strategy string, k int) (map[string]*kvnet.CompactInfo, error) {
+func (rt *Router) CompactAll(ctx context.Context, strategy string, k int) (map[string]*kvnet.CompactInfo, error) {
 	var (
 		mu  sync.Mutex
 		out = make(map[string]*kvnet.CompactInfo)
 	)
-	errs := rt.forAll(func(node string, c *kvnet.Client) error {
-		info, err := c.Compact(strategy, k)
+	errs := rt.forAll(ctx, func(node string, c *kvnet.Client) error {
+		info, err := c.Compact(ctx, strategy, k)
 		if err != nil {
 			return err
 		}
@@ -160,13 +230,13 @@ func (rt *Router) CompactAll(strategy string, k int) (map[string]*kvnet.CompactI
 }
 
 // StatsAll fetches statistics from every node.
-func (rt *Router) StatsAll() (map[string]*kvnet.StatsInfo, error) {
+func (rt *Router) StatsAll(ctx context.Context) (map[string]*kvnet.StatsInfo, error) {
 	var (
 		mu  sync.Mutex
 		out = make(map[string]*kvnet.StatsInfo)
 	)
-	errs := rt.forAll(func(node string, c *kvnet.Client) error {
-		st, err := c.Stats()
+	errs := rt.forAll(ctx, func(node string, c *kvnet.Client) error {
+		st, err := c.Stats(ctx)
 		if err != nil {
 			return err
 		}
@@ -185,13 +255,13 @@ func (rt *Router) StatsAll() (map[string]*kvnet.StatsInfo, error) {
 
 // Scan gathers up to limit prefix-matching entries from every node and
 // returns them merged in global key order.
-func (rt *Router) Scan(prefix []byte, limit int) ([]kvnet.ScanEntry, error) {
+func (rt *Router) Scan(ctx context.Context, prefix []byte, limit int) ([]kvnet.ScanEntry, error) {
 	var (
 		mu  sync.Mutex
 		all []kvnet.ScanEntry
 	)
-	errs := rt.forAll(func(node string, c *kvnet.Client) error {
-		entries, err := c.Scan(prefix, limit)
+	errs := rt.forAll(ctx, func(node string, c *kvnet.Client) error {
+		entries, err := c.Scan(ctx, prefix, limit)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,27 @@
+// Package kverr defines the canonical error taxonomy shared by every layer
+// of the engine: the embedded LSM store, the sharded store, the network
+// layer and the public kv façade all return (or alias) these exact values,
+// so errors.Is works identically whether an operation failed locally or was
+// decoded off the wire. The package is a leaf — it imports nothing from the
+// engine — so any layer may depend on it without cycles.
+package kverr
+
+import "errors"
+
+var (
+	// ErrNotFound reports a missing (or deleted) key.
+	ErrNotFound = errors.New("kv: key not found")
+
+	// ErrClosed reports use of a closed engine, iterator or snapshot.
+	ErrClosed = errors.New("kv: engine closed")
+
+	// ErrStalled marks a write aborted (or abandoned by its caller) while
+	// blocked in compaction write-stall backpressure. It is always wrapped
+	// together with the cause — typically a context error — so both
+	// errors.Is(err, ErrStalled) and errors.Is(err, context.Canceled) hold.
+	ErrStalled = errors.New("kv: write stalled by compaction backpressure")
+
+	// ErrBatchTooLarge reports a write batch exceeding the engine's batch
+	// size limit; such a batch cannot commit as one atomic unit.
+	ErrBatchTooLarge = errors.New("kv: batch exceeds maximum batch size")
+)

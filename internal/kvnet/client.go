@@ -2,24 +2,50 @@ package kvnet
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/kverr"
 )
 
-// ErrNotFound reports a missing key, mirroring lsm.ErrNotFound across the
-// wire.
-var ErrNotFound = errors.New("kvnet: key not found")
+// ErrNotFound reports a missing key. It aliases the canonical sentinel in
+// internal/kverr — the same value the embedded engine returns — so a Get
+// against a remote server and one against a local store fail identically.
+var ErrNotFound = kverr.ErrNotFound
+
+// ErrClientClosed reports use of a Client whose connection has been closed
+// or poisoned by a cancelled request.
+var ErrClientClosed = errors.New("kvnet: client closed")
 
 // Client is a connection to one server. It is safe for concurrent use;
 // requests are serialized over the single connection.
+//
+// Requests are not multiplexed: a context that expires mid-request leaves
+// the connection with an unread (or half-written) frame, so the client
+// closes the connection and every later call returns ErrClientClosed.
+// Callers that need to survive cancelled requests re-dial — the public kv
+// façade does this transparently.
 type Client struct {
-	mu   sync.Mutex
+	mu   sync.Mutex // serializes requests; never held by Close
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	// closed marks a connection torn down by Close or poisoned by a
+	// transport failure; the client is unusable afterwards. It is atomic —
+	// not guarded by mu — so Close can tear down a connection wedged in a
+	// blocking read (conn.Close fails the in-flight I/O) without waiting
+	// for the request holding mu to finish.
+	closed atomic.Bool
+
+	// dlMu guards deadline generation bookkeeping between a request and
+	// the context watcher that force-expires its connection deadline.
+	dlMu  sync.Mutex
+	dlGen uint64
 }
 
 // Dial connects to a server at addr.
@@ -37,21 +63,88 @@ func NewClient(conn net.Conn) *Client {
 	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection. It deliberately does not take the request
+// lock: a request blocked mid-read against a dead peer holds that lock,
+// and closing the connection out from under it is exactly what unblocks
+// it.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return c.conn.Close()
+}
 
-// roundTrip sends one request and reads one response.
-func (c *Client) roundTrip(req Request) (Response, error) {
+// Healthy reports whether the client's connection is still usable: not
+// closed and not poisoned by a cancelled or failed request.
+func (c *Client) Healthy() bool {
+	return !c.closed.Load()
+}
+
+// armDeadline points the connection deadline at ctx: the context's
+// deadline if it has one, cleared otherwise, and — for cancellable
+// contexts — a watcher that yanks the deadline to the past the moment ctx
+// is cancelled, failing the in-flight read or write promptly. The returned
+// stop func must be called when the request finishes; the generation
+// counter keeps a late-firing watcher from clobbering a later request's
+// deadline.
+func (c *Client) armDeadline(ctx context.Context) (stop func()) {
+	c.dlMu.Lock()
+	c.dlGen++
+	gen := c.dlGen
+	if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	c.dlMu.Unlock()
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	cancel := context.AfterFunc(ctx, func() {
+		c.dlMu.Lock()
+		defer c.dlMu.Unlock()
+		if c.dlGen == gen {
+			c.conn.SetDeadline(time.Now())
+		}
+	})
+	return func() { cancel() }
+}
+
+// roundTrip sends one request and reads one response, with the connection
+// deadline derived from ctx so a dead peer (or a cancelled caller) cannot
+// wedge the call forever.
+func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.w, EncodeRequest(req)); err != nil {
-		return Response{}, err
+	if c.closed.Load() {
+		return Response{}, ErrClientClosed
 	}
-	if err := c.w.Flush(); err != nil {
-		return Response{}, err
-	}
-	payload, err := readFrame(c.r)
+	stop := c.armDeadline(ctx)
+	defer stop()
+	payload, err := c.exchange(req)
 	if err != nil {
+		if c.closed.Load() {
+			// Close raced in and failed the I/O on purpose.
+			return Response{}, ErrClientClosed
+		}
+		// The frame stream is now unsynchronized: poison the connection.
+		c.closed.Store(true)
+		c.conn.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Response{}, fmt.Errorf("kvnet: request aborted: %w", ctxErr)
+		}
+		// A connection timeout can race the context's own timer: the only
+		// deadlines armed on this connection come from ctx, so a timeout
+		// here with a ctx deadline in the past is that deadline firing.
+		var netErr net.Error
+		if errors.As(err, &netErr) && netErr.Timeout() {
+			if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+				return Response{}, fmt.Errorf("kvnet: request aborted: %w", context.DeadlineExceeded)
+			}
+		}
 		return Response{}, err
 	}
 	resp, err := DecodeResponse(payload)
@@ -59,20 +152,54 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		return Response{}, err
 	}
 	if resp.Status == StatusError {
-		return resp, fmt.Errorf("kvnet: server: %s", resp.Err)
+		return resp, decodeServerError(resp.Code, resp.Err)
 	}
 	return resp, nil
 }
 
+// exchange writes one frame and reads one back; the caller holds c.mu.
+func (c *Client) exchange(req Request) ([]byte, error) {
+	if err := writeFrame(c.w, EncodeRequest(req)); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	return readFrame(c.r)
+}
+
+// decodeServerError maps a wire error code back to the canonical sentinel
+// it was encoded from, so remote engine errors compare with errors.Is
+// exactly like local ones.
+func decodeServerError(code ErrCode, msg string) error {
+	switch code {
+	case CodeClosed:
+		return fmt.Errorf("kvnet: server: %w", kverr.ErrClosed)
+	case CodeStalled:
+		return fmt.Errorf("kvnet: server: %w", kverr.ErrStalled)
+	case CodeBatchTooLarge:
+		return fmt.Errorf("kvnet: server: %w", kverr.ErrBatchTooLarge)
+	case CodeCanceled:
+		return fmt.Errorf("kvnet: server: %w", context.Canceled)
+	case CodeDeadlineExceeded:
+		return fmt.Errorf("kvnet: server: %w", context.DeadlineExceeded)
+	default:
+		return fmt.Errorf("kvnet: server: %s", msg)
+	}
+}
+
 // Put stores key → value.
-func (c *Client) Put(key, value []byte) error {
-	_, err := c.roundTrip(Request{Op: OpPut, Key: key, Value: value})
+func (c *Client) Put(ctx context.Context, key, value []byte) error {
+	_, err := c.roundTrip(ctx, Request{Op: OpPut, Key: key, Value: value})
 	return err
 }
 
-// Get returns the value for key, or ErrNotFound.
-func (c *Client) Get(key []byte) ([]byte, error) {
-	resp, err := c.roundTrip(Request{Op: OpGet, Key: key})
+// Get returns the value for key, or ErrNotFound. A stored empty value and
+// a missing key are distinct: the former returns an empty slice and nil
+// error, the latter ErrNotFound (the wire protocol carries not-found as an
+// explicit status, not as an empty value).
+func (c *Client) Get(ctx context.Context, key []byte) ([]byte, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpGet, Key: key})
 	if err != nil {
 		return nil, err
 	}
@@ -83,8 +210,8 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 }
 
 // Delete removes key.
-func (c *Client) Delete(key []byte) error {
-	_, err := c.roundTrip(Request{Op: OpDelete, Key: key})
+func (c *Client) Delete(ctx context.Context, key []byte) error {
+	_, err := c.roundTrip(ctx, Request{Op: OpDelete, Key: key})
 	return err
 }
 
@@ -92,21 +219,36 @@ func (c *Client) Delete(key []byte) error {
 // server applies the whole batch through the engine's group-commit
 // pipeline, so it becomes durable and visible as a unit. An empty batch is
 // a no-op.
-func (c *Client) Write(batch []BatchOp) error {
+func (c *Client) Write(ctx context.Context, batch []BatchOp) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	_, err := c.roundTrip(Request{Op: OpWrite, Batch: batch})
+	_, err := c.roundTrip(ctx, Request{Op: OpWrite, Batch: batch})
 	return err
 }
 
 // Scan returns up to limit entries whose keys start with prefix (all keys
 // when prefix is empty), in key order.
-func (c *Client) Scan(prefix []byte, limit int) ([]ScanEntry, error) {
+func (c *Client) Scan(ctx context.Context, prefix []byte, limit int) ([]ScanEntry, error) {
 	if limit < 0 {
 		limit = 0
 	}
-	resp, err := c.roundTrip(Request{Op: OpScan, Prefix: prefix, Limit: uint64(limit)})
+	resp, err := c.roundTrip(ctx, Request{Op: OpScan, Prefix: prefix, Limit: uint64(limit)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// Range returns up to limit entries with start <= key < end in key order —
+// one page of a range scan. A nil end means no upper bound. Iterating a
+// large range means calling Range repeatedly with start advanced past the
+// last key of the previous page.
+func (c *Client) Range(ctx context.Context, start, end []byte, limit int) ([]ScanEntry, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	resp, err := c.roundTrip(ctx, Request{Op: OpRange, Start: start, End: end, Limit: uint64(limit)})
 	if err != nil {
 		return nil, err
 	}
@@ -114,14 +256,14 @@ func (c *Client) Scan(prefix []byte, limit int) ([]ScanEntry, error) {
 }
 
 // Flush forces a memtable flush on the server.
-func (c *Client) Flush() error {
-	_, err := c.roundTrip(Request{Op: OpFlush})
+func (c *Client) Flush(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, Request{Op: OpFlush})
 	return err
 }
 
 // Compact triggers a major compaction scheduled by the named strategy.
-func (c *Client) Compact(strategy string, k int) (*CompactInfo, error) {
-	resp, err := c.roundTrip(Request{Op: OpCompact, Strategy: strategy, K: uint64(k)})
+func (c *Client) Compact(ctx context.Context, strategy string, k int) (*CompactInfo, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpCompact, Strategy: strategy, K: uint64(k)})
 	if err != nil {
 		return nil, err
 	}
@@ -132,8 +274,8 @@ func (c *Client) Compact(strategy string, k int) (*CompactInfo, error) {
 }
 
 // Stats fetches server statistics.
-func (c *Client) Stats() (*StatsInfo, error) {
-	resp, err := c.roundTrip(Request{Op: OpStats})
+func (c *Client) Stats(ctx context.Context) (*StatsInfo, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: OpStats})
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package kvnet
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -40,20 +41,20 @@ func startServer(t *testing.T) (*Client, *Server, string) {
 
 func TestPutGetDeleteOverWire(t *testing.T) {
 	c, _, _ := startServer(t)
-	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+	if err := c.Put(context.Background(), []byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	v, err := c.Get([]byte("k"))
+	v, err := c.Get(context.Background(), []byte("k"))
 	if err != nil || string(v) != "v" {
 		t.Fatalf("Get = %q, %v", v, err)
 	}
-	if err := c.Delete([]byte("k")); err != nil {
+	if err := c.Delete(context.Background(), []byte("k")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get([]byte("k")); err != ErrNotFound {
+	if _, err := c.Get(context.Background(), []byte("k")); err != ErrNotFound {
 		t.Errorf("Get after delete = %v", err)
 	}
-	if _, err := c.Get([]byte("missing")); err != ErrNotFound {
+	if _, err := c.Get(context.Background(), []byte("missing")); err != ErrNotFound {
 		t.Errorf("Get missing = %v", err)
 	}
 }
@@ -65,10 +66,10 @@ func TestBinarySafeKeysAndValues(t *testing.T) {
 	for i := range val {
 		val[i] = byte(i * 31)
 	}
-	if err := c.Put(key, val); err != nil {
+	if err := c.Put(context.Background(), key, val); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get(key)
+	got, err := c.Get(context.Background(), key)
 	if err != nil || !bytes.Equal(got, val) {
 		t.Fatalf("binary round trip failed: %v", err)
 	}
@@ -77,16 +78,16 @@ func TestBinarySafeKeysAndValues(t *testing.T) {
 func TestScanPrefixAndLimit(t *testing.T) {
 	c, _, _ := startServer(t)
 	for i := 0; i < 50; i++ {
-		if err := c.Put([]byte(fmt.Sprintf("a:%03d", i)), []byte("x")); err != nil {
+		if err := c.Put(context.Background(), []byte(fmt.Sprintf("a:%03d", i)), []byte("x")); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 20; i++ {
-		if err := c.Put([]byte(fmt.Sprintf("b:%03d", i)), []byte("y")); err != nil {
+		if err := c.Put(context.Background(), []byte(fmt.Sprintf("b:%03d", i)), []byte("y")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	entries, err := c.Scan([]byte("a:"), 0)
+	entries, err := c.Scan(context.Background(), []byte("a:"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestScanPrefixAndLimit(t *testing.T) {
 			t.Fatalf("scan out of order")
 		}
 	}
-	limited, err := c.Scan(nil, 10)
+	limited, err := c.Scan(context.Background(), nil, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,29 +112,29 @@ func TestCompactOverWire(t *testing.T) {
 	c, _, _ := startServer(t)
 	for gen := 0; gen < 4; gen++ {
 		for i := 0; i < 300; i++ {
-			if err := c.Put([]byte(fmt.Sprintf("key-%04d", i+gen*150)), []byte("value")); err != nil {
+			if err := c.Put(context.Background(), []byte(fmt.Sprintf("key-%04d", i+gen*150)), []byte("value")); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := c.Flush(); err != nil {
+		if err := c.Flush(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Tables != 4 {
 		t.Fatalf("tables = %d", st.Tables)
 	}
-	info, err := c.Compact("BT(I)", 2)
+	info, err := c.Compact(context.Background(), "BT(I)", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.TablesBefore != 4 || info.Merges != 3 || info.BytesWritten == 0 || info.CostActual == 0 {
 		t.Errorf("compact info = %+v", info)
 	}
-	st, err = c.Stats()
+	st, err = c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestCompactOverWire(t *testing.T) {
 		t.Errorf("tables after = %d", st.Tables)
 	}
 	// Unknown strategy surfaces as a server error.
-	if _, err := c.Compact("nope", 2); err == nil {
+	if _, err := c.Compact(context.Background(), "nope", 2); err == nil {
 		t.Errorf("unknown strategy accepted over wire")
 	}
 }
@@ -163,11 +164,11 @@ func TestConcurrentClients(t *testing.T) {
 			defer c.Close()
 			for i := 0; i < 200; i++ {
 				k := []byte(fmt.Sprintf("c%d-%04d", w, i))
-				if err := c.Put(k, k); err != nil {
+				if err := c.Put(context.Background(), k, k); err != nil {
 					errs <- err
 					return
 				}
-				got, err := c.Get(k)
+				got, err := c.Get(context.Background(), k)
 				if err != nil || !bytes.Equal(got, k) {
 					errs <- fmt.Errorf("get %s: %q, %v", k, got, err)
 					return
@@ -189,7 +190,7 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put([]byte("k"), []byte("v")); err == nil {
+	if err := c.Put(context.Background(), []byte("k"), []byte("v")); err == nil {
 		t.Errorf("Put succeeded after server close")
 	}
 	if err := srv.Close(); err != nil {
@@ -229,7 +230,7 @@ func TestWriteRequestRoundTrip(t *testing.T) {
 // and verifies its effects and the commit-pipeline stats it moves.
 func TestWriteBatchOverWire(t *testing.T) {
 	c, _, _ := startServer(t)
-	if err := c.Put([]byte("doomed"), []byte("old")); err != nil {
+	if err := c.Put(context.Background(), []byte("doomed"), []byte("old")); err != nil {
 		t.Fatal(err)
 	}
 	batch := []BatchOp{
@@ -238,29 +239,29 @@ func TestWriteBatchOverWire(t *testing.T) {
 		{Delete: true, Key: []byte("doomed")},
 		{Key: []byte("b3"), Value: bytes.Repeat([]byte("z"), 4096)},
 	}
-	if err := c.Write(batch); err != nil {
+	if err := c.Write(context.Background(), batch); err != nil {
 		t.Fatal(err)
 	}
 	for _, op := range batch[:2] {
-		got, err := c.Get(op.Key)
+		got, err := c.Get(context.Background(), op.Key)
 		if err != nil || !bytes.Equal(got, op.Value) {
 			t.Fatalf("Get(%s) = %q, %v", op.Key, got, err)
 		}
 	}
-	if _, err := c.Get([]byte("doomed")); err != ErrNotFound {
+	if _, err := c.Get(context.Background(), []byte("doomed")); err != ErrNotFound {
 		t.Errorf("batched delete did not apply: %v", err)
 	}
-	if err := c.Write(nil); err != nil { // empty batch is a no-op
+	if err := c.Write(context.Background(), nil); err != nil { // empty batch is a no-op
 		t.Fatal(err)
 	}
 	// An empty key anywhere in the batch rejects the whole batch.
-	if err := c.Write([]BatchOp{{Key: []byte("ok"), Value: []byte("v")}, {Key: nil}}); err == nil {
+	if err := c.Write(context.Background(), []BatchOp{{Key: []byte("ok"), Value: []byte("v")}, {Key: nil}}); err == nil {
 		t.Errorf("batch with empty key accepted")
 	}
-	if _, err := c.Get([]byte("ok")); err != ErrNotFound {
+	if _, err := c.Get(context.Background(), []byte("ok")); err != ErrNotFound {
 		t.Errorf("rejected batch partially applied: %v", err)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,10 +365,10 @@ func BenchmarkRoundTrip(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := []byte(fmt.Sprintf("key-%09d", i))
-		if err := c.Put(key, val); err != nil {
+		if err := c.Put(context.Background(), key, val); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.Get(key); err != nil {
+		if _, err := c.Get(context.Background(), key); err != nil {
 			b.Fatal(err)
 		}
 	}

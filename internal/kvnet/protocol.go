@@ -34,6 +34,11 @@ const (
 	// applies it through the engine's group-commit pipeline, so the whole
 	// batch becomes durable and visible as a unit.
 	OpWrite
+	// OpRange returns up to Limit entries with Start <= key < End in key
+	// order — one page of a range scan. A client iterator pages through a
+	// range by re-issuing OpRange with Start just past the last key of the
+	// previous page.
+	OpRange
 )
 
 // Status is the first byte of every response.
@@ -44,6 +49,22 @@ const (
 	StatusOK Status = iota
 	StatusNotFound
 	StatusError
+)
+
+// ErrCode classifies a StatusError response so clients can decode typed
+// engine errors back to the canonical sentinels (internal/kverr) and
+// errors.Is against them across the wire. CodeGeneric carries only the
+// message string.
+type ErrCode byte
+
+// Error codes carried by StatusError responses.
+const (
+	CodeGeneric ErrCode = iota
+	CodeClosed
+	CodeStalled
+	CodeBatchTooLarge
+	CodeCanceled
+	CodeDeadlineExceeded
 )
 
 // MaxMessageSize bounds a single message; larger frames are rejected as
@@ -70,6 +91,10 @@ type Request struct {
 	Strategy string
 	K        uint64
 	Batch    []BatchOp // OpWrite only
+	// Start and End bound an OpRange page: Start <= key < End. A nil End
+	// means no upper bound (End is encoded with a presence flag, so the
+	// open bound survives the round trip).
+	Start, End []byte
 }
 
 // ScanEntry is one key-value pair in a scan response.
@@ -94,6 +119,7 @@ type StatsInfo struct {
 	MemtableKeys     uint64
 	Flushes          uint64
 	MinorCompactions uint64
+	MajorCompactions uint64
 	// GroupCommits, GroupedWrites and WALSyncs describe the commit
 	// pipeline: GroupedWrites/GroupCommits is the average group size,
 	// WALSyncs/GroupedWrites the fsyncs paid per write.
@@ -106,6 +132,7 @@ type StatsInfo struct {
 // Response is a decoded server response.
 type Response struct {
 	Status  Status
+	Code    ErrCode // StatusError only
 	Value   []byte
 	Err     string
 	Entries []ScanEntry
@@ -178,6 +205,15 @@ func EncodeRequest(req Request) []byte {
 	case OpScan:
 		out = appendBytes(out, req.Prefix)
 		out = binary.AppendUvarint(out, req.Limit)
+	case OpRange:
+		out = appendBytes(out, req.Start)
+		if req.End == nil {
+			out = append(out, 0)
+		} else {
+			out = append(out, 1)
+			out = appendBytes(out, req.End)
+		}
+		out = binary.AppendUvarint(out, req.Limit)
 	case OpCompact:
 		out = appendBytes(out, []byte(req.Strategy))
 		out = binary.AppendUvarint(out, req.K)
@@ -222,6 +258,26 @@ func DecodeRequest(buf []byte) (Request, error) {
 	case OpScan:
 		if req.Prefix, buf, err = readBytes(buf); err != nil {
 			return req, err
+		}
+		if req.Limit, _, err = readUvarint(buf); err != nil {
+			return req, err
+		}
+	case OpRange:
+		if req.Start, buf, err = readBytes(buf); err != nil {
+			return req, err
+		}
+		if len(buf) < 1 {
+			return req, fmt.Errorf("kvnet: truncated range bound")
+		}
+		bounded := buf[0]
+		buf = buf[1:]
+		if bounded > 1 {
+			return req, fmt.Errorf("kvnet: bad range bound flag %d", bounded)
+		}
+		if bounded == 1 {
+			if req.End, buf, err = readBytes(buf); err != nil {
+				return req, err
+			}
 		}
 		if req.Limit, _, err = readUvarint(buf); err != nil {
 			return req, err
@@ -280,6 +336,7 @@ func EncodeResponse(resp Response) []byte {
 	out := []byte{byte(resp.Status)}
 	switch resp.Status {
 	case StatusError:
+		out = append(out, byte(resp.Code))
 		out = appendBytes(out, []byte(resp.Err))
 		return out
 	case StatusNotFound:
@@ -296,7 +353,7 @@ func EncodeResponse(resp Response) []byte {
 		out = append(out, 'S')
 		s := resp.Stats
 		for _, v := range []uint64{s.Tables, s.TableBytes, s.MemtableKeys, s.Flushes, s.MinorCompactions,
-			s.GroupCommits, s.GroupedWrites, s.WALSyncs, s.WriteStalls} {
+			s.MajorCompactions, s.GroupCommits, s.GroupedWrites, s.WALSyncs, s.WriteStalls} {
 			out = binary.AppendUvarint(out, v)
 		}
 	case resp.Entries != nil:
@@ -326,6 +383,11 @@ func DecodeResponse(buf []byte) (Response, error) {
 	case StatusNotFound:
 		return resp, nil
 	case StatusError:
+		if len(buf) < 1 {
+			return resp, fmt.Errorf("kvnet: truncated error response")
+		}
+		resp.Code = ErrCode(buf[0])
+		buf = buf[1:]
 		var msg []byte
 		if msg, _, err = readBytes(buf); err != nil {
 			return resp, err
@@ -373,7 +435,7 @@ func DecodeResponse(buf []byte) (Response, error) {
 	case 'S':
 		s := &StatsInfo{}
 		for _, dst := range []*uint64{&s.Tables, &s.TableBytes, &s.MemtableKeys, &s.Flushes, &s.MinorCompactions,
-			&s.GroupCommits, &s.GroupedWrites, &s.WALSyncs, &s.WriteStalls} {
+			&s.MajorCompactions, &s.GroupCommits, &s.GroupedWrites, &s.WALSyncs, &s.WriteStalls} {
 			if *dst, buf, err = readUvarint(buf); err != nil {
 				return resp, err
 			}

@@ -2,36 +2,61 @@ package kvnet
 
 import (
 	"bufio"
-	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/kverr"
 	"repro/internal/lsm"
 )
 
 // Engine is the storage surface the server exposes over the wire. Both
 // the single-partition engine (*lsm.DB) and the sharded store
 // (*store.Store) satisfy it, so a node can serve one shard or many behind
-// the same protocol.
+// the same protocol. Context-taking methods let the server abort in-flight
+// work — a scan mid-drain, a write parked in the commit queue — when it
+// shuts down.
 type Engine interface {
-	Put(key, value []byte) error
-	Get(key []byte) ([]byte, error)
-	Delete(key []byte) error
-	Write(b *lsm.WriteBatch) error
-	Scan(fn func(key, value []byte) error) error
+	PutContext(ctx context.Context, key, value []byte) error
+	GetContext(ctx context.Context, key []byte) ([]byte, error)
+	DeleteContext(ctx context.Context, key []byte) error
+	WriteContext(ctx context.Context, b *lsm.WriteBatch) error
+	RangeContext(ctx context.Context, start, end []byte, fn func(key, value []byte) error) error
 	Flush() error
 	MajorCompact(strategy string, k int, seed int64) (*lsm.CompactionResult, error)
 	Stats() lsm.Stats
 }
+
+// Default connection deadlines; see the Server fields of the same names.
+const (
+	DefaultIdleTimeout  = 5 * time.Minute
+	DefaultWriteTimeout = time.Minute
+)
 
 // Server serves one storage engine to many concurrent connections.
 // Connection handling is one goroutine per connection; the engine provides
 // its own synchronization.
 type Server struct {
 	db Engine
+
+	// IdleTimeout bounds how long a connection may sit between requests
+	// (the read deadline while waiting for the next frame); a peer that
+	// died without closing its socket is reaped instead of pinning a
+	// handler goroutine forever. Zero disables. Set before Serve.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response; a peer that stopped
+	// reading cannot wedge a handler in a blocked send. Zero disables.
+	// Set before Serve.
+	WriteTimeout time.Duration
+
+	// baseCtx is cancelled by Close; every request executes under it, so
+	// in-flight scans and parked writes abort at server shutdown.
+	baseCtx context.Context
+	cancel  context.CancelFunc
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -43,7 +68,15 @@ type Server struct {
 // NewServer wraps db. The caller retains ownership of db and closes it
 // after the server shuts down.
 func NewServer(db Engine) *Server {
-	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		db:           db,
+		IdleTimeout:  DefaultIdleTimeout,
+		WriteTimeout: DefaultWriteTimeout,
+		baseCtx:      ctx,
+		cancel:       cancel,
+		conns:        make(map[net.Conn]struct{}),
+	}
 }
 
 // Serve accepts connections on ln until Close is called. It always returns
@@ -80,7 +113,8 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting, closes all connections and waits for handlers.
+// Close stops accepting, closes all connections, aborts in-flight requests
+// and waits for handlers.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -93,6 +127,7 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.mu.Unlock()
+	s.cancel()
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -106,16 +141,22 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		payload, err := readFrame(r)
 		if err != nil {
-			return // EOF or broken connection: nothing to reply to
+			return // EOF, idle timeout or broken connection: nothing to reply to
 		}
 		req, err := DecodeRequest(payload)
 		var resp Response
 		if err != nil {
 			resp = Response{Status: StatusError, Err: err.Error()}
 		} else {
-			resp = s.execute(req)
+			resp = s.execute(s.baseCtx, req)
+		}
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
 		if err := writeFrame(w, EncodeResponse(resp)); err != nil {
 			return
@@ -126,28 +167,60 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// errResponse maps an engine error onto the wire: not-found becomes its
+// own status, the canonical taxonomy travels as an error code (so the
+// client can rehydrate the exact sentinel), and anything else is a generic
+// error string.
 func errResponse(err error) Response {
-	if errors.Is(err, lsm.ErrNotFound) {
+	if errors.Is(err, kverr.ErrNotFound) {
 		return Response{Status: StatusNotFound}
 	}
-	return Response{Status: StatusError, Err: err.Error()}
+	code := CodeGeneric
+	switch {
+	case errors.Is(err, kverr.ErrClosed):
+		code = CodeClosed
+	case errors.Is(err, kverr.ErrStalled):
+		code = CodeStalled
+	case errors.Is(err, kverr.ErrBatchTooLarge):
+		code = CodeBatchTooLarge
+	case errors.Is(err, context.Canceled):
+		code = CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		code = CodeDeadlineExceeded
+	}
+	return Response{Status: StatusError, Code: code, Err: err.Error()}
 }
 
-func (s *Server) execute(req Request) Response {
+// prefixSuccessor returns the smallest key greater than every key with the
+// given prefix, or nil if no such key exists (an all-0xff prefix). It
+// turns a prefix filter into a range bound so a prefix scan touches only
+// the matching key range.
+func prefixSuccessor(prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			succ := append([]byte(nil), prefix[:i+1]...)
+			succ[i]++
+			return succ
+		}
+	}
+	return nil
+}
+
+func (s *Server) execute(ctx context.Context, req Request) Response {
 	switch req.Op {
 	case OpPut:
-		if err := s.db.Put(req.Key, req.Value); err != nil {
+		if err := s.db.PutContext(ctx, req.Key, req.Value); err != nil {
 			return errResponse(err)
 		}
 		return Response{Status: StatusOK}
 	case OpGet:
-		v, err := s.db.Get(req.Key)
+		v, err := s.db.GetContext(ctx, req.Key)
 		if err != nil {
 			return errResponse(err)
 		}
 		return Response{Status: StatusOK, Value: v}
 	case OpDelete:
-		if err := s.db.Delete(req.Key); err != nil {
+		if err := s.db.DeleteContext(ctx, req.Key); err != nil {
 			return errResponse(err)
 		}
 		return Response{Status: StatusOK}
@@ -160,37 +233,23 @@ func (s *Server) execute(req Request) Response {
 				batch.Put(op.Key, op.Value)
 			}
 		}
-		if err := s.db.Write(&batch); err != nil {
+		if err := s.db.WriteContext(ctx, &batch); err != nil {
 			return errResponse(err)
 		}
 		return Response{Status: StatusOK}
 	case OpScan:
-		limit := req.Limit
-		if limit == 0 || limit > 100000 {
-			limit = 100000
+		var start, end []byte
+		if len(req.Prefix) > 0 {
+			start = req.Prefix
+			end = prefixSuccessor(req.Prefix)
 		}
-		entries := []ScanEntry{}
-		stop := errors.New("scan limit")
-		err := s.db.Scan(func(k, v []byte) error {
-			if len(req.Prefix) > 0 && !bytes.HasPrefix(k, req.Prefix) {
-				if bytes.Compare(k, req.Prefix) > 0 {
-					return stop // sorted scan: past the prefix range
-				}
-				return nil
-			}
-			entries = append(entries, ScanEntry{
-				Key:   append([]byte(nil), k...),
-				Value: append([]byte(nil), v...),
-			})
-			if uint64(len(entries)) >= limit {
-				return stop
-			}
-			return nil
-		})
-		if err != nil && !errors.Is(err, stop) {
-			return errResponse(err)
+		return s.scanRange(ctx, start, end, req.Limit)
+	case OpRange:
+		var start []byte
+		if len(req.Start) > 0 {
+			start = req.Start
 		}
-		return Response{Status: StatusOK, Entries: entries}
+		return s.scanRange(ctx, start, req.End, req.Limit)
 	case OpFlush:
 		if err := s.db.Flush(); err != nil {
 			return errResponse(err)
@@ -221,6 +280,7 @@ func (s *Server) execute(req Request) Response {
 			MemtableKeys:     uint64(st.MemtableKeys),
 			Flushes:          uint64(st.Flushes),
 			MinorCompactions: uint64(st.MinorCompactions),
+			MajorCompactions: uint64(st.MajorCompactions),
 			GroupCommits:     st.GroupCommits,
 			GroupedWrites:    st.GroupedWrites,
 			WALSyncs:         st.WALSyncs,
@@ -229,6 +289,30 @@ func (s *Server) execute(req Request) Response {
 	default:
 		return Response{Status: StatusError, Err: fmt.Sprintf("unknown op %d", req.Op)}
 	}
+}
+
+// scanRange serves one bounded, limited page of entries in key order; the
+// shared body of OpScan (prefix converted to a range) and OpRange.
+func (s *Server) scanRange(ctx context.Context, start, end []byte, limit uint64) Response {
+	if limit == 0 || limit > 100000 {
+		limit = 100000
+	}
+	entries := []ScanEntry{}
+	stop := errors.New("scan limit")
+	err := s.db.RangeContext(ctx, start, end, func(k, v []byte) error {
+		entries = append(entries, ScanEntry{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		})
+		if uint64(len(entries)) >= limit {
+			return stop
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, stop) {
+		return errResponse(err)
+	}
+	return Response{Status: StatusOK, Entries: entries}
 }
 
 var _ io.Closer = (*Server)(nil)

@@ -11,6 +11,7 @@
 package lsm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -77,8 +78,10 @@ func (b *WriteBatch) Reset() {
 	b.ops = b.ops[:0]
 }
 
-// sizeBytes approximates the batch's WAL footprint, for group sizing.
-func (b *WriteBatch) sizeBytes() int { return len(b.data) + 8*len(b.ops) }
+// SizeBytes approximates the batch's WAL footprint (keys, values and
+// per-operation overhead); group sizing and the MaxBatchBytes limit are
+// both expressed in this measure.
+func (b *WriteBatch) SizeBytes() int { return len(b.data) + 8*len(b.ops) }
 
 // record materializes operation i as a WAL record at sequence seq. The
 // returned slices alias the batch arena and stay valid until Reset.
@@ -95,18 +98,34 @@ func (b *WriteBatch) record(i int, seq uint64) wal.Record {
 
 // commitReq is one writer parked in the commit queue. wake receives true
 // when the writer must take over as leader, false when its group committed
-// (err then holds the outcome).
+// (err then holds the outcome). ctx is the writer's context: a leader
+// consults its own request's ctx at its cancellation points, and a parked
+// writer whose ctx expires abandons the queue if its request is not yet
+// claimed by a group.
 type commitReq struct {
 	batch *WriteBatch
 	sync  bool
+	ctx   context.Context
 	err   error
 	wake  chan bool
+	// claimed marks a request collected into a leader's commit group; a
+	// claimed request can no longer abandon the queue — its batch is about
+	// to be (or being) written. Guarded by DB.commitMu.
+	claimed bool
 }
 
 // maxGroupBytes caps how much batch data one commit group absorbs. It
 // bounds group latency and keeps the group frame far below the WAL's frame
 // limit; a single oversized batch still commits alone as its own group.
 const maxGroupBytes = 1 << 20
+
+// MaxBatchBytes bounds a single WriteBatch (keys + values + per-op
+// overhead, as estimated by SizeBytes). The cap keeps any one batch's WAL
+// frame far below wal.MaxFrameBytes — so a batch that commits alone as its
+// own group always fits one atomic frame — and gives the network layer a
+// boundary it can enforce before shipping a batch to a server. Write
+// returns ErrBatchTooLarge beyond it.
+const MaxBatchBytes = 16 << 20
 
 // writeBatchPool recycles the single-op batches behind Put and Delete so
 // the hot path allocates only the commit request.
@@ -118,6 +137,20 @@ var writeBatchPool = sync.Pool{New: func() any { return new(WriteBatch) }}
 // Write calls are group-committed: one WAL append and at most one fsync
 // per group, not per batch.
 func (db *DB) Write(b *WriteBatch) error {
+	return db.WriteContext(context.Background(), b)
+}
+
+// WriteContext is Write honoring ctx. Cancellation is checked at every
+// point where the pipeline can hold a writer: before enqueueing, while
+// parked in the commit queue (an unclaimed request is removed and its slot
+// released, so a cancelled writer never blocks the pipeline), when taking
+// over group leadership before any WAL I/O has started, and while blocked
+// in write-stall backpressure. Once a leader has claimed the batch into a
+// group the commit is past the point of no return: the write goes through
+// and any later expiry is ignored — except in the stall wait, where
+// ErrStalled (wrapping the context error) reports that the already-durable
+// write abandoned only its backpressure delay.
+func (db *DB) WriteContext(ctx context.Context, b *WriteBatch) error {
 	if b == nil || b.Len() == 0 {
 		return nil
 	}
@@ -126,10 +159,16 @@ func (db *DB) Write(b *WriteBatch) error {
 			return fmt.Errorf("lsm: empty key")
 		}
 	}
+	if b.SizeBytes() > MaxBatchBytes {
+		return fmt.Errorf("%w: %d bytes > %d", ErrBatchTooLarge, b.SizeBytes(), MaxBatchBytes)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	load := db.loadGauge()
 	load.Add(1)
 	defer load.Add(-1)
-	req := &commitReq{batch: b, sync: db.opts.SyncWAL, wake: make(chan bool, 1)}
+	req := &commitReq{batch: b, sync: db.opts.SyncWAL, ctx: ctx, wake: make(chan bool, 1)}
 	db.commitMu.Lock()
 	db.commitQueue = append(db.commitQueue, req)
 	leader := len(db.commitQueue) == 1
@@ -137,12 +176,47 @@ func (db *DB) Write(b *WriteBatch) error {
 	if !leader {
 		// Park until the group containing this batch commits, or until
 		// leadership arrives because the previous leader finished first.
-		if lead := <-req.wake; !lead {
-			return req.err
+		select {
+		case lead := <-req.wake:
+			if !lead {
+				return req.err
+			}
+		case <-ctx.Done():
+			if db.abandonReq(req) {
+				return ctx.Err()
+			}
+			// Too late to abandon: a leader has already claimed this batch
+			// into a group, or leadership is being handed to us. Fall back
+			// to the normal wake; the commit proceeds regardless.
+			if lead := <-req.wake; !lead {
+				return req.err
+			}
 		}
 	}
 	db.leadGroup(req)
 	return req.err
+}
+
+// abandonReq removes a parked, unclaimed request from the commit queue,
+// reporting whether it succeeded. The queue head cannot abandon: it is the
+// active leader or about to be woken as one, so leadGroup's own entry check
+// handles its cancellation instead.
+func (db *DB) abandonReq(req *commitReq) bool {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if req.claimed {
+		return false
+	}
+	for i, r := range db.commitQueue {
+		if r == req {
+			if i == 0 {
+				return false
+			}
+			db.commitQueue = append(db.commitQueue[:i], db.commitQueue[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // loadGauge returns the writers-in-flight gauge the commit pipeline
@@ -158,6 +232,26 @@ func (db *DB) loadGauge() *atomic.Int32 {
 // leadGroup runs one commit group with head (the current queue front) as
 // leader, then hands leadership to the next queued writer, if any.
 func (db *DB) leadGroup(head *commitReq) {
+	// Last cancellation point before I/O: a leader whose context expired
+	// drops its own batch and passes leadership straight on, so a cancelled
+	// writer that inherited the lead releases the pipeline slot instead of
+	// committing a write its caller no longer wants.
+	if err := head.ctx.Err(); err != nil {
+		db.commitMu.Lock()
+		// Head is necessarily queue[0]: leadership only arrives that way.
+		db.commitQueue = append(db.commitQueue[:0], db.commitQueue[1:]...)
+		var next *commitReq
+		if len(db.commitQueue) > 0 {
+			next = db.commitQueue[0]
+		}
+		db.commitMu.Unlock()
+		if next != nil {
+			next.wake <- true
+		}
+		head.err = err
+		return
+	}
+
 	// A leader with no followers — but with other writers in flight —
 	// yields once before forming its group: writers that are runnable but
 	// not yet enqueued get a scheduling slot to join, which matters most
@@ -184,12 +278,14 @@ func (db *DB) leadGroup(head *commitReq) {
 	// fsync it didn't ask for — the sync writer leads the next group.
 	db.commitMu.Lock()
 	group := db.commitQueue[:1:1]
-	size := head.batch.sizeBytes()
+	head.claimed = true
+	size := head.batch.SizeBytes()
 	for _, r := range db.commitQueue[1:] {
 		if r.sync && !head.sync {
 			break
 		}
-		if sz := r.batch.sizeBytes(); size+sz <= maxGroupBytes {
+		if sz := r.batch.SizeBytes(); size+sz <= maxGroupBytes {
+			r.claimed = true
 			group = append(group, r)
 			size += sz
 		} else {
@@ -205,10 +301,16 @@ func (db *DB) leadGroup(head *commitReq) {
 	}
 	if stall {
 		// Backpressure runs outside the pipeline lock so the background
-		// compactor can flush and swap while this group's writers wait.
+		// compactor can flush and swap while this group's writers wait. The
+		// leader stalls on behalf of the whole group under its own context;
+		// if that context expires mid-stall only the leader learns of the
+		// abandoned delay — its followers' writes committed normally.
 		db.mu.Lock()
-		db.maybeStallLocked()
+		stallErr := db.maybeStallLocked(head.ctx)
 		db.mu.Unlock()
+		if stallErr != nil && head.err == nil {
+			head.err = stallErr
+		}
 	}
 
 	// Pop the group and pass leadership on before releasing followers, so

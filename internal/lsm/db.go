@@ -16,6 +16,7 @@ package lsm
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -26,16 +27,31 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/iterator"
+	"repro/internal/kverr"
 	"repro/internal/memtable"
 	"repro/internal/sstable"
 	"repro/internal/wal"
 )
 
-// ErrNotFound reports a missing (or deleted) key.
-var ErrNotFound = errors.New("lsm: key not found")
+// The error sentinels alias the canonical taxonomy in internal/kverr, so a
+// caller holding the public kv package's sentinels can errors.Is against
+// errors produced here without translation.
+var (
+	// ErrNotFound reports a missing (or deleted) key.
+	ErrNotFound = kverr.ErrNotFound
 
-// ErrClosed reports use of a closed DB.
-var ErrClosed = errors.New("lsm: database closed")
+	// ErrClosed reports use of a closed DB.
+	ErrClosed = kverr.ErrClosed
+
+	// ErrStalled marks a write that was aborted by its context while blocked
+	// in write-stall backpressure. The group is already durable and visible
+	// when this is returned — only the backpressure delay was abandoned —
+	// and the context's own error is wrapped alongside it.
+	ErrStalled = kverr.ErrStalled
+
+	// ErrBatchTooLarge reports a WriteBatch larger than MaxBatchBytes.
+	ErrBatchTooLarge = kverr.ErrBatchTooLarge
+)
 
 // Options tunes a DB. The zero value is usable.
 type Options struct {
@@ -64,6 +80,11 @@ type Options struct {
 	// Compression selects the sstable data-block codec for flushes and
 	// compactions. The zero value stores blocks raw.
 	Compression sstable.Compression
+	// HookBeforeSwap, when non-nil, runs between a major compaction's merge
+	// phase and its manifest swap, off-lock; returning an error aborts the
+	// compaction as if it crashed there. Intended for tests that need to
+	// wedge or fail the compactor at a deterministic point.
+	HookBeforeSwap func() error
 	// WriteLoad, when non-nil, is a shared gauge of writers in flight
 	// across a family of related DBs — the shards of a store.Store. A
 	// group-commit leader consults the gauge (in place of this DB's own
@@ -227,6 +248,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	db := &DB{dir: dir, opts: opts, man: man, mem: memtable.New(opts.Seed)}
 	db.stallCond = sync.NewCond(&db.mu)
+	db.hookBeforeSwap = opts.HookBeforeSwap
 	if opts.BlockCacheBytes > 0 {
 		db.blockCache = cache.New(opts.BlockCacheBytes)
 	}
@@ -402,10 +424,16 @@ func (db *DB) Close() error {
 // enqueue on the commit pipeline and a single leader performs one WAL
 // append (and at most one fsync) for the whole group — see batch.go.
 func (db *DB) Put(key, value []byte) error {
+	return db.PutContext(context.Background(), key, value)
+}
+
+// PutContext is Put honoring ctx: see WriteContext for the cancellation
+// points on the commit pipeline.
+func (db *DB) PutContext(ctx context.Context, key, value []byte) error {
 	b := writeBatchPool.Get().(*WriteBatch)
 	b.Reset()
 	b.Put(key, value)
-	err := db.Write(b)
+	err := db.WriteContext(ctx, b)
 	writeBatchPool.Put(b)
 	return err
 }
@@ -414,10 +442,16 @@ func (db *DB) Put(key, value []byte) error {
 // at the next major compaction. Like Put, deletes ride the group-commit
 // pipeline.
 func (db *DB) Delete(key []byte) error {
+	return db.DeleteContext(context.Background(), key)
+}
+
+// DeleteContext is Delete honoring ctx: see WriteContext for the
+// cancellation points on the commit pipeline.
+func (db *DB) DeleteContext(ctx context.Context, key []byte) error {
 	b := writeBatchPool.Get().(*WriteBatch)
 	b.Reset()
 	b.Delete(key)
-	err := db.Write(b)
+	err := db.WriteContext(ctx, b)
 	writeBatchPool.Put(b)
 	return err
 }
@@ -426,21 +460,38 @@ func (db *DB) Delete(key []byte) error {
 // compactor: kick a compaction at the trigger threshold, and above the
 // stall threshold block the writer (releasing the lock while waiting)
 // until compaction brings the table count back down. The write itself has
-// already been applied; stalling only delays the return to the caller.
-func (db *DB) maybeStallLocked() {
+// already been applied; stalling only delays the return to the caller, so
+// when ctx expires mid-stall the returned error (ErrStalled wrapping the
+// context error) reports an abandoned delay, not a lost write.
+func (db *DB) maybeStallLocked(ctx context.Context) error {
 	if db.opts.Background == nil {
-		return
+		return nil
 	}
 	if len(db.tables) >= db.bgCfg.Trigger {
 		db.kickBackground()
 	}
-	if len(db.tables) >= db.bgCfg.Stall {
-		db.writeStalls++
+	if len(db.tables) < db.bgCfg.Stall {
+		return nil
+	}
+	db.writeStalls++
+	// stallCond has no select form, so context expiry is delivered by a
+	// watcher that wakes every waiter; each one rechecks its own ctx.
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			db.mu.Lock()
+			db.stallCond.Broadcast()
+			db.mu.Unlock()
+		})
+		defer stop()
 	}
 	for len(db.tables) >= db.bgCfg.Stall && !db.closed && db.bgLastErr == nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrStalled, err)
+		}
 		db.kickBackground()
 		db.stallCond.Wait()
 	}
+	return nil
 }
 
 // kickBackground nudges the maintenance goroutine without blocking.
@@ -510,6 +561,20 @@ func (db *DB) BackgroundErr() error {
 func (db *DB) Get(key []byte) ([]byte, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.getLocked(key)
+}
+
+// GetContext is Get honoring ctx. Point reads never block on the commit
+// pipeline, so a single expiry check at entry suffices.
+func (db *DB) GetContext(ctx context.Context, key []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return db.Get(key)
+}
+
+// getLocked serves a point read; the caller holds mu (read or write).
+func (db *DB) getLocked(key []byte) ([]byte, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
@@ -545,6 +610,16 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 
 // Flush forces the memtable to an sstable even if it is below threshold.
 func (db *DB) Flush() error {
+	return db.FlushContext(context.Background())
+}
+
+// FlushContext is Flush honoring ctx. The flush itself is not interruptible
+// once started — it is one sstable write plus a WAL swap — so the context
+// is only consulted before the work begins.
+func (db *DB) FlushContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	db.pipeMu.Lock()
 	defer db.pipeMu.Unlock()
 	db.mu.Lock()
@@ -661,12 +736,36 @@ func (db *DB) Scan(fn func(key, value []byte) error) error {
 // scans to the last. Like Scan, it merges the memtable and all sstables
 // and hides deleted keys.
 func (db *DB) Range(start, end []byte, fn func(key, value []byte) error) error {
+	return db.RangeContext(context.Background(), start, end, fn)
+}
+
+// rangeCtxCheckEvery is how many merged entries a context-aware scan loop
+// emits between context-expiry checks: often enough that cancellation lands
+// within microseconds, rarely enough that the check costs nothing.
+const rangeCtxCheckEvery = 256
+
+// RangeContext is Range honoring ctx: the merge loop checks for expiry
+// every rangeCtxCheckEvery entries, so a cancelled scan stops promptly and
+// releases its table references instead of draining the whole key space.
+func (db *DB) RangeContext(ctx context.Context, start, end []byte, fn func(key, value []byte) error) error {
 	it, release, err := db.NewIterator(start, end)
 	if err != nil {
 		return err
 	}
 	defer release()
-	for ; it.Valid(); it.Next() {
+	return RangeLoop(ctx, it, fn)
+}
+
+// RangeLoop drives a merged iterator through fn with periodic context
+// checks; shared by the single-shard and sharded scan paths.
+func RangeLoop(ctx context.Context, it iterator.Iterator, fn func(key, value []byte) error) error {
+	for n := 0; it.Valid(); it.Next() {
+		if n%rangeCtxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n++
 		e := it.Entry()
 		if err := fn(e.Key, e.Value); err != nil {
 			return err

@@ -1,0 +1,138 @@
+package lsm
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"repro/internal/iterator"
+	"repro/internal/sstable"
+)
+
+// Snapshot is a consistent point-in-time read view of one DB: the memtable
+// entries materialized at acquisition plus the then-live sstables, held
+// alive by reference counts. Writes, flushes and compactions after the
+// acquisition are invisible through it; superseded sstable files are not
+// deleted until every snapshot reading them has been released. A Snapshot
+// is safe for concurrent use and must be Released exactly once.
+type Snapshot struct {
+	// mem holds the memtable's entries at acquisition, sorted by
+	// (key asc, seq desc) — the memtable iterator's order.
+	mem    []iterator.Entry
+	tables []*tableHandle
+	// mu makes reads atomic with Release: a reader in Get (or retaining
+	// tables for a new iterator) holds the read lock, so Release cannot
+	// drop the table references out from under it.
+	mu       sync.RWMutex
+	released bool
+}
+
+// Snapshot captures a point-in-time view of the whole key space. The
+// memtable is materialized under a short read-lock section (cost
+// proportional to its entry count); the sstables are retained by
+// reference, not copied.
+func (db *DB) Snapshot() (*Snapshot, error) {
+	mem, tables, err := db.acquireSnapshot(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{mem: mem, tables: tables}, nil
+}
+
+// Release drops the snapshot's table references; the last release of a
+// superseded table closes and deletes it. Further reads through the
+// snapshot return ErrClosed. Release is idempotent, and a release
+// concurrent with a read waits for the read to finish.
+func (s *Snapshot) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.released {
+		s.released = true
+		releaseTables(s.tables)
+	}
+}
+
+// Get returns the value stored for key as of the snapshot, or ErrNotFound.
+// The lookup mirrors DB.Get: the materialized memtable wins if it holds
+// any version of the key; otherwise the highest sequence number across the
+// snapshot's sstables wins.
+func (s *Snapshot) Get(key []byte) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.released {
+		return nil, ErrClosed
+	}
+	// First memtable entry with this key is the newest version (seq desc
+	// within a key run).
+	i := sort.Search(len(s.mem), func(i int) bool {
+		return bytes.Compare(s.mem[i].Key, key) >= 0
+	})
+	if i < len(s.mem) && bytes.Equal(s.mem[i].Key, key) {
+		e := s.mem[i]
+		if e.Tombstone {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), e.Value...), nil
+	}
+	var (
+		bestSeq  uint64
+		bestVal  []byte
+		bestTomb bool
+		foundAny bool
+	)
+	for _, th := range s.tables {
+		e, err := th.rd.Get(key)
+		if err == sstable.ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !foundAny || e.Seq > bestSeq {
+			foundAny, bestSeq, bestVal, bestTomb = true, e.Seq, e.Value, e.Tombstone
+		}
+	}
+	if !foundAny || bestTomb {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), bestVal...), nil
+}
+
+// NewIterator returns an iterator over the snapshot's live entries with
+// start <= key < end (nil bounds are open), with deleted keys hidden, plus
+// a release function the caller must invoke when done. The iterator takes
+// its own table references, so it remains valid even if the snapshot is
+// released while it is still draining.
+func (s *Snapshot) NewIterator(start, end []byte) (iterator.Iterator, func(), error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.released {
+		return nil, nil, ErrClosed
+	}
+	mem := s.mem
+	if start != nil {
+		i := sort.Search(len(mem), func(i int) bool {
+			return bytes.Compare(mem[i].Key, start) >= 0
+		})
+		mem = mem[i:]
+	}
+	tables := make([]*tableHandle, len(s.tables))
+	copy(tables, s.tables)
+	for _, th := range tables {
+		th.retain()
+	}
+	children := make([]iterator.Iterator, 0, len(tables)+1)
+	children = append(children, iterator.NewSlice(mem))
+	for _, th := range tables {
+		if start == nil {
+			children = append(children, th.rd.Iter())
+		} else {
+			children = append(children, th.rd.IterFrom(start))
+		}
+	}
+	var it iterator.Iterator = iterator.NewDedup(iterator.NewMerging(children...), true)
+	if end != nil {
+		it = &boundedIter{Iterator: it, end: end}
+	}
+	return it, func() { releaseTables(tables) }, nil
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -33,27 +34,27 @@ func TestStoreOverKvnet(t *testing.T) {
 
 	const n = 600
 	for i := 0; i < n; i++ {
-		if err := c.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprint(i))); err != nil {
+		if err := c.Put(context.Background(), []byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprint(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := c.Write([]kvnet.BatchOp{
+	if err := c.Write(context.Background(), []kvnet.BatchOp{
 		{Key: []byte("batch-a"), Value: []byte("1")},
 		{Key: []byte("batch-b"), Value: []byte("2")},
 		{Delete: true, Key: []byte("key-00000")},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if v, err := c.Get([]byte("key-00123")); err != nil || string(v) != "123" {
+	if v, err := c.Get(context.Background(), []byte("key-00123")); err != nil || string(v) != "123" {
 		t.Fatalf("Get = %q, %v", v, err)
 	}
-	if _, err := c.Get([]byte("key-00000")); !errors.Is(err, kvnet.ErrNotFound) {
+	if _, err := c.Get(context.Background(), []byte("key-00000")); !errors.Is(err, kvnet.ErrNotFound) {
 		t.Fatalf("deleted key Get = %v", err)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := c.Scan([]byte("key-"), 0)
+	entries, err := c.Scan(context.Background(), []byte("key-"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,21 +69,21 @@ func TestStoreOverKvnet(t *testing.T) {
 	// Build a second generation of tables so the fan-out compaction has
 	// real merging to do on every shard.
 	for i := 0; i < n; i++ {
-		if err := c.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("v2")); err != nil {
+		if err := c.Put(context.Background(), []byte(fmt.Sprintf("key-%05d", i)), []byte("v2")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	info, err := c.Compact("BT(I)", 2)
+	info, err := c.Compact(context.Background(), "BT(I)", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.TablesBefore < 4 || info.Merges == 0 {
 		t.Fatalf("compaction over %d tables in %d merges; want per-shard merges", info.TablesBefore, info.Merges)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestStoreOverKvnet(t *testing.T) {
 	if st.GroupedWrites == 0 {
 		t.Error("aggregated GroupedWrites is zero")
 	}
-	if v, err := c.Get([]byte("key-00123")); err != nil || string(v) != "v2" {
+	if v, err := c.Get(context.Background(), []byte("key-00123")); err != nil || string(v) != "v2" {
 		t.Fatalf("Get after compaction = %q, %v", v, err)
 	}
 }

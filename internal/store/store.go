@@ -27,6 +27,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -120,6 +121,14 @@ func writeMarker(dir string, n int) error {
 		return fmt.Errorf("store: sync store dir: %w", err)
 	}
 	return nil
+}
+
+// IsSharded reports whether dir holds a sharded store layout (a SHARDS
+// marker). Callers deciding between a plain lsm.DB and a Store — the kv
+// façade's Open — use it to adopt whatever the directory already is.
+func IsSharded(dir string) (bool, error) {
+	n, err := readMarker(dir)
+	return n > 0, err
 }
 
 // legacyLayout reports whether dir holds a pre-store unsharded lsm.DB. A
@@ -284,14 +293,29 @@ func (s *Store) Put(key, value []byte) error {
 	return s.shards[s.ShardFor(key)].Put(key, value)
 }
 
+// PutContext is Put honoring ctx on the owning shard's commit pipeline.
+func (s *Store) PutContext(ctx context.Context, key, value []byte) error {
+	return s.shards[s.ShardFor(key)].PutContext(ctx, key, value)
+}
+
 // Get returns the value stored for key, or lsm.ErrNotFound.
 func (s *Store) Get(key []byte) ([]byte, error) {
 	return s.shards[s.ShardFor(key)].Get(key)
 }
 
+// GetContext is Get honoring ctx.
+func (s *Store) GetContext(ctx context.Context, key []byte) ([]byte, error) {
+	return s.shards[s.ShardFor(key)].GetContext(ctx, key)
+}
+
 // Delete removes key on the owning shard.
 func (s *Store) Delete(key []byte) error {
 	return s.shards[s.ShardFor(key)].Delete(key)
+}
+
+// DeleteContext is Delete honoring ctx on the owning shard's pipeline.
+func (s *Store) DeleteContext(ctx context.Context, key []byte) error {
+	return s.shards[s.ShardFor(key)].DeleteContext(ctx, key)
 }
 
 // Write commits the batch, splitting it by owning shard and committing the
@@ -303,18 +327,31 @@ func (s *Store) Delete(key []byte) error {
 // without the others, and a concurrent reader can observe the same. An
 // error means at least one sub-batch failed; others may have committed.
 func (s *Store) Write(b *lsm.WriteBatch) error {
+	return s.WriteContext(context.Background(), b)
+}
+
+// WriteContext is Write honoring ctx: every shard's sub-commit inherits
+// the context, so a cancellation that lands while sub-batches are parked
+// in their shards' commit queues releases those pipeline slots. As with
+// errors, cancellation is not atomic across shards — some sub-batches may
+// have committed before the context expired.
+func (s *Store) WriteContext(ctx context.Context, b *lsm.WriteBatch) error {
 	if b == nil || b.Len() == 0 {
 		return nil
 	}
-	// Validate before splitting: a malformed batch must reject whole, not
-	// after some shards already committed their sub-batches.
+	// Validate before splitting: a malformed or oversized batch must
+	// reject whole, not after some shards already committed their
+	// sub-batches.
 	for i := 0; i < b.Len(); i++ {
 		if key, _, _ := b.Op(i); len(key) == 0 {
 			return fmt.Errorf("store: empty key")
 		}
 	}
+	if b.SizeBytes() > lsm.MaxBatchBytes {
+		return fmt.Errorf("%w: %d bytes > %d", lsm.ErrBatchTooLarge, b.SizeBytes(), lsm.MaxBatchBytes)
+	}
 	if len(s.shards) == 1 {
-		return s.shards[0].Write(b)
+		return s.shards[0].WriteContext(ctx, b)
 	}
 	subs := s.subs.Get().([]lsm.WriteBatch)
 	defer func() {
@@ -349,10 +386,10 @@ func (s *Store) Write(b *lsm.WriteBatch) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = s.shards[i].Write(&subs[i])
+			errs[i] = s.shards[i].WriteContext(ctx, &subs[i])
 		}(i)
 	}
-	errs[last] = s.shards[last].Write(&subs[last])
+	errs[last] = s.shards[last].WriteContext(ctx, &subs[last])
 	wg.Wait()
 	return errors.Join(errs...)
 }
@@ -375,29 +412,106 @@ func (s *Store) Scan(fn func(key, value []byte) error) error {
 // point-in-time snapshot of that shard, but the per-shard snapshots are
 // acquired sequentially, not atomically across shards.
 func (s *Store) Range(start, end []byte, fn func(key, value []byte) error) error {
+	return s.RangeContext(context.Background(), start, end, fn)
+}
+
+// RangeContext is Range honoring ctx: the k-way merge loop checks for
+// expiry periodically, so a cancelled scan releases every shard's
+// snapshot promptly instead of draining the whole key space.
+func (s *Store) RangeContext(ctx context.Context, start, end []byte, fn func(key, value []byte) error) error {
+	it, release, err := s.NewIterator(start, end)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return lsm.RangeLoop(ctx, it, fn)
+}
+
+// NewIterator returns an iterator over the live entries of every shard
+// with start <= key < end (nil bounds are open), k-way-merged into one
+// globally ordered stream, plus a release function the caller must invoke
+// when done. Per-shard snapshots are acquired sequentially, so the merged
+// view is consistent per shard but not across shards.
+func (s *Store) NewIterator(start, end []byte) (iterator.Iterator, func(), error) {
 	children := make([]iterator.Iterator, 0, len(s.shards))
 	releases := make([]func(), 0, len(s.shards))
-	defer func() {
+	releaseAll := func() {
 		for _, rel := range releases {
 			rel()
 		}
-	}()
+	}
 	for _, db := range s.shards {
 		it, release, err := db.NewIterator(start, end)
 		if err != nil {
-			return err
+			releaseAll()
+			return nil, nil, err
 		}
 		releases = append(releases, release)
 		children = append(children, it)
 	}
-	it := iterator.NewMerging(children...)
-	for ; it.Valid(); it.Next() {
-		e := it.Entry()
-		if err := fn(e.Key, e.Value); err != nil {
-			return err
+	return iterator.NewMerging(children...), releaseAll, nil
+}
+
+// Snapshot captures a point-in-time view of every shard. As with Write
+// and Range, the per-shard snapshots are acquired sequentially: each
+// shard's view is internally consistent, but a concurrent cross-shard
+// batch may be split across the acquisition instants.
+func (s *Store) Snapshot() (*Snapshot, error) {
+	snap := &Snapshot{store: s, shards: make([]*lsm.Snapshot, len(s.shards))}
+	for i, db := range s.shards {
+		sn, err := db.Snapshot()
+		if err != nil {
+			snap.Release()
+			return nil, err
+		}
+		snap.shards[i] = sn
+	}
+	return snap, nil
+}
+
+// Snapshot is a point-in-time read view of the whole store: one lsm
+// snapshot per shard, routed and merged with the same hash partitioning
+// the live store uses. Safe for concurrent use; Release is idempotent.
+type Snapshot struct {
+	store  *Store
+	shards []*lsm.Snapshot
+}
+
+// Get returns the value stored for key as of the snapshot, or
+// lsm.ErrNotFound.
+func (sn *Snapshot) Get(key []byte) ([]byte, error) {
+	return sn.shards[sn.store.ShardFor(key)].Get(key)
+}
+
+// NewIterator returns a merged iterator over every shard's snapshot with
+// start <= key < end (nil bounds are open), plus a release function.
+func (sn *Snapshot) NewIterator(start, end []byte) (iterator.Iterator, func(), error) {
+	children := make([]iterator.Iterator, 0, len(sn.shards))
+	releases := make([]func(), 0, len(sn.shards))
+	releaseAll := func() {
+		for _, rel := range releases {
+			rel()
 		}
 	}
-	return nil
+	for _, shard := range sn.shards {
+		it, release, err := shard.NewIterator(start, end)
+		if err != nil {
+			releaseAll()
+			return nil, nil, err
+		}
+		releases = append(releases, release)
+		children = append(children, it)
+	}
+	return iterator.NewMerging(children...), releaseAll, nil
+}
+
+// Release drops every shard snapshot's table references.
+func (sn *Snapshot) Release() {
+	for _, shard := range sn.shards {
+		if shard != nil {
+			shard.Release()
+		}
+	}
 }
 
 // MajorCompact runs a major compaction on every shard concurrently — the

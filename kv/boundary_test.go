@@ -1,0 +1,47 @@
+package kv
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIBoundary enforces the façade: binaries and examples build
+// against the public kv package only, never against the engine internals
+// it wraps. (CI runs the same check as a grep step; this test keeps it
+// enforced locally too.)
+func TestPublicAPIBoundary(t *testing.T) {
+	banned := map[string]bool{
+		"repro/internal/lsm":   true,
+		"repro/internal/store": true,
+		"repro/internal/kvnet": true,
+	}
+	for _, root := range []string{"../cmd", "../examples"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				ipath := strings.Trim(imp.Path.Value, `"`)
+				if banned[ipath] {
+					t.Errorf("%s imports %s; cmd/ and examples/ must use the public kv package", path, ipath)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

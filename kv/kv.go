@@ -1,0 +1,272 @@
+// Package kv is the public façade of the storage engine: one
+// context-aware Engine interface served by three interchangeable backends.
+//
+//   - Open(dir) returns an embedded engine — a single LSM partition, or a
+//     hash-sharded store of independent partitions with WithShards(n).
+//   - Dial(addr) returns a client engine speaking the kvnet protocol to a
+//     remote server (itself started with NewServer over an Open engine).
+//
+// Every operation takes a context.Context and honors cancellation at the
+// points where the engine can hold a caller: parked in the commit queue,
+// blocked in write-stall backpressure, draining a scan, or waiting on the
+// network. Errors are typed — ErrNotFound, ErrClosed, ErrStalled,
+// ErrBatchTooLarge — and compare with errors.Is identically across all
+// three backends; the network layer carries them as wire codes and
+// rehydrates the same sentinels on the client side.
+//
+// The paper's fast-compaction machinery (conf_icdcs_GhoshGGK15) sits
+// underneath: Compact runs a major compaction scheduled by any of the
+// paper's strategies, and Stats exposes the pipeline, cache, Bloom-filter
+// and compaction counters of the engine underneath.
+package kv
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/kverr"
+	"repro/internal/lsm"
+)
+
+// Canonical error taxonomy. Every backend returns these exact values (see
+// internal/kverr), so errors.Is works whether the operation failed in an
+// embedded engine or was decoded off the wire.
+var (
+	// ErrNotFound reports a missing (or deleted) key.
+	ErrNotFound = kverr.ErrNotFound
+
+	// ErrClosed reports use of a closed engine, iterator or snapshot.
+	ErrClosed = kverr.ErrClosed
+
+	// ErrStalled marks a write whose context expired while blocked in
+	// compaction write-stall backpressure. The write itself is already
+	// durable and visible — only the backpressure delay was abandoned —
+	// and the context's error is wrapped alongside, so both
+	// errors.Is(err, ErrStalled) and errors.Is(err, ctx.Err()) hold.
+	ErrStalled = kverr.ErrStalled
+
+	// ErrBatchTooLarge reports a batch exceeding MaxBatchBytes.
+	ErrBatchTooLarge = kverr.ErrBatchTooLarge
+)
+
+// MaxBatchBytes bounds a single Batch (keys + values + per-op overhead);
+// Write returns ErrBatchTooLarge beyond it on every backend.
+const MaxBatchBytes = lsm.MaxBatchBytes
+
+// Engine is the storage surface shared by all backends. All methods are
+// safe for concurrent use. Close invalidates the engine; operations on a
+// closed engine (and Next on iterators created before the close) return
+// ErrClosed.
+type Engine interface {
+	// Put stores key → value. The empty key is invalid.
+	Put(ctx context.Context, key, value []byte) error
+	// Get returns the value stored for key, or ErrNotFound. A stored
+	// empty value is distinct from a missing key: it returns an empty
+	// slice and a nil error.
+	Get(ctx context.Context, key []byte) ([]byte, error)
+	// Delete removes key. Deleting a missing key is not an error.
+	Delete(ctx context.Context, key []byte) error
+	// Write commits the batch atomically on the embedded single-partition
+	// engine and on a remote server backed by one; on a sharded store the
+	// batch is atomic per shard but has no cross-shard commit point.
+	Write(ctx context.Context, b *Batch) error
+	// NewIterator returns an iterator over live entries with
+	// start <= key < end in ascending key order, with deleted keys
+	// hidden. Nil or empty bounds are open; reversed bounds (start >=
+	// end) yield an empty iterator. The caller must Close the iterator.
+	NewIterator(ctx context.Context, start, end []byte) (Iterator, error)
+	// Snapshot captures a point-in-time read view. Embedded backends pin
+	// the live memtable and sstables by reference (cheap, isolated); the
+	// remote backend materializes the key space client-side at Snapshot
+	// time, which is expensive for large stores. The caller must Release
+	// the snapshot.
+	Snapshot(ctx context.Context) (Snapshot, error)
+	// Flush forces buffered writes (the memtable, every shard's memtable)
+	// to sstables.
+	Flush(ctx context.Context) error
+	// Compact runs a major compaction scheduled by opts.Strategy (nil
+	// selects the engine's configured default), blocking until it
+	// completes. Reads and writes proceed concurrently; the merge itself
+	// is not cancellable once started.
+	Compact(ctx context.Context, opts *CompactOptions) (*CompactionInfo, error)
+	// Stats reports engine statistics.
+	Stats(ctx context.Context) (Stats, error)
+	// Close releases the engine. Close is idempotent on the remote
+	// backend and returns ErrClosed on a second close of an embedded one.
+	Close() error
+}
+
+// Iterator yields entries in ascending key order. It is not safe for
+// concurrent use. After Close — the iterator's or the engine's — Valid
+// reports false and Next records ErrClosed; a context expiry recorded
+// during iteration surfaces through Err the same way.
+type Iterator interface {
+	// Valid reports whether the iterator is positioned at an entry.
+	Valid() bool
+	// Key returns the current key; valid only while Valid is true. The
+	// slice must not be retained across Next.
+	Key() []byte
+	// Value returns the current value; same caveats as Key.
+	Value() []byte
+	// Next advances to the following entry.
+	Next()
+	// Err returns the first error the iterator hit: a context expiry,
+	// ErrClosed, or a transport failure on the remote backend. A fully
+	// drained healthy iterator returns nil.
+	Err() error
+	// Close releases the iterator's resources. Idempotent.
+	Close() error
+}
+
+// Snapshot is a point-in-time read view. Reads after Release return
+// ErrClosed. On the sharded store each shard's view is internally
+// consistent but the per-shard views are acquired sequentially; on the
+// remote backend the view is materialized client-side page by page, so a
+// concurrent writer may straddle page boundaries.
+type Snapshot interface {
+	// Get returns the value stored for key as of the snapshot, or
+	// ErrNotFound.
+	Get(ctx context.Context, key []byte) ([]byte, error)
+	// NewIterator iterates the snapshot with the same bounds semantics as
+	// Engine.NewIterator.
+	NewIterator(ctx context.Context, start, end []byte) (Iterator, error)
+	// Release drops the snapshot's resources. Idempotent.
+	Release()
+}
+
+// Batch accumulates Put and Delete operations for one atomic Write. The
+// zero value is ready to use; Reset recycles the internal arena. A Batch
+// is not safe for concurrent use.
+type Batch struct {
+	wb lsm.WriteBatch
+}
+
+// Put records a write of key → value.
+func (b *Batch) Put(key, value []byte) { b.wb.Put(key, value) }
+
+// Delete records a deletion of key.
+func (b *Batch) Delete(key []byte) { b.wb.Delete(key) }
+
+// Len returns the number of operations in the batch.
+func (b *Batch) Len() int { return b.wb.Len() }
+
+// SizeBytes approximates the batch's commit footprint, the measure
+// MaxBatchBytes bounds.
+func (b *Batch) SizeBytes() int { return b.wb.SizeBytes() }
+
+// Reset clears the batch for reuse, retaining its capacity.
+func (b *Batch) Reset() { b.wb.Reset() }
+
+// CompactOptions selects the merge schedule of one Compact call.
+type CompactOptions struct {
+	// Strategy names a merge-scheduling strategy from the paper's set —
+	// "BT", "BT(I)", "SI", "SO", "LM", "RANDOM", ... Empty selects the
+	// engine's configured default (WithCompactionStrategy, itself
+	// defaulting to "BT(I)").
+	Strategy string
+	// K bounds the merge fan-in. Zero selects the configured default.
+	K int
+}
+
+// CompactionInfo summarizes one major compaction.
+type CompactionInfo struct {
+	// Strategy is the merge-scheduling strategy that planned it.
+	Strategy string `json:"strategy"`
+	// TablesBefore is how many sstables were merged (summed across shards
+	// on a sharded store).
+	TablesBefore int `json:"tables_before"`
+	// Merges is the number of merge steps the schedule executed.
+	Merges int `json:"merges"`
+	// BytesRead and BytesWritten total the merge disk I/O.
+	BytesRead    uint64 `json:"bytes_read"`
+	BytesWritten uint64 `json:"bytes_written"`
+	// CostActual is the schedule's abstract cost in keys (the paper's
+	// costactual measure).
+	CostActual int `json:"cost_actual"`
+	// Duration is the wall-clock time of planning plus merging.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Stats is a point-in-time snapshot of engine statistics. Fields the
+// backend cannot observe are zero: the remote backend reports only what
+// the wire protocol carries, and per-shard breakdowns exist only on the
+// sharded store.
+type Stats struct {
+	// Backend identifies the engine flavor: "lsm", "store" or "remote".
+	Backend string `json:"backend"`
+	// Shards is the partition count (1 for a single embedded engine, 0
+	// when unknown on the remote backend).
+	Shards int `json:"shards,omitempty"`
+
+	Tables           int    `json:"tables"`
+	TableBytes       uint64 `json:"table_bytes"`
+	MemtableKeys     int    `json:"memtable_keys"`
+	Flushes          int    `json:"flushes"`
+	MinorCompactions int    `json:"minor_compactions"`
+	MajorCompactions int    `json:"major_compactions"`
+	WriteStalls      int    `json:"write_stalls"`
+
+	// GroupCommits, GroupedWrites and WALSyncs describe the group-commit
+	// pipeline: GroupedWrites/GroupCommits is the average group size,
+	// WALSyncs/GroupedWrites the fsyncs paid per write.
+	GroupCommits  uint64 `json:"group_commits"`
+	GroupedWrites uint64 `json:"grouped_writes"`
+	WALSyncs      uint64 `json:"wal_syncs"`
+
+	BlockCacheHits       uint64 `json:"block_cache_hits"`
+	BlockCacheMisses     uint64 `json:"block_cache_misses"`
+	FilterNegatives      uint64 `json:"filter_negatives"`
+	FilterFalsePositives uint64 `json:"filter_false_positives"`
+
+	// CompactionState is the major-compaction state machine's phase
+	// ("idle", "planning", "merging", "swapping"); on a sharded store the
+	// busiest shard's phase.
+	CompactionState string `json:"compaction_state,omitempty"`
+
+	// WAL recovery counters from the last Open; see lsm.Stats.
+	WALRecoveredRecords  int   `json:"wal_recovered_records,omitempty"`
+	WALRecoveredBatches  int   `json:"wal_recovered_batches,omitempty"`
+	WALRecoveredBytes    int64 `json:"wal_recovered_bytes,omitempty"`
+	WALRecoveryTruncated bool  `json:"wal_recovery_truncated,omitempty"`
+
+	// PerShard is the per-shard breakdown on a sharded store.
+	PerShard []Stats `json:"per_shard,omitempty"`
+}
+
+// statsFromLSM maps an engine-internal stats snapshot into the public
+// shape.
+func statsFromLSM(st lsm.Stats, backend string, shards int) Stats {
+	return Stats{
+		Backend:              backend,
+		Shards:               shards,
+		Tables:               st.Tables,
+		TableBytes:           st.TableBytes,
+		MemtableKeys:         st.MemtableKeys,
+		Flushes:              st.Flushes,
+		MinorCompactions:     st.MinorCompactions,
+		MajorCompactions:     st.MajorCompactions,
+		WriteStalls:          st.WriteStalls,
+		GroupCommits:         st.GroupCommits,
+		GroupedWrites:        st.GroupedWrites,
+		WALSyncs:             st.WALSyncs,
+		BlockCacheHits:       st.BlockCacheHits,
+		BlockCacheMisses:     st.BlockCacheMisses,
+		FilterNegatives:      st.FilterNegatives,
+		FilterFalsePositives: st.FilterFalsePositives,
+		CompactionState:      st.CompactionState,
+		WALRecoveredRecords:  st.WALRecoveredRecords,
+		WALRecoveredBatches:  st.WALRecoveredBatches,
+		WALRecoveredBytes:    st.WALRecoveredBytes,
+		WALRecoveryTruncated: st.WALRecoveryTruncated,
+	}
+}
+
+// normBound canonicalizes an iterator bound: nil and empty both mean
+// "open", so every backend (and the wire protocol) agrees on what an
+// absent bound looks like.
+func normBound(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}

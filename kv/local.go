@@ -1,0 +1,345 @@
+package kv
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/iterator"
+	"repro/internal/kvnet"
+	"repro/internal/lsm"
+	"repro/internal/store"
+)
+
+// localBackend is the method surface shared by the two embedded engines,
+// *lsm.DB and *store.Store. Error values are already canonical (the
+// internal layers alias internal/kverr), so no translation happens here.
+type localBackend interface {
+	PutContext(ctx context.Context, key, value []byte) error
+	GetContext(ctx context.Context, key []byte) ([]byte, error)
+	DeleteContext(ctx context.Context, key []byte) error
+	WriteContext(ctx context.Context, b *lsm.WriteBatch) error
+	NewIterator(start, end []byte) (iterator.Iterator, func(), error)
+	Flush() error
+	MajorCompact(strategy string, k int, seed int64) (*lsm.CompactionResult, error)
+	Stats() lsm.Stats
+	Close() error
+}
+
+// localSnap is the snapshot surface shared by *lsm.Snapshot and
+// *store.Snapshot.
+type localSnap interface {
+	Get(key []byte) ([]byte, error)
+	NewIterator(start, end []byte) (iterator.Iterator, func(), error)
+	Release()
+}
+
+// localEngine adapts an embedded backend to the public Engine interface.
+type localEngine struct {
+	b   localBackend
+	raw kvnet.Engine // the same object, for NewServer
+	// newSnap wraps the backend's concretely-typed Snapshot method.
+	newSnap func() (localSnap, error)
+	// shardStats is non-nil on the sharded store.
+	shardStats func() []lsm.Stats
+	backend    string // "lsm" or "store"
+	shards     int
+	cfg        config
+	closed     atomic.Bool
+	stats      *statsServer // nil unless WithStatsHandler
+}
+
+// newLocalEngine wires a backend into the façade; db and st are mutually
+// exclusive.
+func newLocalEngine(cfg config, db *lsm.DB, st *store.Store) *localEngine {
+	e := &localEngine{cfg: cfg}
+	if db != nil {
+		e.b, e.raw = db, db
+		e.backend, e.shards = "lsm", 1
+		e.newSnap = func() (localSnap, error) {
+			s, err := db.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+	} else {
+		e.b, e.raw = st, st
+		e.backend, e.shards = "store", st.ShardCount()
+		e.newSnap = func() (localSnap, error) {
+			s, err := st.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+		e.shardStats = st.ShardStats
+	}
+	return e
+}
+
+func (e *localEngine) Put(ctx context.Context, key, value []byte) error {
+	return e.b.PutContext(ctx, key, value)
+}
+
+func (e *localEngine) Get(ctx context.Context, key []byte) ([]byte, error) {
+	return e.b.GetContext(ctx, key)
+}
+
+func (e *localEngine) Delete(ctx context.Context, key []byte) error {
+	return e.b.DeleteContext(ctx, key)
+}
+
+func (e *localEngine) Write(ctx context.Context, b *Batch) error {
+	if b == nil {
+		return nil
+	}
+	return e.b.WriteContext(ctx, &b.wb)
+}
+
+func (e *localEngine) NewIterator(ctx context.Context, start, end []byte) (Iterator, error) {
+	start, end = normBound(start), normBound(end)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if start != nil && end != nil && bytes.Compare(start, end) >= 0 {
+		return emptyIterator{}, nil
+	}
+	it, release, err := e.b.NewIterator(start, end)
+	if err != nil {
+		return nil, err
+	}
+	return &localIterator{ctx: ctx, it: it, release: release, engineClosed: &e.closed}, nil
+}
+
+func (e *localEngine) Snapshot(ctx context.Context) (Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s, err := e.newSnap()
+	if err != nil {
+		return nil, err
+	}
+	return &localSnapshot{s: s, engineClosed: &e.closed}, nil
+}
+
+func (e *localEngine) Flush(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.b.Flush()
+}
+
+func (e *localEngine) Compact(ctx context.Context, opts *CompactOptions) (*CompactionInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	strategy, k := e.cfg.compactStrategy, e.cfg.compactK
+	if opts != nil {
+		if opts.Strategy != "" {
+			strategy = opts.Strategy
+		}
+		if opts.K >= 2 {
+			k = opts.K
+		}
+	}
+	res, err := e.b.MajorCompact(strategy, k, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &CompactionInfo{
+		Strategy:     strategy,
+		TablesBefore: res.TablesBefore,
+		Merges:       len(res.StepStats),
+		BytesRead:    res.BytesRead,
+		BytesWritten: res.BytesWritten,
+		CostActual:   res.CostActual,
+		Duration:     res.Duration,
+	}, nil
+}
+
+func (e *localEngine) Stats(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	if e.closed.Load() {
+		return Stats{}, ErrClosed
+	}
+	if e.shardStats != nil {
+		per := e.shardStats()
+		st := statsFromLSM(store.Aggregate(per), e.backend, e.shards)
+		st.PerShard = make([]Stats, len(per))
+		for i, ss := range per {
+			st.PerShard[i] = statsFromLSM(ss, "lsm", 1)
+		}
+		return st, nil
+	}
+	return statsFromLSM(e.b.Stats(), e.backend, e.shards), nil
+}
+
+func (e *localEngine) Close() error {
+	e.closed.Store(true)
+	if e.stats != nil {
+		e.stats.Close()
+	}
+	return e.b.Close()
+}
+
+// statsListenAddr exposes the stats endpoint's bound address; tests use it
+// with a ":0" listener.
+func (e *localEngine) statsListenAddr() string {
+	if e.stats == nil {
+		return ""
+	}
+	return e.stats.Addr()
+}
+
+// localIterator adapts an internal merged iterator, adding context expiry
+// checks, engine-close detection and the Err/Close protocol.
+type localIterator struct {
+	ctx          context.Context
+	it           iterator.Iterator
+	release      func()
+	engineClosed *atomic.Bool
+	err          error
+	closed       bool
+	n            int
+}
+
+// checkEvery is how many Next steps an iterator takes between context
+// checks.
+const checkEvery = 128
+
+func (it *localIterator) fail(err error) {
+	if it.err == nil {
+		it.err = err
+	}
+	if it.release != nil {
+		it.release()
+		it.release = nil
+	}
+}
+
+func (it *localIterator) Valid() bool {
+	if it.err != nil || it.closed {
+		return false
+	}
+	if it.engineClosed.Load() {
+		it.fail(ErrClosed)
+		return false
+	}
+	return it.it.Valid()
+}
+
+func (it *localIterator) Key() []byte {
+	if !it.Valid() {
+		return nil
+	}
+	return it.it.Entry().Key
+}
+
+func (it *localIterator) Value() []byte {
+	if !it.Valid() {
+		return nil
+	}
+	return it.it.Entry().Value
+}
+
+func (it *localIterator) Next() {
+	if it.closed {
+		it.fail(ErrClosed)
+		return
+	}
+	if it.err != nil {
+		return
+	}
+	if it.engineClosed.Load() {
+		it.fail(ErrClosed)
+		return
+	}
+	it.n++
+	if it.n%checkEvery == 0 {
+		if err := it.ctx.Err(); err != nil {
+			it.fail(err)
+			return
+		}
+	}
+	it.it.Next()
+}
+
+func (it *localIterator) Err() error { return it.err }
+
+func (it *localIterator) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	if it.release != nil {
+		it.release()
+		it.release = nil
+	}
+	return nil
+}
+
+// emptyIterator is what reversed bounds produce: no entries, no error.
+type emptyIterator struct{}
+
+func (emptyIterator) Valid() bool   { return false }
+func (emptyIterator) Key() []byte   { return nil }
+func (emptyIterator) Value() []byte { return nil }
+func (emptyIterator) Next()         {}
+func (emptyIterator) Err() error    { return nil }
+func (emptyIterator) Close() error  { return nil }
+
+// localSnapshot adapts an embedded snapshot to the public interface.
+type localSnapshot struct {
+	s            localSnap
+	engineClosed *atomic.Bool
+	released     atomic.Bool
+}
+
+func (s *localSnapshot) Get(ctx context.Context, key []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.released.Load() || s.engineClosed.Load() {
+		return nil, ErrClosed
+	}
+	return s.s.Get(key)
+}
+
+func (s *localSnapshot) NewIterator(ctx context.Context, start, end []byte) (Iterator, error) {
+	start, end = normBound(start), normBound(end)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.released.Load() || s.engineClosed.Load() {
+		return nil, ErrClosed
+	}
+	if start != nil && end != nil && bytes.Compare(start, end) >= 0 {
+		return emptyIterator{}, nil
+	}
+	it, release, err := s.s.NewIterator(start, end)
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot iterators pin their own table references, so they survive
+	// snapshot release; engine close still invalidates them.
+	return &localIterator{ctx: ctx, it: it, release: release, engineClosed: s.engineClosed}, nil
+}
+
+func (s *localSnapshot) Release() {
+	if s.released.CompareAndSwap(false, true) {
+		s.s.Release()
+	}
+}
+
+var _ Engine = (*localEngine)(nil)
+
+// errNotServable reports NewServer misuse; defined here to keep the
+// type-assertion logic next to the type it asserts on.
+var errNotServable = fmt.Errorf("kv: only engines returned by Open can be served")

@@ -1,0 +1,88 @@
+package kv
+
+import (
+	"fmt"
+
+	"repro/internal/lsm"
+	"repro/internal/store"
+)
+
+// Open opens (creating if necessary) an embedded engine rooted at dir.
+// With WithShards(n), n > 1, the key space hash-partitions over n
+// independent LSM shards under dir; with n <= 1 (or by default on a fresh
+// directory) the engine is a single LSM partition rooted at dir itself —
+// the same layout plain lsm.Open produces, so pre-façade directories open
+// unchanged. A directory that already holds a sharded store is adopted at
+// its persisted shard count when no explicit count is given.
+func Open(dir string, opts ...Option) (Engine, error) {
+	cfg := defaultConfig(entryOpen)
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	sharded := cfg.shards > 1
+	if !sharded {
+		// Shards <= 1: adopt a persisted sharded layout if one exists (the
+		// store validates that its count matches an explicit request);
+		// otherwise this is a plain single-partition directory.
+		existing, err := store.IsSharded(dir)
+		if err != nil {
+			return nil, err
+		}
+		sharded = existing
+	}
+	var eng *localEngine
+	if sharded {
+		st, err := store.Open(dir, store.Options{Shards: cfg.shards, Options: cfg.lsmOptions()})
+		if err != nil {
+			return nil, err
+		}
+		eng = newLocalEngine(cfg, nil, st)
+	} else {
+		db, err := lsm.Open(dir, cfg.lsmOptions())
+		if err != nil {
+			return nil, err
+		}
+		eng = newLocalEngine(cfg, db, nil)
+	}
+	if cfg.statsAddr != "" {
+		stats, err := startStatsServer(cfg.statsAddr, eng)
+		if err != nil {
+			eng.b.Close()
+			return nil, err
+		}
+		eng.stats = stats
+	}
+	return eng, nil
+}
+
+// Dial connects to a server at addr (see NewServer and cmd/lsmserver) and
+// returns an Engine speaking the kvnet protocol to it. The remote engine
+// serializes requests over one connection; a request cancelled mid-flight
+// poisons that connection and the engine transparently re-dials on the
+// next operation.
+func Dial(addr string, opts ...Option) (Engine, error) {
+	cfg := defaultConfig(entryDial)
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("kv: empty address")
+	}
+	eng, err := newRemoteEngine(cfg, addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.statsAddr != "" {
+		stats, err := startStatsServer(cfg.statsAddr, eng)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		eng.stats = stats
+	}
+	return eng, nil
+}

@@ -1,0 +1,241 @@
+package kv
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/lsm"
+)
+
+// entryPoint names the constructor an Option is being applied by, so
+// storage-only options can reject misuse on Dial and vice versa.
+type entryPoint string
+
+const (
+	entryOpen entryPoint = "Open"
+	entryDial entryPoint = "Dial"
+)
+
+// config collects everything the constructors need; options mutate it.
+type config struct {
+	entry entryPoint
+
+	// Open.
+	shards            int
+	memtableBytes     int
+	syncWAL           bool
+	blockCacheBytes   int
+	compactionWorkers int
+	autoCompact       string
+	background        *BackgroundConfig
+	hookBeforeSwap    func() error // tests only (withHookBeforeSwap)
+
+	// Both.
+	compactStrategy string
+	compactK        int
+	statsAddr       string
+
+	// Dial.
+	dialTimeout time.Duration
+}
+
+func defaultConfig(entry entryPoint) config {
+	return config{
+		entry:           entry,
+		autoCompact:     "none",
+		compactStrategy: "BT(I)",
+		compactK:        4,
+		dialTimeout:     10 * time.Second,
+	}
+}
+
+// lsmOptions builds the per-partition engine options from the config.
+func (c *config) lsmOptions() lsm.Options {
+	opts := lsm.Options{
+		MemtableBytes:     c.memtableBytes,
+		SyncWAL:           c.syncWAL,
+		BlockCacheBytes:   c.blockCacheBytes,
+		CompactionWorkers: c.compactionWorkers,
+		HookBeforeSwap:    c.hookBeforeSwap,
+	}
+	switch c.autoCompact {
+	case "size-tiered":
+		opts.AutoCompact = lsm.SizeTieredPolicy{}
+	case "threshold":
+		opts.AutoCompact = lsm.ThresholdPolicy{}
+	}
+	if c.background != nil {
+		opts.Background = &lsm.BackgroundConfig{
+			Trigger:  c.background.Trigger,
+			Stall:    c.background.Stall,
+			Strategy: c.background.Strategy,
+			K:        c.background.K,
+		}
+	}
+	return opts
+}
+
+// Option configures Open or Dial.
+type Option func(*config) error
+
+// openOnly wraps an option body with an entry-point check.
+func openOnly(name string, f func(*config) error) Option {
+	return func(c *config) error {
+		if c.entry != entryOpen {
+			return fmt.Errorf("kv: %s applies only to Open", name)
+		}
+		return f(c)
+	}
+}
+
+// WithShards partitions the key space over n independent engine shards,
+// each with its own WAL, commit pipeline and compaction (directory layout:
+// dir/shard-NNN). n == 1 opens a plain single-partition engine; n == 0
+// (the default) adopts whatever layout the directory already holds. The
+// shard count is fixed at creation — reopening an existing store with a
+// different count is an error.
+func WithShards(n int) Option {
+	return openOnly("WithShards", func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("kv: negative shard count %d", n)
+		}
+		c.shards = n
+		return nil
+	})
+}
+
+// WithSyncWAL fsyncs the WAL on every commit. Group commit amortizes the
+// fsync across concurrent writers, but each write is durable when its
+// Write returns.
+func WithSyncWAL() Option {
+	return openOnly("WithSyncWAL", func(c *config) error {
+		c.syncWAL = true
+		return nil
+	})
+}
+
+// WithMemtableBytes sets the per-partition memtable flush threshold.
+// Total buffered memory on a sharded store is shards × n. Zero selects
+// the engine default (4 MiB).
+func WithMemtableBytes(n int) Option {
+	return openOnly("WithMemtableBytes", func(c *config) error {
+		c.memtableBytes = n
+		return nil
+	})
+}
+
+// WithBlockCacheBytes bounds the sstable block cache for the whole engine
+// (a sharded store splits the budget across shards). Zero selects the
+// default (8 MiB); negative disables caching.
+func WithBlockCacheBytes(n int) Option {
+	return openOnly("WithBlockCacheBytes", func(c *config) error {
+		c.blockCacheBytes = n
+		return nil
+	})
+}
+
+// WithCompactionWorkers bounds the merge worker pool used by major
+// compactions. Zero selects GOMAXPROCS.
+func WithCompactionWorkers(n int) Option {
+	return openOnly("WithCompactionWorkers", func(c *config) error {
+		c.compactionWorkers = n
+		return nil
+	})
+}
+
+// WithAutoCompact enables minor compactions after flushes with the named
+// policy: "size-tiered" (Cassandra's bucketing), "threshold" (Bigtable's
+// count trigger) or "none" (the default).
+func WithAutoCompact(policy string) Option {
+	return openOnly("WithAutoCompact", func(c *config) error {
+		switch policy {
+		case "size-tiered", "threshold", "none":
+			c.autoCompact = policy
+			return nil
+		default:
+			return fmt.Errorf("kv: unknown auto-compaction policy %q", policy)
+		}
+	})
+}
+
+// BackgroundConfig tunes background major compaction; see
+// WithBackgroundCompaction. Zero fields select engine defaults (trigger 8,
+// stall 4×trigger, strategy "BT(I)", fan-in 4).
+type BackgroundConfig struct {
+	// Trigger is the live table count that starts a background major
+	// compaction.
+	Trigger int
+	// Stall is the table count at which writers block until the
+	// compactor catches up (write backpressure). A write whose context
+	// expires while stalled returns ErrStalled wrapping the context
+	// error.
+	Stall int
+	// Strategy names the merge-scheduling strategy.
+	Strategy string
+	// K bounds the merge fan-in.
+	K int
+}
+
+// WithBackgroundCompaction starts a per-partition maintenance goroutine
+// that runs non-blocking major compactions at cfg.Trigger live tables and
+// stalls writers at cfg.Stall (backpressure), while reads and writes keep
+// flowing.
+func WithBackgroundCompaction(cfg BackgroundConfig) Option {
+	return openOnly("WithBackgroundCompaction", func(c *config) error {
+		c.background = &cfg
+		return nil
+	})
+}
+
+// withHookBeforeSwap wires a test hook between a major compaction's merge
+// and swap phases; see lsm.Options.HookBeforeSwap. Unexported: tests only.
+func withHookBeforeSwap(f func() error) Option {
+	return openOnly("withHookBeforeSwap", func(c *config) error {
+		c.hookBeforeSwap = f
+		return nil
+	})
+}
+
+// WithCompactionStrategy sets the default merge-scheduling strategy and
+// fan-in used by Compact calls whose CompactOptions do not override them.
+// The initial default is "BT(I)" with fan-in 4.
+func WithCompactionStrategy(strategy string, k int) Option {
+	return func(c *config) error {
+		if strategy != "" {
+			c.compactStrategy = strategy
+		}
+		if k >= 2 {
+			c.compactK = k
+		}
+		return nil
+	}
+}
+
+// WithStatsHandler serves the engine's statistics as JSON over HTTP at
+// addr (GET /stats), using the same Stats shape Engine.Stats returns. The
+// listener starts with the engine and stops at Close. Applies to Open and
+// Dial alike.
+func WithStatsHandler(addr string) Option {
+	return func(c *config) error {
+		if addr == "" {
+			return fmt.Errorf("kv: WithStatsHandler requires an address")
+		}
+		c.statsAddr = addr
+		return nil
+	}
+}
+
+// WithDialTimeout bounds how long Dial (and any transparent re-dial after
+// a cancelled request poisoned the connection) waits for the TCP connect.
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if c.entry != entryDial {
+			return fmt.Errorf("kv: WithDialTimeout applies only to Dial")
+		}
+		if d <= 0 {
+			return fmt.Errorf("kv: non-positive dial timeout %v", d)
+		}
+		c.dialTimeout = d
+		return nil
+	}
+}

@@ -1,0 +1,58 @@
+package kv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestWithStatsHandler: the optional HTTP endpoint serves the same Stats
+// shape Engine.Stats returns, as JSON.
+func TestWithStatsHandler(t *testing.T) {
+	eng, err := Open(t.TempDir(),
+		WithShards(2),
+		WithStatsHandler("127.0.0.1:0"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	fillKeys(t, eng, 100)
+
+	addr := eng.(*localEngine).statsListenAddr()
+	if addr == "" {
+		t.Fatal("stats listener has no address")
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(fmt.Sprintf("http://%s/stats", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Backend != "store" || st.Shards != 2 {
+		t.Errorf("stats = %s/%d shards, want store/2", st.Backend, st.Shards)
+	}
+	if len(st.PerShard) != 2 {
+		t.Errorf("per-shard stats missing: %+v", st.PerShard)
+	}
+
+	// The endpoint dies with the engine.
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Get(fmt.Sprintf("http://%s/stats", addr)); err == nil {
+		t.Error("stats endpoint still serving after engine close")
+	}
+}
