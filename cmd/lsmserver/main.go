@@ -173,9 +173,9 @@ func logStats(ctx context.Context, eng kv.Engine, every time.Duration) {
 		if len(perShard) == 0 {
 			perShard = append(perShard, fmt.Sprint(st.Tables))
 		}
-		fmt.Printf("lsmserver: stats tables=%d(%s) mem-keys=%d writes=%d groups=%d avg-group=%.1f syncs/write=%.3f cache-hit=%.1f%% filter-neg=%d filter-fp=%d stalls=%d state=%s\n",
+		fmt.Printf("lsmserver: stats tables=%d(%s) mem-keys=%d writes=%d groups=%d avg-group=%.1f syncs/write=%.3f cache-hit=%.1f%% cache-balance=%.2f filter-neg=%d filter-fp=%d stalls=%d state=%s\n",
 			st.Tables, strings.Join(perShard, "/"), st.MemtableKeys, writes, groups, groupSize,
-			syncsPerWrite, cacheHitPct, st.FilterNegatives, st.FilterFalsePositives,
+			syncsPerWrite, cacheHitPct, st.BlockCacheShardBalance, st.FilterNegatives, st.FilterFalsePositives,
 			st.WriteStalls, st.CompactionState)
 		last = st
 	}

@@ -122,3 +122,140 @@ func (c *LRU) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// Sharded is a block cache striped over N independent LRU shards, each
+// with its own mutex. A single LRU serializes every Get and Put of every
+// reader behind one lock; once the engine's read path stops taking the
+// store lock, that cache mutex becomes the next serialization point, so
+// the cache is partitioned by a hash of the block key. Capacity is split
+// evenly across shards, which bounds total memory at the configured
+// budget while letting hot shards evict independently.
+type Sharded struct {
+	shards []*LRU
+	mask   uint64
+}
+
+// DefaultShards is the shard count NewSharded selects for n <= 0: enough
+// stripes that a handful of cores rarely collide, cheap enough that tiny
+// caches are not fragmented into uselessness.
+const DefaultShards = 16
+
+// minStripeBytes floors a stripe's capacity. Each LRU refuses values
+// larger than its own capacity, so over-striping a small budget would
+// silently make moderately large blocks uncacheable (a data block exceeds
+// the 4 KiB target by up to one entry, and values can be large); the
+// stripe count shrinks before a stripe drops below this admission limit.
+const minStripeBytes = 128 << 10
+
+// NewSharded creates a cache bounded to capacity bytes in total, striped
+// over n shards (rounded up to a power of two; n <= 0 selects
+// DefaultShards). The stripe count is clamped so each stripe keeps at
+// least minStripeBytes of budget — a small cache degrades toward a single
+// LRU rather than refusing large blocks. Values larger than a stripe's
+// capacity remain uncacheable, as with a single LRU of that size.
+func NewSharded(capacity, n int) *Sharded {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	for shards > 1 && capacity/shards < minStripeBytes {
+		shards >>= 1
+	}
+	if capacity < shards {
+		capacity = shards
+	}
+	s := &Sharded{shards: make([]*LRU, shards), mask: uint64(shards - 1)}
+	for i := range s.shards {
+		s.shards[i] = New(capacity / shards)
+	}
+	return s
+}
+
+// shardFor picks the stripe for a block key. Table IDs are small sequential
+// integers and offsets are block-aligned, so the raw bits are a terrible
+// hash; a splitmix64-style finalizer spreads them.
+func (s *Sharded) shardFor(k Key) *LRU {
+	h := k.Table*0x9e3779b97f4a7c15 ^ k.Offset
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return s.shards[h&s.mask]
+}
+
+// Get returns the cached block and whether it was present. The returned
+// slice is shared: callers must not modify it.
+func (s *Sharded) Get(k Key) ([]byte, bool) { return s.shardFor(k).Get(k) }
+
+// Put inserts or refreshes a block; the cache takes ownership of value.
+func (s *Sharded) Put(k Key, value []byte) { s.shardFor(k).Put(k, value) }
+
+// DropTable evicts every block belonging to table from every shard.
+func (s *Sharded) DropTable(table uint64) {
+	for _, sh := range s.shards {
+		sh.DropTable(table)
+	}
+}
+
+// Stats reports cumulative hit/miss counts and occupancy summed across
+// shards.
+func (s *Sharded) Stats() (hits, misses uint64, usedBytes int) {
+	for _, sh := range s.shards {
+		h, m, u := sh.Stats()
+		hits += h
+		misses += m
+		usedBytes += u
+	}
+	return hits, misses, usedBytes
+}
+
+// ShardStat is one stripe's counters, exposed so striping skew (a hot
+// table hashing its blocks unevenly) is observable from engine stats.
+type ShardStat struct {
+	Hits, Misses uint64
+	UsedBytes    int
+}
+
+// ShardStats reports per-stripe hit/miss/occupancy counters.
+func (s *Sharded) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, sh := range s.shards {
+		h, m, u := sh.Stats()
+		out[i] = ShardStat{Hits: h, Misses: m, UsedBytes: u}
+	}
+	return out
+}
+
+// Balance summarizes striping skew as the ratio of the fullest shard's
+// occupancy to the mean occupancy. 1.0 is perfectly even, the shard
+// count is the worst case (all blocks hashed onto one stripe), and a
+// cache with no blocks at all reports 0. Max/mean rather than max/min:
+// a lightly loaded cache legitimately leaves stripes empty, which would
+// blow a max/min ratio up without any real skew.
+func (s *Sharded) Balance() float64 {
+	total, maxUsed := 0, 0
+	for _, sh := range s.shards {
+		_, _, u := sh.Stats()
+		total += u
+		if u > maxUsed {
+			maxUsed = u
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(maxUsed) * float64(len(s.shards)) / float64(total)
+}
+
+// Len returns the number of cached blocks across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}

@@ -145,3 +145,136 @@ func BenchmarkPutEvict(b *testing.B) {
 		c.Put(Key{Table: 1, Offset: uint64(i)}, block)
 	}
 }
+
+func TestShardedGetPut(t *testing.T) {
+	c := NewSharded(1<<20, 8)
+	if len(c.shards) != 8 {
+		t.Fatalf("shard count = %d, want 8", len(c.shards))
+	}
+	for i := 0; i < 200; i++ {
+		c.Put(Key{Table: uint64(i % 5), Offset: uint64(i * 4096)}, []byte(fmt.Sprintf("block-%d", i)))
+	}
+	for i := 0; i < 200; i++ {
+		v, ok := c.Get(Key{Table: uint64(i % 5), Offset: uint64(i * 4096)})
+		if !ok || string(v) != fmt.Sprintf("block-%d", i) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+	hits, misses, used := c.Stats()
+	if hits != 200 || misses != 0 {
+		t.Errorf("stats = %d hits / %d misses, want 200/0", hits, misses)
+	}
+	if used == 0 || c.Len() != 200 {
+		t.Errorf("used=%d len=%d", used, c.Len())
+	}
+}
+
+func TestShardedRoundsUpToPowerOfTwo(t *testing.T) {
+	if n := len(NewSharded(1<<20, 5).shards); n != 8 {
+		t.Errorf("NewSharded(1MiB, 5) has %d shards, want 8", n)
+	}
+	if n := len(NewSharded(8<<20, 0).shards); n != DefaultShards {
+		t.Errorf("NewSharded(8MiB, 0) has %d shards, want %d", n, DefaultShards)
+	}
+}
+
+// TestShardedClampsTinyCapacity: striping must not make blocks that a
+// single LRU of the same budget would cache uncacheable — stripe count
+// shrinks so each stripe keeps at least minStripeBytes of admission room.
+func TestShardedClampsTinyCapacity(t *testing.T) {
+	c := NewSharded(256<<10, 0) // a 16-shard store's slice of a small budget
+	if per := 256 << 10 / len(c.shards); per < minStripeBytes {
+		t.Fatalf("stripe capacity %d below the %d admission floor (%d stripes)",
+			per, minStripeBytes, len(c.shards))
+	}
+	// A 64 KiB block (a large-value data block) must be admitted.
+	big := make([]byte, 64<<10)
+	c.Put(Key{Table: 1, Offset: 0}, big)
+	if _, ok := c.Get(Key{Table: 1, Offset: 0}); !ok {
+		t.Error("64 KiB block refused by a 256 KiB cache: striping broke admission")
+	}
+}
+
+func TestShardedCapacityBound(t *testing.T) {
+	const capacity = 16 << 10
+	c := NewSharded(capacity, 4)
+	for i := 0; i < 1000; i++ {
+		c.Put(Key{Table: 1, Offset: uint64(i)}, make([]byte, 512))
+	}
+	if _, _, used := c.Stats(); used > capacity {
+		t.Errorf("used %d exceeds total capacity %d", used, capacity)
+	}
+}
+
+func TestShardedDropTable(t *testing.T) {
+	c := NewSharded(1<<20, 4)
+	for i := 0; i < 100; i++ {
+		c.Put(Key{Table: 1, Offset: uint64(i)}, []byte("a"))
+		c.Put(Key{Table: 2, Offset: uint64(i)}, []byte("b"))
+	}
+	c.DropTable(1)
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Get(Key{Table: 1, Offset: uint64(i)}); ok {
+			t.Fatalf("dropped table still cached at offset %d", i)
+		}
+		if _, ok := c.Get(Key{Table: 2, Offset: uint64(i)}); !ok {
+			t.Fatalf("unrelated table evicted at offset %d", i)
+		}
+	}
+}
+
+// TestShardedSpreadAndBalance: block-aligned offsets of a handful of
+// tables — the worst case for naive modulo striping — must spread across
+// shards, and Balance must report the skew honestly.
+func TestShardedSpreadAndBalance(t *testing.T) {
+	c := NewSharded(1<<20, 8)
+	if b := c.Balance(); b != 0 {
+		t.Errorf("empty cache Balance = %v, want 0", b)
+	}
+	for i := 0; i < 512; i++ {
+		c.Put(Key{Table: uint64(i % 4), Offset: uint64(i) * 4096}, make([]byte, 64))
+	}
+	touched := 0
+	for _, sh := range c.shards {
+		if sh.Len() > 0 {
+			touched++
+		}
+	}
+	if touched < len(c.shards)/2 {
+		t.Errorf("only %d/%d shards used: block-key hash is not spreading", touched, len(c.shards))
+	}
+	per := c.ShardStats()
+	if len(per) != 8 {
+		t.Fatalf("ShardStats returned %d entries", len(per))
+	}
+	sumMiss := uint64(0)
+	for _, ss := range per {
+		sumMiss += ss.Misses
+	}
+	if _, misses, _ := c.Stats(); misses != sumMiss {
+		t.Errorf("per-shard miss sum %d != total %d", sumMiss, misses)
+	}
+	if b := c.Balance(); b < 1 || b > 8 {
+		t.Errorf("Balance = %v, want within [1, shard count]", b)
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	c := NewSharded(64<<10, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := Key{Table: uint64(g), Offset: uint64(i % 64 * 4096)}
+				if i%3 == 0 {
+					c.Put(k, make([]byte, 128))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -131,11 +131,15 @@ const MaxBatchBytes = 16 << 20
 // the hot path allocates only the commit request.
 var writeBatchPool = sync.Pool{New: func() any { return new(WriteBatch) }}
 
-// Write commits the batch atomically: every operation, or none, survives a
-// crash, and readers observe the batch as a unit. Honors Options.SyncWAL.
-// The batch may be reused (after Reset) once Write returns. Concurrent
-// Write calls are group-committed: one WAL append and at most one fsync
-// per group, not per batch.
+// Write commits the batch atomically: every operation, or none, survives
+// a crash, and scans and snapshots observe the batch as a unit (their
+// memtable materialization is ordered against the apply). Point reads are
+// atomic per key — a Get concurrent with the apply may observe an earlier
+// operation's effect before a later operation of the same batch has
+// landed, though never a torn value and never effects out of the batch's
+// internal order. Honors Options.SyncWAL. The batch may be reused (after
+// Reset) once Write returns. Concurrent Write calls are group-committed:
+// one WAL append and at most one fsync per group, not per batch.
 func (db *DB) Write(b *WriteBatch) error {
 	return db.WriteContext(context.Background(), b)
 }
@@ -374,12 +378,16 @@ func (db *DB) commitGroup(group []*commitReq, doSync bool, stall *bool) error {
 		}
 	}
 
-	// Apply under the store lock: Get and Scan observe the group
-	// atomically. The leader also runs the write path's maintenance —
-	// flush, auto minor compaction, background trigger — on behalf of the
-	// whole group.
+	// Apply under the store lock plus applyMu's write side: scans and
+	// snapshots materialize the memtable under applyMu's read side, so
+	// they observe the group atomically, while point reads run lock-free
+	// against the skiplist (per-key atomicity is enough for a single-key
+	// probe). The leader also runs the write path's maintenance — flush,
+	// auto minor compaction, background trigger — on behalf of the whole
+	// group.
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.applyMu.Lock()
 	for _, rec := range recs {
 		if rec.Op == wal.OpDelete {
 			db.mem.Delete(rec.Key, rec.Seq)
@@ -387,6 +395,7 @@ func (db *DB) commitGroup(group []*commitReq, doSync bool, stall *bool) error {
 			db.mem.Put(rec.Key, rec.Value, rec.Seq)
 		}
 	}
+	db.applyMu.Unlock()
 	db.groupCommits++
 	db.groupedWrites += uint64(n)
 	if doSync {

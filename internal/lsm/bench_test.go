@@ -211,6 +211,72 @@ func BenchmarkGetDuringMajorCompaction(b *testing.B) {
 	}
 }
 
+// BenchmarkGetDuringFlush measures point-read tail latency while memtable
+// flushes churn — the read-availability number for the lock-free read
+// path. Each iteration fills a multi-megabyte memtable, kicks an explicit
+// Flush on another goroutine, and samples Get latency until the flush
+// completes. A read path that serves Gets under the store lock stalls
+// every sample behind the flush's sstable write, so its p99 approaches the
+// flush duration; a read path that never touches the store lock keeps p99
+// at ordinary read latency.
+//
+// Run with:
+//
+//	go test -bench BenchmarkGetDuringFlush -benchtime 5x ./internal/lsm
+func BenchmarkGetDuringFlush(b *testing.B) {
+	const (
+		keyspace   = 30000
+		valueBytes = 512
+	)
+	var all []time.Duration
+	var flushTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := benchDB(b, Options{MemtableBytes: 256 << 20})
+		val := bytes.Repeat([]byte("v"), valueBytes)
+		for j := 0; j < keyspace; j++ {
+			if err := db.Put([]byte(fmt.Sprintf("key-%06d", j)), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+
+		done := make(chan error, 1)
+		go func() { done <- db.Flush() }()
+		flushStart := time.Now()
+		for sampling := true; sampling; {
+			select {
+			case err := <-done:
+				if err != nil {
+					b.Fatal(err)
+				}
+				sampling = false
+			default:
+				key := fmt.Sprintf("key-%06d", len(all)*131%keyspace)
+				t0 := time.Now()
+				if _, err := db.Get([]byte(key)); err != nil {
+					b.Fatal(err)
+				}
+				all = append(all, time.Since(t0))
+			}
+		}
+		flushTotal += time.Since(flushStart)
+	}
+	if len(all) == 0 {
+		b.Fatal("no Get completed while flushes ran: reads were fully blocked")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p50 := all[len(all)*50/100]
+	p99 := all[min(len(all)*99/100, len(all)-1)]
+	b.ReportMetric(float64(p50.Nanoseconds()), "get-p50-ns")
+	b.ReportMetric(float64(p99.Nanoseconds()), "get-p99-ns")
+	// The worst sample is the one that was in flight when the flush took
+	// the store lock: with a lock-free read path it is an ordinary read,
+	// with a locked one it absorbs the whole flush duration.
+	b.ReportMetric(float64(all[len(all)-1].Nanoseconds()), "get-pmax-ns")
+	b.ReportMetric(float64(len(all))/flushTotal.Seconds(), "gets/sec-during-flush")
+}
+
 // BenchmarkMajorCompact compares real on-disk compaction across
 // strategies: the LSM-engine analogue of Figure 7.
 func BenchmarkMajorCompact(b *testing.B) {

@@ -236,6 +236,7 @@ func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResul
 	for i, th := range newTables {
 		db.man.tables[i] = th.name
 	}
+	db.man.recordBounds(newTables)
 	if err := db.man.save(db.dir); err != nil {
 		db.man.tables = oldManTables
 		db.mu.Unlock()
@@ -243,6 +244,7 @@ func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResul
 		return abort(err)
 	}
 	db.tables = newTables
+	db.installViewLocked()
 	db.generation++
 	root.gen = db.generation
 	db.majorCompactions++
@@ -270,10 +272,12 @@ func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResul
 }
 
 // MajorCompactBlocking is MajorCompact holding the store lock for the
-// entire run, stalling every read and write until the merge completes. It
-// exists as the measurement baseline for the non-blocking path (see
-// BenchmarkGetDuringMajorCompaction) and for callers that want compaction
-// to exclude all concurrent activity.
+// entire run, stalling every write, flush and minor compaction until the
+// merge completes. It exists as the measurement baseline for the
+// non-blocking path (see BenchmarkGetDuringMajorCompaction) and for
+// callers that want compaction to exclude all concurrent mutation. Point
+// reads, scans and snapshots proceed even here: the lock-free read path
+// pins the published view and never takes the store lock.
 func (db *DB) MajorCompactBlocking(strategy string, k int, seed int64) (*CompactionResult, error) {
 	chooser, err := compaction.NewChooserByName(strategy, seed)
 	if err != nil {
@@ -352,6 +356,7 @@ func (db *DB) MajorCompactBlocking(strategy string, k int, seed int64) (*Compact
 	root := nodes[sched.Root.ID]
 	oldManTables := db.man.tables
 	db.man.tables = []string{root.name}
+	db.man.recordBounds([]*tableHandle{root})
 	if err := db.man.save(db.dir); err != nil {
 		db.man.tables = oldManTables
 		for _, th := range created {
@@ -362,6 +367,7 @@ func (db *DB) MajorCompactBlocking(strategy string, k int, seed int64) (*Compact
 	}
 	old := db.tables
 	db.tables = []*tableHandle{root}
+	db.installViewLocked()
 	db.generation++
 	root.gen = db.generation
 	db.majorCompactions++

@@ -113,10 +113,10 @@ func (o Options) withDefaults() Options {
 
 // tableHandle pairs an open sstable reader with its file name and a
 // reference count governing its lifetime. The live table set holds one
-// reference; snapshots (scans, ranges, compactions) take another for their
-// duration. When a compaction supersedes a table it is marked obsolete and
-// the live reference dropped: the reader is closed and the file deleted
-// only once the last snapshot drains.
+// reference; read views, snapshots (scans, ranges, compactions) take
+// another for their duration. When a compaction supersedes a table it is
+// marked obsolete and the live reference dropped: the reader is closed and
+// the file deleted only once the last view or snapshot drains.
 type tableHandle struct {
 	name string
 	rd   *sstable.Reader
@@ -124,6 +124,14 @@ type tableHandle struct {
 	// gen is the table-set generation that created this table.
 	gen  uint64
 	refs atomic.Int32
+	// smallest/largest bound the table's key range and maxSeq its
+	// sequence range (all immutable after open): the read path prunes
+	// point probes to tables whose range covers the key and stops probing
+	// once no remaining table's maxSeq can beat the version already found.
+	// hasBounds is false only for empty tables, which contain nothing.
+	smallest, largest []byte
+	minSeq, maxSeq    uint64
+	hasBounds         bool
 	// obsolete marks a table that has been replaced by a compaction; its
 	// file is deleted when the reference count reaches zero.
 	obsolete atomic.Bool
@@ -134,6 +142,11 @@ type tableHandle struct {
 
 func newTableHandle(name string, rd *sstable.Reader, dir string, gen uint64) *tableHandle {
 	th := &tableHandle{name: name, rd: rd, dir: dir, gen: gen}
+	if b, ok := rd.Bounds(); ok {
+		th.smallest, th.largest = b.Smallest, b.Largest
+		th.minSeq, th.maxSeq = b.MinSeq, b.MaxSeq
+		th.hasBounds = true
+	}
 	th.refs.Store(1)
 	return th
 }
@@ -163,7 +176,7 @@ type DB struct {
 	dir  string
 	opts Options
 
-	blockCache *cache.LRU // nil when disabled
+	blockCache *cache.Sharded // nil when disabled
 	// filterMetrics accumulates Bloom-filter outcomes across all table
 	// readers, surviving table turnover under compaction.
 	filterMetrics sstable.FilterMetrics
@@ -191,6 +204,20 @@ type DB struct {
 	// return; a solo leader yields for group formation only when other
 	// writers are actually in flight (see leadGroup).
 	writersInFlight atomic.Int32
+
+	// view is the atomically published read view (see view.go): point
+	// reads, scans and snapshots pin it instead of taking mu, so a flush
+	// or compaction holding mu never stalls them. Every table-set change
+	// installs a fresh view under mu; Close retires it to nil.
+	view atomic.Pointer[readView]
+	// applyMu orders memtable mutation against memtable materialization:
+	// the commit pipeline applies a group's records under the write lock,
+	// scans and snapshots materialize the memtable under the read lock.
+	// Both sections are pure in-memory work — never held across a syscall
+	// — so this lock cannot reintroduce the I/O stalls mu used to cause.
+	// Lock order: pipeMu before mu before applyMu; applyMu's read side is
+	// taken with no other lock held.
+	applyMu sync.RWMutex
 
 	mu        sync.RWMutex
 	stallCond *sync.Cond // signalled when the table count drops or DB closes
@@ -250,10 +277,17 @@ func Open(dir string, opts Options) (*DB, error) {
 	db.stallCond = sync.NewCond(&db.mu)
 	db.hookBeforeSwap = opts.HookBeforeSwap
 	if opts.BlockCacheBytes > 0 {
-		db.blockCache = cache.New(opts.BlockCacheBytes)
+		db.blockCache = cache.NewSharded(opts.BlockCacheBytes, 0)
 	}
 	for _, name := range man.tables {
-		rd, err := db.openTable(name)
+		// The manifest's persisted bounds let a legacy (version-1 footer)
+		// table skip its open-time backfill read; version-2 tables ignore
+		// the hint in favor of their own bounds block.
+		var hint *sstable.Bounds
+		if mb, ok := man.bounds[name]; ok {
+			hint = &mb
+		}
+		rd, err := db.openTableWithBounds(name, hint)
 		if err != nil {
 			releaseTables(db.tables)
 			return nil, fmt.Errorf("lsm: open table %s: %w", name, err)
@@ -340,6 +374,9 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("lsm: swap wal: %w", err)
 	}
 	db.log = log
+	// Publish the initial read view. No readers exist yet, so holding mu
+	// is not required; installViewLocked's contract is satisfied trivially.
+	db.installViewLocked()
 	if opts.Background != nil {
 		db.bgCfg = opts.Background.withDefaults()
 		db.bgKick = make(chan struct{}, 1)
@@ -378,7 +415,13 @@ func removeOrphans(dir string, man *manifest) error {
 
 // openTable opens an sstable file and attaches the shared block cache.
 func (db *DB) openTable(name string) (*sstable.Reader, error) {
-	rd, err := sstable.Open(filepath.Join(db.dir, name))
+	return db.openTableWithBounds(name, nil)
+}
+
+// openTableWithBounds is openTable passing a persisted bounds hint from
+// the manifest; see sstable.OpenWithBounds.
+func (db *DB) openTableWithBounds(name string, hint *sstable.Bounds) (*sstable.Reader, error) {
+	rd, err := sstable.OpenWithBounds(filepath.Join(db.dir, name), hint)
 	if err != nil {
 		return nil, err
 	}
@@ -415,6 +458,9 @@ func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	err := db.log.Close()
+	// Retire the read view first: new pins fail with ErrClosed, readers
+	// already pinned keep their tables alive until they drain.
+	db.dropViewLocked()
 	releaseTables(db.tables)
 	db.tables = nil
 	return err
@@ -553,59 +599,33 @@ func (db *DB) BackgroundErr() error {
 	return db.bgLastErr
 }
 
-// Get returns the value stored for key, or ErrNotFound. The memtable
-// always holds the newest version of a key if it holds one at all; among
-// sstables the highest sequence number wins, so correctness does not
-// depend on table ordering (minor compactions may merge non-adjacent
-// tables). Bloom filters keep the per-table probes cheap.
+// Get returns the value stored for key, or ErrNotFound. The read is
+// coordination-free: it pins the atomically published read view (see
+// view.go) and never touches db.mu, so flushes and compactions holding
+// the store lock cannot stall it. The memtable always holds the newest
+// version of a key if it holds one at all; among sstables the probe runs
+// in descending max-sequence order with key-range pruning and stops as
+// soon as no remaining table can hold a newer version. Bloom filters keep
+// the per-table probes cheap.
 func (db *DB) Get(key []byte) ([]byte, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.getLocked(key)
+	return db.GetContext(context.Background(), key)
 }
 
-// GetContext is Get honoring ctx. Point reads never block on the commit
-// pipeline, so a single expiry check at entry suffices.
+// GetContext is Get honoring ctx: expiry is re-checked between per-table
+// probes, so a cold multi-table lookup observes cancellation after at
+// most one table's disk read rather than only at entry.
 func (db *DB) GetContext(ctx context.Context, key []byte) ([]byte, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return db.Get(key)
-}
-
-// getLocked serves a point read; the caller holds mu (read or write).
-func (db *DB) getLocked(key []byte) ([]byte, error) {
-	if db.closed {
-		return nil, ErrClosed
-	}
-	if e, ok := db.mem.Get(key); ok {
-		if e.Tombstone {
-			return nil, ErrNotFound
-		}
-		return append([]byte(nil), e.Value...), nil
-	}
-	var (
-		bestSeq  uint64
-		bestVal  []byte
-		bestTomb bool
-		foundAny bool
-	)
-	for _, th := range db.tables {
-		e, err := th.rd.Get(key)
-		if err == sstable.ErrNotFound {
-			continue
-		}
-		if err != nil {
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if !foundAny || e.Seq > bestSeq {
-			foundAny, bestSeq, bestVal, bestTomb = true, e.Seq, e.Value, e.Tombstone
-		}
 	}
-	if !foundAny || bestTomb {
-		return nil, ErrNotFound
+	v, err := db.pinView()
+	if err != nil {
+		return nil, err
 	}
-	return append([]byte(nil), bestVal...), nil
+	defer v.unpin()
+	return v.get(ctx, key)
 }
 
 // Flush forces the memtable to an sstable even if it is below threshold.
@@ -665,6 +685,7 @@ func (db *DB) flushLocked() error {
 	db.generation++
 	db.tables = append([]*tableHandle{newTableHandle(name, rd, db.dir, db.generation)}, db.tables...)
 	db.man.tables = append([]string{name}, db.man.tables...)
+	db.man.recordBounds(db.tables)
 	if err := db.man.save(db.dir); err != nil {
 		return err
 	}
@@ -674,6 +695,10 @@ func (db *DB) flushLocked() error {
 	}
 	db.mem = memtable.New(db.opts.Seed + int64(db.man.nextFileNum))
 	db.flushCount++
+	// Publish the new (empty memtable, grown table set) pair. Readers
+	// pinned to the old view keep reading the old memtable — whose
+	// contents the new table duplicates — so no version is ever invisible.
+	db.installViewLocked()
 	return nil
 }
 
@@ -689,22 +714,25 @@ func (db *DB) resetWALLocked() error {
 	return nil
 }
 
-// acquireSnapshot captures a consistent read view in a short critical
-// section: the memtable's entries in [start, end) — nil bounds are open —
-// are materialized into a slice (the skiplist is not safe to walk while
-// writers mutate it) and every live table is retained so a concurrent
-// compaction cannot close it. The caller must releaseTables the handles.
+// acquireSnapshot captures a consistent read view without touching db.mu:
+// it pins the published view, materializes the view memtable's entries in
+// [start, end) — nil bounds are open — into a slice under applyMu's read
+// side (so a concurrent group commit's records land all-or-nothing in the
+// materialization), and retains every view table whose key range overlaps
+// the requested bounds. Tables are returned in table-set order (newest
+// first). The caller must releaseTables the handles.
 func (db *DB) acquireSnapshot(start, end []byte) ([]iterator.Entry, []*tableHandle, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return nil, nil, ErrClosed
+	v, err := db.pinView()
+	if err != nil {
+		return nil, nil, err
 	}
+	defer v.unpin()
+	db.applyMu.RLock()
 	var it iterator.Iterator
 	if start == nil {
-		it = db.mem.Iter()
+		it = v.mem.Iter()
 	} else {
-		it = db.mem.IterFrom(start)
+		it = v.mem.IterFrom(start)
 	}
 	var entries []iterator.Entry
 	for ; it.Valid(); it.Next() {
@@ -714,8 +742,19 @@ func (db *DB) acquireSnapshot(start, end []byte) ([]iterator.Entry, []*tableHand
 		}
 		entries = append(entries, e)
 	}
-	tables := make([]*tableHandle, len(db.tables))
-	copy(tables, db.tables)
+	db.applyMu.RUnlock()
+	tables := make([]*tableHandle, 0, len(v.tables))
+	for _, th := range v.tables {
+		if start == nil && end == nil {
+			// Whole-keyspace snapshots keep every table: a point-in-time
+			// Snapshot probes by key and needs the full set.
+			tables = append(tables, th)
+			continue
+		}
+		if th.overlaps(start, end) {
+			tables = append(tables, th)
+		}
+	}
 	for _, th := range tables {
 		th.retain()
 	}
@@ -837,6 +876,12 @@ type Stats struct {
 	// BlockCacheHits and BlockCacheMisses count block-cache outcomes; both
 	// are zero when the cache is disabled.
 	BlockCacheHits, BlockCacheMisses uint64
+	// BlockCacheShardBalance is the ratio of the fullest block-cache
+	// stripe's occupancy to the mean stripe occupancy (1.0 = perfectly
+	// even, stripe count = fully skewed, 0 = empty cache): the observable
+	// for hash-striping skew. On a sharded store the aggregate reports
+	// the worst shard's ratio.
+	BlockCacheShardBalance float64
 	// FilterNegatives counts point lookups a Bloom filter rejected without
 	// reading a data block (the I/O the filters saved); FilterFalsePositives
 	// counts lookups a filter let through that found no key (the wasted
@@ -887,6 +932,7 @@ func (db *DB) Stats() Stats {
 	}
 	if db.blockCache != nil {
 		st.BlockCacheHits, st.BlockCacheMisses, _ = db.blockCache.Stats()
+		st.BlockCacheShardBalance = db.blockCache.Balance()
 	}
 	for _, th := range db.tables {
 		st.TableBytes += th.rd.FileSize()

@@ -2,6 +2,7 @@ package lsm
 
 import (
 	"bufio"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
@@ -9,19 +10,42 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+
+	"repro/internal/sstable"
 )
 
 // manifest records the durable state of the store: the next file number and
-// the list of live sstables, newest first. It is rewritten atomically
+// the list of live sstables, newest first, each optionally annotated with
+// its key and sequence bounds (`bounds` lines). It is rewritten atomically
 // (write temp, fsync, rename) on every change, the classic small-manifest
 // design.
 type manifest struct {
 	nextFileNum uint64
 	nextSeq     uint64
 	tables      []string // sstable file names, newest first
+	// bounds carries each table's key range and sequence range through
+	// restarts. Tables with a version-2 footer re-derive the same data
+	// from their own bounds block at open; for legacy (version-1) tables
+	// the manifest copy spares the backfill read of the table's last
+	// block (sstable.OpenWithBounds).
+	bounds map[string]sstable.Bounds
 }
 
 const manifestName = "MANIFEST"
+
+// recordBounds rebuilds the manifest's bounds annotations from the
+// prospective live handle set, called immediately before save.
+func (m *manifest) recordBounds(handles []*tableHandle) {
+	m.bounds = make(map[string]sstable.Bounds, len(handles))
+	for _, th := range handles {
+		if th.hasBounds {
+			m.bounds[th.name] = sstable.Bounds{
+				Smallest: th.smallest, Largest: th.largest,
+				MinSeq: th.minSeq, MaxSeq: th.maxSeq,
+			}
+		}
+	}
+}
 
 // loadManifest reads the manifest in dir, returning an empty manifest if
 // none exists yet.
@@ -55,6 +79,15 @@ func loadManifest(dir string) (*manifest, error) {
 			m.nextSeq = v
 		case strings.HasPrefix(line, "table "):
 			m.tables = append(m.tables, strings.TrimPrefix(line, "table "))
+		case strings.HasPrefix(line, "bounds "):
+			name, b, err := parseBoundsLine(strings.TrimPrefix(line, "bounds "))
+			if err != nil {
+				return nil, err
+			}
+			if m.bounds == nil {
+				m.bounds = make(map[string]sstable.Bounds)
+			}
+			m.bounds[name] = b
 		default:
 			return nil, fmt.Errorf("lsm: manifest: unrecognized line %q", line)
 		}
@@ -65,12 +98,39 @@ func loadManifest(dir string) (*manifest, error) {
 	return m, nil
 }
 
+// parseBoundsLine decodes "name minSeq maxSeq smallestHex largestHex".
+func parseBoundsLine(rest string) (string, sstable.Bounds, error) {
+	var b sstable.Bounds
+	fields := strings.Fields(rest)
+	if len(fields) != 5 {
+		return "", b, fmt.Errorf("lsm: manifest bounds: want 5 fields, got %q", rest)
+	}
+	var err error
+	if b.MinSeq, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+		return "", b, fmt.Errorf("lsm: manifest bounds min-seq: %w", err)
+	}
+	if b.MaxSeq, err = strconv.ParseUint(fields[2], 10, 64); err != nil {
+		return "", b, fmt.Errorf("lsm: manifest bounds max-seq: %w", err)
+	}
+	if b.Smallest, err = hex.DecodeString(fields[3]); err != nil {
+		return "", b, fmt.Errorf("lsm: manifest bounds smallest: %w", err)
+	}
+	if b.Largest, err = hex.DecodeString(fields[4]); err != nil {
+		return "", b, fmt.Errorf("lsm: manifest bounds largest: %w", err)
+	}
+	return fields[0], b, nil
+}
+
 // save atomically persists the manifest into dir.
 func (m *manifest) save(dir string) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# lsm manifest\nnext-file %d\nnext-seq %d\n", m.nextFileNum, m.nextSeq)
 	for _, t := range m.tables {
 		fmt.Fprintf(&b, "table %s\n", t)
+		if tb, ok := m.bounds[t]; ok {
+			fmt.Fprintf(&b, "bounds %s %d %d %s %s\n", t, tb.MinSeq, tb.MaxSeq,
+				hex.EncodeToString(tb.Smallest), hex.EncodeToString(tb.Largest))
+		}
 	}
 	tmp := filepath.Join(dir, manifestName+".tmp")
 	f, err := os.Create(tmp)

@@ -315,6 +315,7 @@ func (db *DB) minorCompactLocked(policy CompactionPolicy) (*MinorCompactionResul
 	for i, th := range kept {
 		db.man.tables[i] = th.name
 	}
+	db.man.recordBounds(kept)
 	if err := db.man.save(db.dir); err != nil {
 		db.man.tables = oldManTables
 		rd.Close()
@@ -322,6 +323,7 @@ func (db *DB) minorCompactLocked(policy CompactionPolicy) (*MinorCompactionResul
 		return nil, false, err
 	}
 	db.tables = kept
+	db.installViewLocked()
 	db.generation++
 	// The table count just dropped: writers stalled on backpressure may be
 	// able to proceed without waiting for the major compactor.

@@ -2,11 +2,11 @@ package lsm
 
 import (
 	"bytes"
+	"context"
 	"sort"
 	"sync"
 
 	"repro/internal/iterator"
-	"repro/internal/sstable"
 )
 
 // Snapshot is a consistent point-in-time read view of one DB: the memtable
@@ -18,8 +18,12 @@ import (
 type Snapshot struct {
 	// mem holds the memtable's entries at acquisition, sorted by
 	// (key asc, seq desc) — the memtable iterator's order.
-	mem    []iterator.Entry
+	mem []iterator.Entry
+	// tables is the snapshot's table set in table-set order (newest
+	// first); byseq is the same set sorted by descending maxSeq, the
+	// probe order point lookups use for pruning and early exit.
 	tables []*tableHandle
+	byseq  []*tableHandle
 	// mu makes reads atomic with Release: a reader in Get (or retaining
 	// tables for a new iterator) holds the read lock, so Release cannot
 	// drop the table references out from under it.
@@ -27,16 +31,16 @@ type Snapshot struct {
 	released bool
 }
 
-// Snapshot captures a point-in-time view of the whole key space. The
-// memtable is materialized under a short read-lock section (cost
-// proportional to its entry count); the sstables are retained by
-// reference, not copied.
+// Snapshot captures a point-in-time view of the whole key space without
+// touching the store lock: the memtable is materialized against the
+// pinned read view (cost proportional to its entry count); the sstables
+// are retained by reference, not copied.
 func (db *DB) Snapshot() (*Snapshot, error) {
 	mem, tables, err := db.acquireSnapshot(nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &Snapshot{mem: mem, tables: tables}, nil
+	return &Snapshot{mem: mem, tables: tables, byseq: sortByMaxSeq(tables)}, nil
 }
 
 // Release drops the snapshot's table references; the last release of a
@@ -53,10 +57,16 @@ func (s *Snapshot) Release() {
 }
 
 // Get returns the value stored for key as of the snapshot, or ErrNotFound.
-// The lookup mirrors DB.Get: the materialized memtable wins if it holds
-// any version of the key; otherwise the highest sequence number across the
-// snapshot's sstables wins.
 func (s *Snapshot) Get(key []byte) ([]byte, error) {
+	return s.GetContext(context.Background(), key)
+}
+
+// GetContext is Get honoring ctx. The lookup mirrors DB.Get: the
+// materialized memtable wins if it holds any version of the key;
+// otherwise the snapshot's sstables are probed in descending max-sequence
+// order with key-range pruning, early exit, and a context re-check
+// between per-table probes.
+func (s *Snapshot) GetContext(ctx context.Context, key []byte) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.released {
@@ -74,35 +84,15 @@ func (s *Snapshot) Get(key []byte) ([]byte, error) {
 		}
 		return append([]byte(nil), e.Value...), nil
 	}
-	var (
-		bestSeq  uint64
-		bestVal  []byte
-		bestTomb bool
-		foundAny bool
-	)
-	for _, th := range s.tables {
-		e, err := th.rd.Get(key)
-		if err == sstable.ErrNotFound {
-			continue
-		}
-		if err != nil {
-			return nil, err
-		}
-		if !foundAny || e.Seq > bestSeq {
-			foundAny, bestSeq, bestVal, bestTomb = true, e.Seq, e.Value, e.Tombstone
-		}
-	}
-	if !foundAny || bestTomb {
-		return nil, ErrNotFound
-	}
-	return append([]byte(nil), bestVal...), nil
+	return probeTables(ctx, s.byseq, key)
 }
 
 // NewIterator returns an iterator over the snapshot's live entries with
 // start <= key < end (nil bounds are open), with deleted keys hidden, plus
 // a release function the caller must invoke when done. The iterator takes
 // its own table references, so it remains valid even if the snapshot is
-// released while it is still draining.
+// released while it is still draining. Tables whose key range falls
+// outside the bounds are pruned from the merge set.
 func (s *Snapshot) NewIterator(start, end []byte) (iterator.Iterator, func(), error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -116,8 +106,12 @@ func (s *Snapshot) NewIterator(start, end []byte) (iterator.Iterator, func(), er
 		})
 		mem = mem[i:]
 	}
-	tables := make([]*tableHandle, len(s.tables))
-	copy(tables, s.tables)
+	tables := make([]*tableHandle, 0, len(s.tables))
+	for _, th := range s.tables {
+		if start == nil && end == nil || th.overlaps(start, end) {
+			tables = append(tables, th)
+		}
+	}
 	for _, th := range tables {
 		th.retain()
 	}

@@ -19,8 +19,12 @@ import (
 	"repro/internal/skiplist"
 )
 
-// Table is the LSM engine's memtable. It is not safe for concurrent use;
-// the engine serializes writers and snapshots under its own lock.
+// Table is the LSM engine's memtable. Point reads (Get) and iterator
+// traversal are safe concurrently with a single writer — the backing
+// skiplist publishes nodes through atomic pointers — which is what lets
+// the engine's read path run without the store lock. Writers (Put,
+// Delete) must still be serialized externally; the engine runs them under
+// its commit pipeline's store lock.
 type Table struct {
 	list *skiplist.List
 }

@@ -8,7 +8,7 @@
 //
 // All integers are little-endian; varints use encoding/binary's uvarint.
 //
-//	file   := block* index bloom footer
+//	file   := block* index bloom bounds footer
 //	block  := codec byte, body, crc32 (crc over codec+body)
 //	          codec 0: body is raw entries (up to BlockSize)
 //	          codec 1: body is DEFLATE-compressed entries
@@ -20,9 +20,26 @@
 //	          (firstKeyLen uvarint, firstKey, offset uvarint, length uvarint)*
 //	          crc32
 //	bloom  := filter bytes, crc32
+//	bounds := smallestLen uvarint, smallestKey,
+//	          largestLen uvarint, largestKey,
+//	          minSeq uvarint, maxSeq uvarint, crc32
 //	footer := indexOff u64, indexLen u64, bloomOff u64, bloomLen u64,
 //	          entryCount u64, keyBytes u64, valBytes u64,
-//	          magic u64 (0x5354424c30303146 "STBL001F")
+//	          boundsOff u64, boundsLen u64,
+//	          magic u64 (0x5354424c30303246 "STBL002F")
+//
+// # Footer versions
+//
+// Version 2 ("STBL002F", 80-byte footer) added the bounds block: the
+// table's smallest and largest key plus its sequence-number range, which
+// the engine's read path uses to prune point lookups to the tables whose
+// key range covers the probe and to stop probing once no remaining table
+// can hold a newer version. Version 1 ("STBL001F", 64-byte footer, no
+// bounds block) tables remain readable: the reader detects the old magic
+// and backfills the bounds at open time from the block index (smallest
+// key) and the last data block (largest key); the sequence range is
+// unknowable without a full scan, so it degrades to [0, MaxUint64], which
+// disables early exit for that table but never affects correctness.
 //
 // Per-block CRCs catch torn writes and bit rot; a corrupt block fails reads
 // with ErrCorrupt rather than returning wrong data.
@@ -66,11 +83,21 @@ const (
 // size of a single entry).
 const maxBlockPayload = 64 << 20
 
-// Magic identifies an sstable file; it spells "STBL001F".
-const Magic uint64 = 0x5354424c30303146
+// MagicV1 identifies a version-1 sstable file (no bounds block); it
+// spells "STBL001F".
+const MagicV1 uint64 = 0x5354424c30303146
 
-// footerSize is the fixed byte length of the footer.
-const footerSize = 8 * 8
+// Magic identifies a current (version 2) sstable file; it spells
+// "STBL002F". Version 2 appends a bounds block (key range and sequence
+// range) and extends the footer to locate it; see the package comment.
+const Magic uint64 = 0x5354424c30303246
+
+// footerV1Size and footerSize are the fixed byte lengths of the version-1
+// and version-2 footers.
+const (
+	footerV1Size = 8 * 8
+	footerSize   = 10 * 8
+)
 
 // ErrCorrupt reports a structurally invalid or checksum-failing table.
 var ErrCorrupt = errors.New("sstable: corrupt table")
@@ -81,10 +108,11 @@ var ErrNotFound = errors.New("sstable: key not found")
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 type footer struct {
-	indexOff, indexLen uint64
-	bloomOff, bloomLen uint64
-	entryCount         uint64
-	keyBytes, valBytes uint64
+	indexOff, indexLen   uint64
+	bloomOff, bloomLen   uint64
+	entryCount           uint64
+	keyBytes, valBytes   uint64
+	boundsOff, boundsLen uint64 // zero on version-1 tables
 }
 
 func (f *footer) marshal() []byte {
@@ -96,17 +124,25 @@ func (f *footer) marshal() []byte {
 	binary.LittleEndian.PutUint64(buf[32:], f.entryCount)
 	binary.LittleEndian.PutUint64(buf[40:], f.keyBytes)
 	binary.LittleEndian.PutUint64(buf[48:], f.valBytes)
-	binary.LittleEndian.PutUint64(buf[56:], Magic)
+	binary.LittleEndian.PutUint64(buf[56:], f.boundsOff)
+	binary.LittleEndian.PutUint64(buf[64:], f.boundsLen)
+	binary.LittleEndian.PutUint64(buf[72:], Magic)
 	return buf
 }
 
-func unmarshalFooter(buf []byte) (footer, error) {
+// unmarshalFooter decodes a version-2 (80-byte) or version-1 (64-byte)
+// footer, distinguished by the trailing magic, and reports which version
+// it found.
+func unmarshalFooter(buf []byte) (footer, int, error) {
 	var f footer
-	if len(buf) != footerSize {
-		return f, ErrCorrupt
-	}
-	if binary.LittleEndian.Uint64(buf[56:]) != Magic {
-		return f, ErrCorrupt
+	switch {
+	case len(buf) == footerSize && binary.LittleEndian.Uint64(buf[72:]) == Magic:
+		f.boundsOff = binary.LittleEndian.Uint64(buf[56:])
+		f.boundsLen = binary.LittleEndian.Uint64(buf[64:])
+	case len(buf) == footerV1Size && binary.LittleEndian.Uint64(buf[56:]) == MagicV1:
+		// Version 1: no bounds block; the reader backfills bounds at open.
+	default:
+		return f, 0, ErrCorrupt
 	}
 	f.indexOff = binary.LittleEndian.Uint64(buf[0:])
 	f.indexLen = binary.LittleEndian.Uint64(buf[8:])
@@ -115,7 +151,65 @@ func unmarshalFooter(buf []byte) (footer, error) {
 	f.entryCount = binary.LittleEndian.Uint64(buf[32:])
 	f.keyBytes = binary.LittleEndian.Uint64(buf[40:])
 	f.valBytes = binary.LittleEndian.Uint64(buf[48:])
-	return f, nil
+	if len(buf) == footerV1Size {
+		return f, 1, nil
+	}
+	return f, 2, nil
+}
+
+// Bounds describes a table's key range and sequence-number range: the
+// pruning metadata the version-2 bounds block persists. Smallest and
+// Largest are both inclusive; an empty table (possible when a compaction
+// drops every tombstone) has nil keys and a zero sequence range.
+type Bounds struct {
+	Smallest, Largest []byte
+	MinSeq, MaxSeq    uint64
+}
+
+// marshalBounds encodes a bounds block (without the trailing crc32).
+func marshalBounds(b Bounds) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(b.Smallest)))
+	out = append(out, b.Smallest...)
+	out = binary.AppendUvarint(out, uint64(len(b.Largest)))
+	out = append(out, b.Largest...)
+	out = binary.AppendUvarint(out, b.MinSeq)
+	out = binary.AppendUvarint(out, b.MaxSeq)
+	return out
+}
+
+// unmarshalBounds decodes a checksum-verified bounds-block payload. The
+// returned keys are copies, safe to retain.
+func unmarshalBounds(payload []byte) (Bounds, error) {
+	var b Bounds
+	readKey := func() ([]byte, error) {
+		n, w := binary.Uvarint(payload)
+		if w <= 0 || uint64(len(payload[w:])) < n {
+			return nil, ErrCorrupt
+		}
+		payload = payload[w:]
+		var key []byte
+		if n > 0 {
+			key = append([]byte(nil), payload[:n]...)
+		}
+		payload = payload[n:]
+		return key, nil
+	}
+	var err error
+	if b.Smallest, err = readKey(); err != nil {
+		return b, err
+	}
+	if b.Largest, err = readKey(); err != nil {
+		return b, err
+	}
+	var w int
+	if b.MinSeq, w = binary.Uvarint(payload); w <= 0 {
+		return b, ErrCorrupt
+	}
+	payload = payload[w:]
+	if b.MaxSeq, w = binary.Uvarint(payload); w <= 0 {
+		return b, ErrCorrupt
+	}
+	return b, nil
 }
 
 // blockHandle locates one data block within the file.

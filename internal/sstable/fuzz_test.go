@@ -38,12 +38,17 @@ func FuzzDecodeEntry(f *testing.F) {
 
 // FuzzReaderOpen feeds arbitrary bytes to the table opener: corrupt tables
 // must be rejected with an error, never a panic or a successful open that
-// later misbehaves.
+// later misbehaves. Seeds include both footer versions — the current
+// bounds-carrying version 2 and the legacy 64-byte version 1 — so the
+// version-detection path and the v1 bounds backfill are both fuzzed.
 func FuzzReaderOpen(f *testing.F) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf, 4)
+	var entries []iterator.Entry
 	for _, k := range []string{"a", "b", "c"} {
-		if err := w.Add(iterator.Entry{Key: []byte(k), Value: []byte("v"), Seq: 1}); err != nil {
+		e := iterator.Entry{Key: []byte(k), Value: []byte("v"), Seq: 1}
+		entries = append(entries, e)
+		if err := w.Add(e); err != nil {
 			f.Fatal(err)
 		}
 	}
@@ -52,6 +57,7 @@ func FuzzReaderOpen(f *testing.F) {
 	}
 	f.Add(buf.Bytes())
 	f.Add(buf.Bytes()[:buf.Len()-5])
+	f.Add(buildLegacyV1(f, entries))
 	f.Add([]byte("not a table"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rd, err := NewReader(bytes.NewReader(data), int64(len(data)))
@@ -64,5 +70,14 @@ func FuzzReaderOpen(f *testing.F) {
 			it.Next()
 		}
 		_, _ = rd.Get([]byte("a"))
+		// Bounds of an openable table must be internally consistent.
+		if b, ok := rd.Bounds(); ok {
+			if bytes.Compare(b.Smallest, b.Largest) > 0 {
+				t.Fatalf("bounds inverted: smallest %q > largest %q", b.Smallest, b.Largest)
+			}
+			if b.MinSeq > b.MaxSeq {
+				t.Fatalf("seq bounds inverted: %d > %d", b.MinSeq, b.MaxSeq)
+			}
+		}
 	})
 }

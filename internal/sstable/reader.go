@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/bloom"
@@ -28,37 +29,87 @@ type FilterMetrics struct {
 	FalsePositives atomic.Uint64
 }
 
+// Cache is the block-cache surface a Reader uses: satisfied by both the
+// single cache.LRU and the mutex-striped cache.Sharded. Get returns a
+// shared slice callers must not modify; Put transfers ownership of the
+// value to the cache.
+type Cache interface {
+	Get(k cache.Key) ([]byte, bool)
+	Put(k cache.Key, value []byte)
+	DropTable(table uint64)
+}
+
 // Reader serves point lookups and ordered scans from a finished sstable.
 // It is safe for concurrent use: all methods read through an io.ReaderAt.
 type Reader struct {
-	id     uint64
-	r      io.ReaderAt
-	f      footer
-	index  []blockHandle
-	filter *bloom.Filter
-	closer io.Closer // non-nil when the Reader owns the underlying file
-	blocks *cache.LRU
-	fm     *FilterMetrics
+	id      uint64
+	r       io.ReaderAt
+	size    int64
+	f       footer
+	version int // footer version: 1 (no bounds block) or 2
+	bounds  Bounds
+	index   []blockHandle
+	filter  *bloom.Filter
+	closer  io.Closer // non-nil when the Reader owns the underlying file
+	blocks  Cache
+	fm      *FilterMetrics
 }
 
 // NewReader opens a table stored in r, whose total length is size bytes.
 func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
-	if size < footerSize {
+	return NewReaderWithBounds(r, size, nil)
+}
+
+// NewReaderWithBounds is NewReader with externally persisted bounds (the
+// engine's manifest records each table's bounds): a version-1 table
+// adopts a valid hint instead of paying the backfill block read at open.
+// The hint is ignored for version-2 tables — their footer is
+// authoritative — and a nil or implausible hint falls back to backfill.
+func NewReaderWithBounds(r io.ReaderAt, size int64, hint *Bounds) (*Reader, error) {
+	if size < footerV1Size {
 		return nil, ErrCorrupt
 	}
-	buf := make([]byte, footerSize)
-	if _, err := r.ReadAt(buf, size-footerSize); err != nil {
+	// The trailing magic picks the footer version; version 1 (64 bytes,
+	// no bounds block) remains readable with bounds backfilled below.
+	var magicBuf [8]byte
+	if _, err := r.ReadAt(magicBuf[:], size-8); err != nil {
+		return nil, fmt.Errorf("sstable: read footer magic: %w", err)
+	}
+	fsize := int64(footerSize)
+	if magic := binary.LittleEndian.Uint64(magicBuf[:]); magic == MagicV1 {
+		fsize = footerV1Size
+	} else if magic != Magic {
+		return nil, ErrCorrupt
+	}
+	if size < fsize {
+		return nil, ErrCorrupt
+	}
+	buf := make([]byte, fsize)
+	if _, err := r.ReadAt(buf, size-fsize); err != nil {
 		return nil, fmt.Errorf("sstable: read footer: %w", err)
 	}
-	f, err := unmarshalFooter(buf)
+	f, version, err := unmarshalFooter(buf)
 	if err != nil {
 		return nil, err
 	}
-	rd := &Reader{id: readerIDs.Add(1), r: r, f: f}
+	// Validate every footer-referenced region against the file size before
+	// any allocation: a corrupt length must fail with ErrCorrupt, not
+	// attempt a multi-gigabyte buffer.
+	inFile := func(off, length uint64) bool {
+		return length <= uint64(size) && off <= uint64(size)-length
+	}
+	if !inFile(f.indexOff, f.indexLen) || !inFile(f.bloomOff, f.bloomLen) ||
+		(version >= 2 && !inFile(f.boundsOff, f.boundsLen)) {
+		return nil, ErrCorrupt
+	}
+	rd := &Reader{id: readerIDs.Add(1), r: r, size: size, f: f, version: version}
 	if err := rd.loadIndex(); err != nil {
 		return nil, err
 	}
 	if err := rd.loadBloom(); err != nil {
+		return nil, err
+	}
+	if err := rd.loadBounds(hint); err != nil {
 		return nil, err
 	}
 	return rd, nil
@@ -66,6 +117,12 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 
 // Open opens an sstable file by path; Close releases the file handle.
 func Open(path string) (*Reader, error) {
+	return OpenWithBounds(path, nil)
+}
+
+// OpenWithBounds is Open taking a persisted bounds hint; see
+// NewReaderWithBounds.
+func OpenWithBounds(path string, hint *Bounds) (*Reader, error) {
 	file, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -75,7 +132,7 @@ func Open(path string) (*Reader, error) {
 		file.Close()
 		return nil, err
 	}
-	rd, err := NewReader(file, st.Size())
+	rd, err := NewReaderWithBounds(file, st.Size(), hint)
 	if err != nil {
 		file.Close()
 		return nil, fmt.Errorf("sstable: open %s: %w", path, err)
@@ -84,9 +141,9 @@ func Open(path string) (*Reader, error) {
 	return rd, nil
 }
 
-// SetBlockCache attaches a shared LRU cache used for data-block reads.
-// Call before serving reads; passing nil disables caching.
-func (rd *Reader) SetBlockCache(c *cache.LRU) { rd.blocks = c }
+// SetBlockCache attaches a shared cache used for data-block reads. Call
+// before serving reads; passing nil disables caching.
+func (rd *Reader) SetBlockCache(c Cache) { rd.blocks = c }
 
 // SetFilterMetrics attaches a store-shared Bloom-filter counter set that
 // Get updates; passing nil disables counting.
@@ -104,6 +161,40 @@ func (rd *Reader) Close() error {
 	return nil
 }
 
+// blockBufPool recycles block-read buffers. A buffer re-enters the pool
+// only when the payload provably does not escape the probe: a point
+// lookup that misses inside the block (Bloom false positive, key absent
+// from its candidate block) recycles, as does the frame buffer of a
+// compressed block (its decoded payload is a fresh allocation). Payloads
+// handed to the block cache or returned to callers keep their buffers —
+// those fall to the garbage collector.
+var blockBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getBlockBuf returns a pooled buffer of length n.
+func getBlockBuf(n int) *[]byte {
+	bp := blockBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// maxPooledBlockBuf caps what re-enters the pool: an occasional giant
+// block (a multi-megabyte value) must not leave its backing array pinned
+// in the pool forever, nor resurface under a small read that would retain
+// far more memory than its length suggests.
+const maxPooledBlockBuf = 128 << 10
+
+func putBlockBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledBlockBuf {
+		blockBufPool.Put(bp)
+	}
+}
+
+// readChecksummed reads and verifies a framed payload+crc32 region. The
+// returned payload aliases a freshly allocated buffer the caller owns (the
+// index and bloom loaders retain slices of it, so it cannot be pooled).
 func (rd *Reader) readChecksummed(off, length uint64) ([]byte, error) {
 	buf := make([]byte, length)
 	if _, err := rd.r.ReadAt(buf, int64(off)); err != nil {
@@ -114,26 +205,60 @@ func (rd *Reader) readChecksummed(off, length uint64) ([]byte, error) {
 
 // readBlock reads and decodes a data block through the block cache when
 // one is attached. Cached payloads are stored decompressed and verified.
-func (rd *Reader) readBlock(h blockHandle) ([]byte, error) {
+// The second result is an ownership token: non-nil means the payload's
+// backing memory belongs exclusively to the caller — it may be returned
+// to the user without a defensive copy, and if the payload provably does
+// not escape the probe, passing the token to putBlockBuf recycles the
+// buffer. A nil token means the payload is shared with the block cache
+// and must be copied before it escapes to anyone who could modify it.
+func (rd *Reader) readBlock(h blockHandle) ([]byte, *[]byte, error) {
 	var key cache.Key
 	if rd.blocks != nil {
 		key = cache.Key{Table: rd.id, Offset: h.offset}
 		if payload, ok := rd.blocks.Get(key); ok {
-			return payload, nil
+			return payload, nil, nil
 		}
 	}
-	buf := make([]byte, h.length+4)
+	// A cache-fill read allocates exactly: its payload transfers to the
+	// cache (so a pooled buffer would never return to the pool), and the
+	// LRU accounts len(value) — a payload aliasing an oversized recycled
+	// array would pin memory the cache budget never sees. The pool serves
+	// the cacheless reads, whose buffers provably come back on misses.
+	var bp *[]byte
+	var buf []byte
+	if rd.blocks == nil {
+		bp = getBlockBuf(int(h.length) + 4)
+		buf = *bp
+	} else {
+		buf = make([]byte, h.length+4)
+	}
+	recycle := func() {
+		if bp != nil {
+			putBlockBuf(bp)
+		}
+	}
 	if _, err := rd.r.ReadAt(buf, int64(h.offset)); err != nil {
-		return nil, fmt.Errorf("sstable: read block at %d: %w", h.offset, err)
+		recycle()
+		return nil, nil, fmt.Errorf("sstable: read block at %d: %w", h.offset, err)
 	}
 	payload, err := decodeDataBlock(buf)
 	if err != nil {
-		return nil, err
+		recycle()
+		return nil, nil, err
 	}
 	if rd.blocks != nil {
+		// Ownership transfers to the cache: shared from here on.
 		rd.blocks.Put(key, payload)
+		return payload, nil, nil
 	}
-	return payload, nil
+	// A raw-codec payload aliases the pooled buffer; a compressed (or
+	// empty) payload is a fresh allocation, so its frame buffer recycles
+	// immediately and the payload itself becomes the pooled token.
+	if aliases := len(payload) > 0 && &payload[0] == &buf[1]; !aliases {
+		recycle()
+		bp = &payload
+	}
+	return payload, bp, nil
 }
 
 func (rd *Reader) loadIndex() error {
@@ -165,6 +290,12 @@ func (rd *Reader) loadIndex() error {
 			return ErrCorrupt
 		}
 		payload = payload[n:]
+		// Like the footer regions: a block must lie within the file (its
+		// frame is length+4 bytes with the crc), or reads would allocate
+		// and read garbage-sized buffers. Ordered to avoid overflow.
+		if length > uint64(rd.size) || length+4 > uint64(rd.size) || off > uint64(rd.size)-(length+4) {
+			return ErrCorrupt
+		}
 		rd.index = append(rd.index, blockHandle{firstKey: key, offset: off, length: length})
 	}
 	return nil
@@ -183,6 +314,86 @@ func (rd *Reader) loadBloom() error {
 	return nil
 }
 
+// loadBounds populates the table's key/sequence bounds: from the bounds
+// block on version-2 tables; on version-1 tables from a valid persisted
+// hint (the engine manifest's copy, sparing the backfill read) or else
+// backfilled from the data (smallest key from the block index, largest
+// key by scanning the final block; the sequence range is unknowable
+// without a full scan and degrades to [0, MaxUint64], which disables
+// seq-based early exit but never correctness).
+func (rd *Reader) loadBounds(hint *Bounds) error {
+	if rd.version >= 2 {
+		payload, err := rd.readChecksummed(rd.f.boundsOff, rd.f.boundsLen)
+		if err != nil {
+			return err
+		}
+		b, err := unmarshalBounds(payload)
+		if err != nil {
+			return err
+		}
+		if rd.f.entryCount > 0 {
+			if b.Smallest == nil || b.Largest == nil ||
+				bytes.Compare(b.Smallest, b.Largest) > 0 || b.MinSeq > b.MaxSeq {
+				return ErrCorrupt
+			}
+		}
+		rd.bounds = b
+		return nil
+	}
+	if len(rd.index) == 0 || rd.f.entryCount == 0 {
+		return nil
+	}
+	if hint != nil && hint.Smallest != nil && hint.Largest != nil &&
+		bytes.Compare(hint.Smallest, hint.Largest) <= 0 && hint.MinSeq <= hint.MaxSeq {
+		rd.bounds = Bounds{
+			Smallest: append([]byte(nil), hint.Smallest...),
+			Largest:  append([]byte(nil), hint.Largest...),
+			MinSeq:   hint.MinSeq,
+			MaxSeq:   hint.MaxSeq,
+		}
+		return nil
+	}
+	smallest := append([]byte(nil), rd.index[0].firstKey...)
+	payload, tok, err := rd.readBlock(rd.index[len(rd.index)-1])
+	if err != nil {
+		return err
+	}
+	var largest []byte
+	for len(payload) > 0 {
+		e, rest, err := decodeEntry(payload)
+		if err != nil {
+			return err
+		}
+		largest = e.Key
+		payload = rest
+	}
+	largest = append([]byte(nil), largest...)
+	if tok != nil {
+		putBlockBuf(tok)
+	}
+	if largest == nil || bytes.Compare(smallest, largest) > 0 {
+		return ErrCorrupt
+	}
+	rd.bounds = Bounds{
+		Smallest: smallest,
+		Largest:  largest,
+		MinSeq:   0,
+		MaxSeq:   ^uint64(0),
+	}
+	return nil
+}
+
+// Bounds returns the table's key and sequence range. The second result is
+// false for an empty table, whose bounds are meaningless.
+func (rd *Reader) Bounds() (Bounds, bool) {
+	return rd.bounds, rd.f.entryCount > 0
+}
+
+// FooterVersion reports the on-disk footer version the table was opened
+// with: 2 for current tables carrying a bounds block, 1 for legacy tables
+// whose bounds were backfilled at open.
+func (rd *Reader) FooterVersion() int { return rd.version }
+
 // EntryCount returns the number of entries in the table.
 func (rd *Reader) EntryCount() uint64 { return rd.f.entryCount }
 
@@ -194,9 +405,7 @@ func (rd *Reader) ValBytes() uint64 { return rd.f.valBytes }
 
 // FileSize returns the total size of the encoded table in bytes: the
 // quantity compaction counts as disk I/O when the table is read or written.
-func (rd *Reader) FileSize() uint64 {
-	return rd.f.bloomOff + rd.f.bloomLen + footerSize
-}
+func (rd *Reader) FileSize() uint64 { return uint64(rd.size) }
 
 // blockFor returns the index of the data block that could contain key.
 func (rd *Reader) blockFor(key []byte) int {
@@ -210,47 +419,66 @@ func (rd *Reader) blockFor(key []byte) int {
 // Get returns the entry for key, or ErrNotFound. The Bloom filter rejects
 // most absent keys without touching data blocks.
 func (rd *Reader) Get(key []byte) (iterator.Entry, error) {
+	e, _, err := rd.GetEntry(key)
+	return e, err
+}
+
+// GetEntry is Get with an ownership report: owned is true when the
+// returned entry's key and value alias memory owned exclusively by the
+// caller (the block was read outside the cache), so the engine may hand
+// the value to its user without a defensive copy. When owned is false the
+// entry aliases a cache-shared block and must be copied before it escapes.
+func (rd *Reader) GetEntry(key []byte) (iterator.Entry, bool, error) {
 	var zero iterator.Entry
 	if !rd.filter.MayContain(key) {
 		if rd.fm != nil {
 			rd.fm.Negatives.Add(1)
 		}
-		return zero, ErrNotFound
+		return zero, false, ErrNotFound
 	}
-	e, err := rd.getPastFilter(key)
+	e, owned, err := rd.getPastFilter(key)
 	if err == ErrNotFound && rd.fm != nil {
 		rd.fm.FalsePositives.Add(1)
 	}
-	return e, err
+	return e, owned, err
 }
 
 // getPastFilter is the block-probing half of Get, after the Bloom filter
-// has said "maybe".
-func (rd *Reader) getPastFilter(key []byte) (iterator.Entry, error) {
+// has said "maybe". A miss inside an exclusively owned block recycles the
+// block buffer — nothing from it escapes — which is what keeps the buffer
+// pool fed on the paths that need it (Bloom false positives and probes
+// for keys absent from their candidate block).
+func (rd *Reader) getPastFilter(key []byte) (iterator.Entry, bool, error) {
 	var zero iterator.Entry
 	bi := rd.blockFor(key)
 	if bi < 0 {
-		return zero, ErrNotFound
+		return zero, false, ErrNotFound
 	}
 	h := rd.index[bi]
-	payload, err := rd.readBlock(h)
+	payload, tok, err := rd.readBlock(h)
 	if err != nil {
-		return zero, err
+		return zero, false, err
+	}
+	miss := func() (iterator.Entry, bool, error) {
+		if tok != nil {
+			putBlockBuf(tok)
+		}
+		return zero, false, ErrNotFound
 	}
 	for len(payload) > 0 {
 		e, rest, err := decodeEntry(payload)
 		if err != nil {
-			return zero, err
+			return zero, false, err
 		}
 		switch bytes.Compare(e.Key, key) {
 		case 0:
-			return e, nil
+			return e, tok != nil, nil
 		case 1:
-			return zero, ErrNotFound
+			return miss()
 		}
 		payload = rest
 	}
-	return zero, ErrNotFound
+	return miss()
 }
 
 // Iter returns an iterator over the whole table in key order.
@@ -326,7 +554,10 @@ func (it *Iter) advance() {
 			return
 		}
 		h := it.rd.index[it.bi]
-		payload, err := it.rd.readBlock(h)
+		// Iterators never recycle owned blocks: entries alias the block
+		// until the caller moves past them, so ownership just falls to the
+		// garbage collector.
+		payload, _, err := it.rd.readBlock(h)
 		if err != nil {
 			it.err = err
 			return

@@ -23,6 +23,9 @@ type Writer struct {
 	filter   *bloom.Filter
 
 	lastKey    []byte
+	firstKey   []byte
+	minSeq     uint64
+	maxSeq     uint64
 	entryCount uint64
 	keyBytes   uint64
 	valBytes   uint64
@@ -62,6 +65,15 @@ func (w *Writer) Add(e iterator.Entry) error {
 	}
 	if w.blockKey == nil {
 		w.blockKey = append([]byte(nil), e.Key...)
+	}
+	if w.firstKey == nil {
+		w.firstKey = append([]byte(nil), e.Key...)
+	}
+	if w.entryCount == 0 || e.Seq < w.minSeq {
+		w.minSeq = e.Seq
+	}
+	if e.Seq > w.maxSeq {
+		w.maxSeq = e.Seq
 	}
 	w.block = appendEntry(w.block, e)
 	w.lastKey = append(w.lastKey[:0], e.Key...)
@@ -185,6 +197,19 @@ func (w *Writer) Finish() error {
 	f.bloomOff, f.bloomLen = w.off, uint64(len(framed))
 	if _, err := w.w.Write(framed); err != nil {
 		return fmt.Errorf("sstable: write bloom: %w", err)
+	}
+	w.off += uint64(len(framed))
+
+	// Bounds block: the key range and sequence range the engine's read
+	// path prunes with. An empty table encodes nil keys and a zero range.
+	var bounds Bounds
+	if w.entryCount > 0 {
+		bounds = Bounds{Smallest: w.firstKey, Largest: w.lastKey, MinSeq: w.minSeq, MaxSeq: w.maxSeq}
+	}
+	framed = appendChecksummed(nil, marshalBounds(bounds))
+	f.boundsOff, f.boundsLen = w.off, uint64(len(framed))
+	if _, err := w.w.Write(framed); err != nil {
+		return fmt.Errorf("sstable: write bounds: %w", err)
 	}
 	w.off += uint64(len(framed))
 

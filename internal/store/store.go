@@ -610,6 +610,11 @@ func Aggregate(shardStats []lsm.Stats) lsm.Stats {
 		}
 		agg.BlockCacheHits += st.BlockCacheHits
 		agg.BlockCacheMisses += st.BlockCacheMisses
+		// Striping skew is a per-cache ratio, not summable: report the
+		// worst shard's imbalance.
+		if st.BlockCacheShardBalance > agg.BlockCacheShardBalance {
+			agg.BlockCacheShardBalance = st.BlockCacheShardBalance
+		}
 		agg.FilterNegatives += st.FilterNegatives
 		agg.FilterFalsePositives += st.FilterFalsePositives
 		agg.GroupCommits += st.GroupCommits

@@ -69,6 +69,10 @@ type Engine interface {
 	// Write commits the batch atomically on the embedded single-partition
 	// engine and on a remote server backed by one; on a sharded store the
 	// batch is atomic per shard but has no cross-shard commit point.
+	// Atomicity covers durability (all-or-nothing crash recovery) and
+	// iterator/snapshot visibility; a point Get racing the commit may
+	// observe an earlier operation of the batch before a later one, in
+	// batch order.
 	Write(ctx context.Context, b *Batch) error
 	// NewIterator returns an iterator over live entries with
 	// start <= key < end in ascending key order, with deleted keys
@@ -213,10 +217,15 @@ type Stats struct {
 	GroupedWrites uint64 `json:"grouped_writes"`
 	WALSyncs      uint64 `json:"wal_syncs"`
 
-	BlockCacheHits       uint64 `json:"block_cache_hits"`
-	BlockCacheMisses     uint64 `json:"block_cache_misses"`
-	FilterNegatives      uint64 `json:"filter_negatives"`
-	FilterFalsePositives uint64 `json:"filter_false_positives"`
+	BlockCacheHits   uint64 `json:"block_cache_hits"`
+	BlockCacheMisses uint64 `json:"block_cache_misses"`
+	// BlockCacheShardBalance is the ratio of the fullest block-cache
+	// stripe's occupancy to the mean stripe occupancy (1.0 = perfectly
+	// even, stripe count = fully skewed, 0 = empty or disabled cache);
+	// on a sharded store, the worst shard's ratio.
+	BlockCacheShardBalance float64 `json:"block_cache_shard_balance,omitempty"`
+	FilterNegatives        uint64  `json:"filter_negatives"`
+	FilterFalsePositives   uint64  `json:"filter_false_positives"`
 
 	// CompactionState is the major-compaction state machine's phase
 	// ("idle", "planning", "merging", "swapping"); on a sharded store the
@@ -237,27 +246,28 @@ type Stats struct {
 // shape.
 func statsFromLSM(st lsm.Stats, backend string, shards int) Stats {
 	return Stats{
-		Backend:              backend,
-		Shards:               shards,
-		Tables:               st.Tables,
-		TableBytes:           st.TableBytes,
-		MemtableKeys:         st.MemtableKeys,
-		Flushes:              st.Flushes,
-		MinorCompactions:     st.MinorCompactions,
-		MajorCompactions:     st.MajorCompactions,
-		WriteStalls:          st.WriteStalls,
-		GroupCommits:         st.GroupCommits,
-		GroupedWrites:        st.GroupedWrites,
-		WALSyncs:             st.WALSyncs,
-		BlockCacheHits:       st.BlockCacheHits,
-		BlockCacheMisses:     st.BlockCacheMisses,
-		FilterNegatives:      st.FilterNegatives,
-		FilterFalsePositives: st.FilterFalsePositives,
-		CompactionState:      st.CompactionState,
-		WALRecoveredRecords:  st.WALRecoveredRecords,
-		WALRecoveredBatches:  st.WALRecoveredBatches,
-		WALRecoveredBytes:    st.WALRecoveredBytes,
-		WALRecoveryTruncated: st.WALRecoveryTruncated,
+		Backend:                backend,
+		Shards:                 shards,
+		Tables:                 st.Tables,
+		TableBytes:             st.TableBytes,
+		MemtableKeys:           st.MemtableKeys,
+		Flushes:                st.Flushes,
+		MinorCompactions:       st.MinorCompactions,
+		MajorCompactions:       st.MajorCompactions,
+		WriteStalls:            st.WriteStalls,
+		GroupCommits:           st.GroupCommits,
+		GroupedWrites:          st.GroupedWrites,
+		WALSyncs:               st.WALSyncs,
+		BlockCacheHits:         st.BlockCacheHits,
+		BlockCacheMisses:       st.BlockCacheMisses,
+		BlockCacheShardBalance: st.BlockCacheShardBalance,
+		FilterNegatives:        st.FilterNegatives,
+		FilterFalsePositives:   st.FilterFalsePositives,
+		CompactionState:        st.CompactionState,
+		WALRecoveredRecords:    st.WALRecoveredRecords,
+		WALRecoveredBatches:    st.WALRecoveredBatches,
+		WALRecoveredBytes:      st.WALRecoveredBytes,
+		WALRecoveryTruncated:   st.WALRecoveryTruncated,
 	}
 }
 
