@@ -432,7 +432,7 @@ func (db *DB) executeSchedule(sched *compaction.Schedule, snap []*tableHandle, a
 			return fmt.Errorf("lsm: compaction output: %w", err)
 		}
 		dropTombstones := step.Output.ID == rootID
-		mstats, err := sstable.MergeCompressed(f, dropTombstones, db.opts.Compression, inputs...)
+		mstats, err := sstable.MergeOpts(f, dropTombstones, db.tableWriterOpts(), inputs...)
 		if err != nil {
 			f.Close()
 			os.Remove(path)

@@ -80,6 +80,12 @@ type Options struct {
 	// Compression selects the sstable data-block codec for flushes and
 	// compactions. The zero value stores blocks raw.
 	Compression sstable.Compression
+	// TableFormat selects the sstable format version written by flushes
+	// and compactions: sstable.FormatV3 (the default when zero) or
+	// sstable.FormatV2 for compatibility tooling and format benchmarks.
+	// Tables of any readable version already on disk stay readable
+	// regardless of this setting.
+	TableFormat int
 	// HookBeforeSwap, when non-nil, runs between a major compaction's merge
 	// phase and its manifest swap, off-lock; returning an error aborts the
 	// compaction as if it crashed there. Intended for tests that need to
@@ -650,6 +656,15 @@ func (db *DB) FlushContext(ctx context.Context) error {
 	return db.flushLocked()
 }
 
+// tableWriterOpts builds the sstable writer options flushes and
+// compactions share: the configured codec and table format version.
+func (db *DB) tableWriterOpts() sstable.WriterOptions {
+	return sstable.WriterOptions{
+		Compression:   db.opts.Compression,
+		FormatVersion: db.opts.TableFormat,
+	}
+}
+
 // flushLocked writes the memtable to a fresh sstable and starts a new WAL.
 // Callers must hold both pipeMu and mu: the pipeline lock keeps the
 // WAL swap from racing a group commit's append-then-apply window.
@@ -664,7 +679,7 @@ func (db *DB) flushLocked() error {
 	if err != nil {
 		return fmt.Errorf("lsm: create sstable: %w", err)
 	}
-	w := sstable.NewWriterCompressed(f, db.mem.Len(), db.opts.Compression)
+	w := sstable.NewWriterOpts(f, db.mem.Len(), db.tableWriterOpts())
 	if err := sstable.WriteAll(w, db.mem.Iter()); err != nil {
 		f.Close()
 		os.Remove(path)

@@ -268,7 +268,7 @@ func (db *DB) minorCompactLocked(policy CompactionPolicy) (*MinorCompactionResul
 	if err != nil {
 		return nil, false, fmt.Errorf("lsm: minor compaction output: %w", err)
 	}
-	stats, err := sstable.MergeCompressed(f, false, db.opts.Compression, inputs...)
+	stats, err := sstable.MergeOpts(f, false, db.tableWriterOpts(), inputs...)
 	if err != nil {
 		f.Close()
 		os.Remove(path)

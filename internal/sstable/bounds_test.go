@@ -17,7 +17,9 @@ import (
 func buildLegacyV1(t testing.TB, entries []iterator.Entry) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	w := NewWriter(&buf, len(entries))
+	// Version 1 shares the version-2 block and index layout, so build a
+	// v2 table and strip its bounds block below.
+	w := NewWriterOpts(&buf, len(entries), WriterOptions{FormatVersion: FormatV2})
 	for _, e := range entries {
 		if err := w.Add(e); err != nil {
 			t.Fatalf("Add(%q): %v", e.Key, err)
@@ -58,8 +60,8 @@ func testEntries(n int) []iterator.Entry {
 func TestBoundsRoundTrip(t *testing.T) {
 	entries := testEntries(2000)
 	rd := buildTable(t, entries)
-	if rd.FooterVersion() != 2 {
-		t.Fatalf("FooterVersion = %d, want 2", rd.FooterVersion())
+	if rd.FooterVersion() != FormatLatest {
+		t.Fatalf("FooterVersion = %d, want %d", rd.FooterVersion(), FormatLatest)
 	}
 	b, ok := rd.Bounds()
 	if !ok {

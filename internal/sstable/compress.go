@@ -1,0 +1,149 @@
+package sstable
+
+import "encoding/binary"
+
+// The Fast codec: a dependency-free, byte-oriented LZ77 in the snappy
+// tradition, tuned for the ~4KiB data blocks this package produces. The
+// encoder greedily matches 4-byte sequences through a small hash table and
+// emits a stream of two element kinds, distinguished by the low tag bit:
+//
+//	tag&1 == 0  literal run:  n = tag>>1 + 1 bytes follow
+//	            (tag>>1 == 127 escapes to n = 128 + uvarint)
+//	tag&1 == 1  copy:         length = tag>>1 + 4 from uvarint offset back
+//	            (tag>>1 == 127 escapes to length = 131 + uvarint)
+//
+// The decoder is driven entirely by the declared uncompressed length from
+// the version-3 block frame: output is allocated once at exactly that size
+// and any stream that would overrun or underrun it fails with ErrCorrupt,
+// so corrupt or adversarial bodies can neither panic nor over-allocate.
+
+// fastMinMatch is the shortest copy the encoder emits; shorter matches
+// cost more to encode than the literals they replace.
+const fastMinMatch = 4
+
+// fastTagEscape marks a tag whose 7-bit payload overflowed into a uvarint.
+const fastTagEscape = 127
+
+// fastHashShift sizes the match table at 1<<12 entries: large enough for
+// the repeated key prefixes and value bytes of a data block, small enough
+// to live comfortably on the encoder's stack.
+const fastHashShift = 12
+
+func fastLoad32(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b)
+}
+
+func fastHash(v uint32) uint32 {
+	// Multiplicative hash (Knuth's 2654435761) of the 4-byte window.
+	return (v * 2654435761) >> (32 - fastHashShift)
+}
+
+// fastAppendCompress appends the compressed form of src to dst. The output
+// of an incompressible src may exceed len(src); the caller compares sizes
+// and stores the block raw in that case, exactly as the Flate path does.
+func fastAppendCompress(dst, src []byte) []byte {
+	var table [1 << fastHashShift]int32 // candidate position + 1; 0 = empty
+	litStart := 0
+	i := 0
+	for i+fastMinMatch <= len(src) {
+		h := fastHash(fastLoad32(src[i:]))
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || fastLoad32(src[cand:]) != fastLoad32(src[i:]) {
+			i++
+			continue
+		}
+		mlen := fastMinMatch
+		for i+mlen < len(src) && src[cand+mlen] == src[i+mlen] {
+			mlen++
+		}
+		dst = fastEmitLiteral(dst, src[litStart:i])
+		dst = fastEmitCopy(dst, i-cand, mlen)
+		i += mlen
+		litStart = i
+	}
+	return fastEmitLiteral(dst, src[litStart:])
+}
+
+func fastEmitLiteral(dst, lit []byte) []byte {
+	n := len(lit)
+	if n == 0 {
+		return dst
+	}
+	if n <= fastTagEscape {
+		dst = append(dst, byte(n-1)<<1)
+	} else {
+		dst = append(dst, fastTagEscape<<1)
+		dst = binary.AppendUvarint(dst, uint64(n-fastTagEscape-1))
+	}
+	return append(dst, lit...)
+}
+
+func fastEmitCopy(dst []byte, offset, length int) []byte {
+	l := length - fastMinMatch
+	if l < fastTagEscape {
+		dst = append(dst, byte(l)<<1|1)
+	} else {
+		dst = append(dst, fastTagEscape<<1|1)
+		dst = binary.AppendUvarint(dst, uint64(l-fastTagEscape))
+	}
+	return binary.AppendUvarint(dst, uint64(offset))
+}
+
+// fastDecode decompresses body into exactly rawLen bytes. Every bound is
+// checked against the declared length before any copy, so a corrupt body
+// fails with ErrCorrupt instead of panicking or allocating past rawLen.
+func fastDecode(body []byte, rawLen int) ([]byte, error) {
+	out := make([]byte, 0, rawLen)
+	for len(body) > 0 {
+		tag := body[0]
+		body = body[1:]
+		v := int(tag >> 1)
+		extra := 0
+		if v == fastTagEscape {
+			e64, w := binary.Uvarint(body)
+			if w <= 0 || e64 > maxBlockPayload {
+				return nil, ErrCorrupt
+			}
+			body = body[w:]
+			extra = int(e64)
+		}
+		if tag&1 == 0 {
+			// Literal: tag carries n-1, the escape re-adds the bias.
+			run := v + 1
+			if v == fastTagEscape {
+				run = fastTagEscape + 1 + extra
+			}
+			if run > len(body) || len(out)+run > rawLen {
+				return nil, ErrCorrupt
+			}
+			out = append(out, body[:run]...)
+			body = body[run:]
+			continue
+		}
+		// Copy: tag carries length - fastMinMatch, unbiased.
+		l := v
+		if v == fastTagEscape {
+			l = fastTagEscape + extra
+		}
+		length := l + fastMinMatch
+		off, w := binary.Uvarint(body)
+		if w <= 0 {
+			return nil, ErrCorrupt
+		}
+		body = body[w:]
+		if off == 0 || off > uint64(len(out)) || len(out)+length > rawLen {
+			return nil, ErrCorrupt
+		}
+		// Byte-at-a-time so overlapping copies (offset < length, the RLE
+		// case) replay already-written output correctly.
+		pos := len(out) - int(off)
+		for j := 0; j < length; j++ {
+			out = append(out, out[pos+j])
+		}
+	}
+	if len(out) != rawLen {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

@@ -4,42 +4,74 @@
 // stream, then served by a Reader that supports point lookups (via a block
 // index and a Bloom filter) and ordered scans.
 //
-// # File format
+// # File format (version 3, "STBL003F")
 //
 // All integers are little-endian; varints use encoding/binary's uvarint.
 //
-//	file   := block* index bloom bounds footer
-//	block  := codec byte, body, crc32 (crc over codec+body)
-//	          codec 0: body is raw entries (up to BlockSize)
-//	          codec 1: body is DEFLATE-compressed entries
-//	entry  := seq uvarint
-//	          flags byte              (bit 0: tombstone)
-//	          keyLen uvarint  key
-//	          valLen uvarint  val     (omitted entirely when tombstone)
-//	index  := count uvarint
-//	          (firstKeyLen uvarint, firstKey, offset uvarint, length uvarint)*
-//	          crc32
-//	bloom  := filter bytes, crc32
-//	bounds := smallestLen uvarint, smallestKey,
-//	          largestLen uvarint, largestKey,
-//	          minSeq uvarint, maxSeq uvarint, crc32
-//	footer := indexOff u64, indexLen u64, bloomOff u64, bloomLen u64,
-//	          entryCount u64, keyBytes u64, valBytes u64,
-//	          boundsOff u64, boundsLen u64,
-//	          magic u64 (0x5354424c30303246 "STBL002F")
+//	file    := block* chunk* top-index bloom bounds footer
+//	block   := codec byte, rawLen uvarint, body, crc32
+//	           (crc over codec+rawLen+body; rawLen is the uncompressed
+//	           body length, bounding the decode allocation exactly)
+//	           codec 0: body is raw prefix-compressed entries
+//	           codec 1: body is DEFLATE-compressed entries
+//	           codec 2: body is fast-LZ-compressed entries (snappy-style)
+//	entries := entry* restartOff u32 × numRestarts, numRestarts u32
+//	entry   := sharedLen uvarint    (0 at restart points)
+//	           unsharedLen uvarint
+//	           seq uvarint
+//	           flags byte           (bit 0: tombstone)
+//	           unshared key bytes
+//	           valLen uvarint, val  (omitted entirely when tombstone)
+//	chunk   := count uvarint
+//	           (firstKeyLen uvarint, firstKey, offset uvarint, length uvarint)*
+//	           crc32
+//	top-index := chunkCount uvarint
+//	           (firstKeyLen uvarint, firstKey, chunkOff uvarint, chunkLen uvarint)*
+//	           crc32
+//	bloom   := filter bytes, crc32
+//	bounds  := smallestLen uvarint, smallestKey,
+//	           largestLen uvarint, largestKey,
+//	           minSeq uvarint, maxSeq uvarint, crc32
+//	footer  := indexOff u64, indexLen u64, bloomOff u64, bloomLen u64,
+//	           entryCount u64, keyBytes u64, valBytes u64,
+//	           boundsOff u64, boundsLen u64,
+//	           magic u64 (0x5354424c30303346 "STBL003F")
+//
+// Version 3 data blocks store keys with shared-prefix compression and end
+// in a restart-point offset array: every restartInterval-th entry is
+// written with a full key (sharedLen 0) and its offset recorded, so a
+// point lookup binary-searches the restart array to the right restart and
+// then walks at most one interval of entries instead of scanning the whole
+// block linearly. The block index is partitioned into fixed-size chunks
+// located by a small top-level index; Open materializes only the top
+// level, and each chunk is parsed lazily the first time a lookup or scan
+// lands in it, so opening a very large table no longer decodes its entire
+// index up front.
 //
 // # Footer versions
 //
-// Version 2 ("STBL002F", 80-byte footer) added the bounds block: the
-// table's smallest and largest key plus its sequence-number range, which
-// the engine's read path uses to prune point lookups to the tables whose
-// key range covers the probe and to stop probing once no remaining table
-// can hold a newer version. Version 1 ("STBL001F", 64-byte footer, no
-// bounds block) tables remain readable: the reader detects the old magic
-// and backfills the bounds at open time from the block index (smallest
-// key) and the last data block (largest key); the sequence range is
-// unknowable without a full scan, so it degrades to [0, MaxUint64], which
-// disables early exit for that table but never affects correctness.
+// Version 2 ("STBL002F", 80-byte footer) tables use the legacy block
+// format: entries stored back to back with full keys (no restart array),
+// block frames without the rawLen field, and a single flat index block:
+//
+//	blockV2 := codec byte, body, crc32
+//	entryV2 := seq uvarint, flags byte, keyLen uvarint, key
+//	           [valLen uvarint, val]
+//	indexV2 := count uvarint
+//	           (firstKeyLen uvarint, firstKey, offset uvarint, length uvarint)*
+//	           crc32
+//
+// Version 2 added the bounds block: the table's smallest and largest key
+// plus its sequence-number range, which the engine's read path uses to
+// prune point lookups to the tables whose key range covers the probe and
+// to stop probing once no remaining table can hold a newer version.
+// Version 1 ("STBL001F", 64-byte footer, no bounds block) tables remain
+// readable: the reader detects the old magic and backfills the bounds at
+// open time from the block index (smallest key) and the last data block
+// (largest key); the sequence range is unknowable without a full scan, so
+// it degrades to [0, MaxUint64], which disables early exit for that table
+// but never affects correctness. All three versions are distinguished by
+// the trailing footer magic and stay readable side by side.
 //
 // Per-block CRCs catch torn writes and bit rot; a corrupt block fails reads
 // with ErrCorrupt rather than returning wrong data.
@@ -55,9 +87,25 @@ import (
 	"io"
 )
 
-// BlockSize is the target uncompressed payload size of a data block.
-// Entries never span blocks; a block may exceed BlockSize by one entry.
+// BlockSize is the default target uncompressed payload size of a data
+// block. Entries never span blocks; a block may exceed the target by one
+// entry.
 const BlockSize = 4096
+
+// Table format versions, selected by WriterOptions.FormatVersion and
+// reported by Reader.FooterVersion.
+const (
+	// FormatV1 is the legacy 64-byte footer without a bounds block.
+	// Readable only; the Writer no longer produces it.
+	FormatV1 = 1
+	// FormatV2 is the legacy flat-index format with a bounds block.
+	FormatV2 = 2
+	// FormatV3 adds restart-point binary search, shared-prefix key
+	// encoding, per-block rawLen framing and the partitioned index.
+	FormatV3 = 3
+	// FormatLatest is the version new tables are written with by default.
+	FormatLatest = FormatV3
+)
 
 // Compression selects the data-block codec used by a Writer.
 type Compression int
@@ -70,30 +118,49 @@ const (
 	// that do not shrink are stored raw, so pathological inputs never pay
 	// a size penalty.
 	Flate
+	// Fast compresses each data block with the package's snappy-style
+	// byte-oriented LZ codec (see compress.go): much faster than Flate at
+	// a lower ratio. Version-3 tables only; a version-2 Writer silently
+	// degrades Fast to NoCompression because legacy readers know no such
+	// codec byte.
+	Fast
 )
 
 // codec byte values stored per block.
 const (
 	codecRaw   byte = 0
 	codecFlate byte = 1
+	codecFast  byte = 2
 )
 
-// maxBlockPayload caps a decompressed block; anything larger is treated as
-// corruption rather than allocated (a block only exceeds BlockSize by the
-// size of a single entry).
+// maxBlockPayload caps a decoded block for legacy (version 1 and 2)
+// codec-1 frames, which do not carry their uncompressed length: the cap
+// must stay generous because a block legitimately exceeds BlockSize by one
+// entry, and a single entry may hold a multi-megabyte value. Version-3
+// frames declare rawLen (covered by the block CRC), so their decode
+// allocates exactly the declared size and this worst-case cap is only a
+// backstop sanity bound on the declared value.
 const maxBlockPayload = 64 << 20
 
 // MagicV1 identifies a version-1 sstable file (no bounds block); it
 // spells "STBL001F".
 const MagicV1 uint64 = 0x5354424c30303146
 
-// Magic identifies a current (version 2) sstable file; it spells
-// "STBL002F". Version 2 appends a bounds block (key range and sequence
-// range) and extends the footer to locate it; see the package comment.
-const Magic uint64 = 0x5354424c30303246
+// MagicV2 identifies a version-2 sstable file; it spells "STBL002F".
+// Version 2 appends a bounds block (key range and sequence range) and
+// extends the footer to locate it; see the package comment.
+const MagicV2 uint64 = 0x5354424c30303246
+
+// Magic is retained as an alias for the version-2 magic for older callers.
+const Magic = MagicV2
+
+// MagicV3 identifies a current (version 3) sstable file; it spells
+// "STBL003F": restart-point blocks, prefix-compressed keys, partitioned
+// index. The footer layout is identical to version 2.
+const MagicV3 uint64 = 0x5354424c30303346
 
 // footerV1Size and footerSize are the fixed byte lengths of the version-1
-// and version-2 footers.
+// and version-2/3 footers.
 const (
 	footerV1Size = 8 * 8
 	footerSize   = 10 * 8
@@ -115,7 +182,13 @@ type footer struct {
 	boundsOff, boundsLen uint64 // zero on version-1 tables
 }
 
-func (f *footer) marshal() []byte {
+// marshal encodes the footer with the magic of the given format version
+// (2 or 3; both share the 80-byte layout).
+func (f *footer) marshal(version int) []byte {
+	magic := MagicV3
+	if version == FormatV2 {
+		magic = MagicV2
+	}
 	buf := make([]byte, footerSize)
 	binary.LittleEndian.PutUint64(buf[0:], f.indexOff)
 	binary.LittleEndian.PutUint64(buf[8:], f.indexLen)
@@ -126,23 +199,30 @@ func (f *footer) marshal() []byte {
 	binary.LittleEndian.PutUint64(buf[48:], f.valBytes)
 	binary.LittleEndian.PutUint64(buf[56:], f.boundsOff)
 	binary.LittleEndian.PutUint64(buf[64:], f.boundsLen)
-	binary.LittleEndian.PutUint64(buf[72:], Magic)
+	binary.LittleEndian.PutUint64(buf[72:], magic)
 	return buf
 }
 
-// unmarshalFooter decodes a version-2 (80-byte) or version-1 (64-byte)
+// unmarshalFooter decodes a version-3/2 (80-byte) or version-1 (64-byte)
 // footer, distinguished by the trailing magic, and reports which version
 // it found.
 func unmarshalFooter(buf []byte) (footer, int, error) {
 	var f footer
+	version := 0
 	switch {
-	case len(buf) == footerSize && binary.LittleEndian.Uint64(buf[72:]) == Magic:
-		f.boundsOff = binary.LittleEndian.Uint64(buf[56:])
-		f.boundsLen = binary.LittleEndian.Uint64(buf[64:])
+	case len(buf) == footerSize && binary.LittleEndian.Uint64(buf[72:]) == MagicV3:
+		version = FormatV3
+	case len(buf) == footerSize && binary.LittleEndian.Uint64(buf[72:]) == MagicV2:
+		version = FormatV2
 	case len(buf) == footerV1Size && binary.LittleEndian.Uint64(buf[56:]) == MagicV1:
 		// Version 1: no bounds block; the reader backfills bounds at open.
+		version = FormatV1
 	default:
 		return f, 0, ErrCorrupt
+	}
+	if version >= FormatV2 {
+		f.boundsOff = binary.LittleEndian.Uint64(buf[56:])
+		f.boundsLen = binary.LittleEndian.Uint64(buf[64:])
 	}
 	f.indexOff = binary.LittleEndian.Uint64(buf[0:])
 	f.indexLen = binary.LittleEndian.Uint64(buf[8:])
@@ -151,14 +231,11 @@ func unmarshalFooter(buf []byte) (footer, int, error) {
 	f.entryCount = binary.LittleEndian.Uint64(buf[32:])
 	f.keyBytes = binary.LittleEndian.Uint64(buf[40:])
 	f.valBytes = binary.LittleEndian.Uint64(buf[48:])
-	if len(buf) == footerV1Size {
-		return f, 1, nil
-	}
-	return f, 2, nil
+	return f, version, nil
 }
 
 // Bounds describes a table's key range and sequence-number range: the
-// pruning metadata the version-2 bounds block persists. Smallest and
+// pruning metadata the version-2+ bounds block persists. Smallest and
 // Largest are both inclusive; an empty table (possible when a compaction
 // drops every tombstone) has nil keys and a zero sequence range.
 type Bounds struct {
@@ -219,6 +296,13 @@ type blockHandle struct {
 	length   uint64 // payload length, excluding the trailing crc32
 }
 
+// chunkHandle locates one index chunk within a version-3 file.
+type chunkHandle struct {
+	firstKey []byte // first key of the chunk's first block
+	offset   uint64
+	length   uint64 // framed length including the trailing crc32
+}
+
 func appendChecksummed(dst, payload []byte) []byte {
 	dst = append(dst, payload...)
 	var crc [4]byte
@@ -238,38 +322,73 @@ func verifyChecksummed(buf []byte) ([]byte, error) {
 	return payload, nil
 }
 
-// encodeDataBlock frames a data block: codec byte + (possibly compressed)
-// body + crc32. Compression falls back to raw when it does not shrink the
-// body.
-func encodeDataBlock(entries []byte, compression Compression) ([]byte, error) {
-	body := entries
-	codec := codecRaw
-	if compression == Flate {
-		var buf bytes.Buffer
-		fw, err := flate.NewWriter(&buf, flate.BestSpeed)
-		if err != nil {
-			return nil, fmt.Errorf("sstable: flate: %w", err)
-		}
-		if _, err := fw.Write(entries); err != nil {
-			return nil, fmt.Errorf("sstable: compress: %w", err)
-		}
-		if err := fw.Close(); err != nil {
-			return nil, fmt.Errorf("sstable: compress: %w", err)
-		}
-		if buf.Len() < len(entries) {
-			body = buf.Bytes()
-			codec = codecFlate
-		}
-	}
-	framed := make([]byte, 0, 1+len(body)+4)
-	framed = append(framed, codec)
-	framed = append(framed, body...)
-	return appendChecksummed(nil, framed), nil
+// blockEncoder frames data blocks, owning the scratch buffers so a Writer
+// reuses one set of allocations across every block it emits (the seed
+// format built each frame twice: once into a fresh `framed` slice and then
+// again through appendChecksummed, costing two allocations and a full copy
+// per block on every flush and compaction).
+type blockEncoder struct {
+	fbuf bytes.Buffer  // flate output, reused across blocks
+	fw   *flate.Writer // reused flate encoder
+	fast []byte        // fast-codec output, reused across blocks
 }
 
-// decodeDataBlock validates and unwraps a checksummed data-block frame,
-// returning the raw entry bytes.
-func decodeDataBlock(buf []byte) ([]byte, error) {
+// appendBlock appends one framed data block (codec byte, version-3 rawLen,
+// body, crc32) to dst and returns the extended slice. Compression falls
+// back to raw when it does not shrink the body; Fast degrades to raw on
+// pre-v3 formats, whose readers know no such codec byte.
+func (e *blockEncoder) appendBlock(dst, entries []byte, compression Compression, version int) ([]byte, error) {
+	body := entries
+	codec := codecRaw
+	switch {
+	case compression == Flate:
+		e.fbuf.Reset()
+		if e.fw == nil {
+			fw, err := flate.NewWriter(&e.fbuf, flate.BestSpeed)
+			if err != nil {
+				return nil, fmt.Errorf("sstable: flate: %w", err)
+			}
+			e.fw = fw
+		} else {
+			e.fw.Reset(&e.fbuf)
+		}
+		if _, err := e.fw.Write(entries); err != nil {
+			return nil, fmt.Errorf("sstable: compress: %w", err)
+		}
+		if err := e.fw.Close(); err != nil {
+			return nil, fmt.Errorf("sstable: compress: %w", err)
+		}
+		if e.fbuf.Len() < len(entries) {
+			body = e.fbuf.Bytes()
+			codec = codecFlate
+		}
+	case compression == Fast && version >= FormatV3:
+		e.fast = fastAppendCompress(e.fast[:0], entries)
+		if len(e.fast) < len(entries) {
+			body = e.fast
+			codec = codecFast
+		}
+	}
+	start := len(dst)
+	dst = append(dst, codec)
+	if version >= FormatV3 {
+		dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	}
+	dst = append(dst, body...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(dst[start:], crcTable))
+	return append(dst, crc[:]...), nil
+}
+
+// decodeDataBlock validates and unwraps a checksummed data-block frame of
+// the given table format version, returning the raw entry bytes.
+//
+// The decode allocation cap is derived from the version: version-3 frames
+// declare their uncompressed length (under the frame CRC), so the decoder
+// allocates exactly that much and rejects any stream that produces more or
+// less; only legacy codec-1 (DEFLATE) frames, which carry no length, fall
+// back to the generous maxBlockPayload cap.
+func decodeDataBlock(buf []byte, version int) ([]byte, error) {
 	payload, err := verifyChecksummed(buf)
 	if err != nil {
 		return nil, err
@@ -278,20 +397,61 @@ func decodeDataBlock(buf []byte) ([]byte, error) {
 		return nil, ErrCorrupt
 	}
 	codec, body := payload[0], payload[1:]
-	switch codec {
-	case codecRaw:
-		return body, nil
-	case codecFlate:
-		fr := flate.NewReader(bytes.NewReader(body))
-		defer fr.Close()
-		out, err := io.ReadAll(io.LimitReader(fr, maxBlockPayload+1))
-		if err != nil {
+	if version < FormatV3 {
+		switch codec {
+		case codecRaw:
+			return body, nil
+		case codecFlate:
+			fr := flate.NewReader(bytes.NewReader(body))
+			defer fr.Close()
+			out, err := io.ReadAll(io.LimitReader(fr, maxBlockPayload+1))
+			if err != nil {
+				return nil, ErrCorrupt
+			}
+			if len(out) > maxBlockPayload {
+				return nil, ErrCorrupt
+			}
+			return out, nil
+		default:
 			return nil, ErrCorrupt
 		}
-		if len(out) > maxBlockPayload {
+	}
+	rawLen64, n := binary.Uvarint(body)
+	if n <= 0 || rawLen64 > maxBlockPayload {
+		return nil, ErrCorrupt
+	}
+	rawLen := int(rawLen64)
+	body = body[n:]
+	switch codec {
+	case codecRaw:
+		if len(body) != rawLen {
+			return nil, ErrCorrupt
+		}
+		return body, nil
+	case codecFlate:
+		// The writer stores blocks raw when compression does not shrink
+		// them, so a compressed body must be strictly smaller than its
+		// declared uncompressed size; anything else is corruption.
+		if len(body) >= rawLen {
+			return nil, ErrCorrupt
+		}
+		fr := flate.NewReader(bytes.NewReader(body))
+		defer fr.Close()
+		out := make([]byte, rawLen)
+		if _, err := io.ReadFull(fr, out); err != nil {
+			return nil, ErrCorrupt
+		}
+		// The stream must end exactly at rawLen.
+		var one [1]byte
+		if n, _ := fr.Read(one[:]); n != 0 {
 			return nil, ErrCorrupt
 		}
 		return out, nil
+	case codecFast:
+		if len(body) >= rawLen {
+			return nil, ErrCorrupt
+		}
+		return fastDecode(body, rawLen)
 	default:
 		return nil, ErrCorrupt
 	}

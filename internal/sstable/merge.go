@@ -32,6 +32,12 @@ func Merge(w io.Writer, dropTombstones bool, inputs ...*Reader) (MergeStats, err
 
 // MergeCompressed is Merge with a data-block codec for the output table.
 func MergeCompressed(w io.Writer, dropTombstones bool, compression Compression, inputs ...*Reader) (MergeStats, error) {
+	return MergeOpts(w, dropTombstones, WriterOptions{Compression: compression}, inputs...)
+}
+
+// MergeOpts is Merge with full writer options for the output table; input
+// tables of any format version merge into an output of the requested one.
+func MergeOpts(w io.Writer, dropTombstones bool, opts WriterOptions, inputs ...*Reader) (MergeStats, error) {
 	var stats MergeStats
 	children := make([]iterator.Iterator, len(inputs))
 	iters := make([]*Iter, len(inputs))
@@ -45,7 +51,7 @@ func MergeCompressed(w io.Writer, dropTombstones bool, compression Compression, 
 		expected += int(rd.EntryCount())
 	}
 	merged := iterator.NewDedup(iterator.NewMerging(children...), dropTombstones)
-	tw := NewWriterCompressed(w, expected, compression)
+	tw := NewWriterOpts(w, expected, opts)
 	if err := WriteAll(tw, merged); err != nil {
 		return stats, fmt.Errorf("sstable: merge: %w", err)
 	}

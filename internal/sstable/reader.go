@@ -32,7 +32,9 @@ type FilterMetrics struct {
 // Cache is the block-cache surface a Reader uses: satisfied by both the
 // single cache.LRU and the mutex-striped cache.Sharded. Get returns a
 // shared slice callers must not modify; Put transfers ownership of the
-// value to the cache.
+// value to the cache. Keys are (table ID, file offset) pairs; a version-3
+// table's data blocks and index chunks occupy disjoint offsets in the same
+// file, so the one key space covers both without collision.
 type Cache interface {
 	Get(k cache.Key) ([]byte, bool)
 	Put(k cache.Key, value []byte)
@@ -46,13 +48,20 @@ type Reader struct {
 	r       io.ReaderAt
 	size    int64
 	f       footer
-	version int // footer version: 1 (no bounds block) or 2
+	version int // footer version: 1 (no bounds block), 2, or 3
 	bounds  Bounds
-	index   []blockHandle
-	filter  *bloom.Filter
-	closer  io.Closer // non-nil when the Reader owns the underlying file
-	blocks  Cache
-	fm      *FilterMetrics
+	// index is the flat block index of a version-1/2 table; nil for
+	// version 3, whose index is partitioned.
+	index []blockHandle
+	// chunks is the version-3 top-level index; chunkData caches each
+	// chunk's parsed handles, loaded lazily the first time a lookup or
+	// scan lands in the chunk (open materializes only the top level).
+	chunks    []chunkHandle
+	chunkData []atomic.Pointer[[]blockHandle]
+	filter    *bloom.Filter
+	closer    io.Closer // non-nil when the Reader owns the underlying file
+	blocks    Cache
+	fm        *FilterMetrics
 }
 
 // NewReader opens a table stored in r, whose total length is size bytes.
@@ -63,7 +72,7 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 // NewReaderWithBounds is NewReader with externally persisted bounds (the
 // engine's manifest records each table's bounds): a version-1 table
 // adopts a valid hint instead of paying the backfill block read at open.
-// The hint is ignored for version-2 tables — their footer is
+// The hint is ignored for version-2+ tables — their footer is
 // authoritative — and a nil or implausible hint falls back to backfill.
 func NewReaderWithBounds(r io.ReaderAt, size int64, hint *Bounds) (*Reader, error) {
 	if size < footerV1Size {
@@ -76,9 +85,11 @@ func NewReaderWithBounds(r io.ReaderAt, size int64, hint *Bounds) (*Reader, erro
 		return nil, fmt.Errorf("sstable: read footer magic: %w", err)
 	}
 	fsize := int64(footerSize)
-	if magic := binary.LittleEndian.Uint64(magicBuf[:]); magic == MagicV1 {
+	switch binary.LittleEndian.Uint64(magicBuf[:]) {
+	case MagicV1:
 		fsize = footerV1Size
-	} else if magic != Magic {
+	case MagicV2, MagicV3:
+	default:
 		return nil, ErrCorrupt
 	}
 	if size < fsize {
@@ -99,7 +110,7 @@ func NewReaderWithBounds(r io.ReaderAt, size int64, hint *Bounds) (*Reader, erro
 		return length <= uint64(size) && off <= uint64(size)-length
 	}
 	if !inFile(f.indexOff, f.indexLen) || !inFile(f.bloomOff, f.bloomLen) ||
-		(version >= 2 && !inFile(f.boundsOff, f.boundsLen)) {
+		(version >= FormatV2 && !inFile(f.boundsOff, f.boundsLen)) {
 		return nil, ErrCorrupt
 	}
 	rd := &Reader{id: readerIDs.Add(1), r: r, size: size, f: f, version: version}
@@ -241,7 +252,7 @@ func (rd *Reader) readBlock(h blockHandle) ([]byte, *[]byte, error) {
 		recycle()
 		return nil, nil, fmt.Errorf("sstable: read block at %d: %w", h.offset, err)
 	}
-	payload, err := decodeDataBlock(buf)
+	payload, err := decodeDataBlock(buf, rd.version)
 	if err != nil {
 		recycle()
 		return nil, nil, err
@@ -254,11 +265,52 @@ func (rd *Reader) readBlock(h blockHandle) ([]byte, *[]byte, error) {
 	// A raw-codec payload aliases the pooled buffer; a compressed (or
 	// empty) payload is a fresh allocation, so its frame buffer recycles
 	// immediately and the payload itself becomes the pooled token.
-	if aliases := len(payload) > 0 && &payload[0] == &buf[1]; !aliases {
+	aliases := len(payload) > 0 && len(payload) <= len(buf)-4 &&
+		&payload[0] == &buf[len(buf)-4-len(payload)]
+	if !aliases {
 		recycle()
 		bp = &payload
 	}
 	return payload, bp, nil
+}
+
+// parseHandles decodes a run of block handles (a version-1/2 flat index
+// or one version-3 index chunk), validating every referenced block
+// against the file size.
+func (rd *Reader) parseHandles(payload []byte) ([]blockHandle, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	payload = payload[n:]
+	handles := make([]blockHandle, 0, count)
+	for i := uint64(0); i < count; i++ {
+		klen, n := binary.Uvarint(payload)
+		if n <= 0 || uint64(len(payload[n:])) < klen {
+			return nil, ErrCorrupt
+		}
+		payload = payload[n:]
+		key := payload[:klen:klen]
+		payload = payload[klen:]
+		off, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		payload = payload[n:]
+		length, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		payload = payload[n:]
+		// Like the footer regions: a block must lie within the file (its
+		// frame is length+4 bytes with the crc), or reads would allocate
+		// and read garbage-sized buffers. Ordered to avoid overflow.
+		if length > uint64(rd.size) || length+4 > uint64(rd.size) || off > uint64(rd.size)-(length+4) {
+			return nil, ErrCorrupt
+		}
+		handles = append(handles, blockHandle{firstKey: key, offset: off, length: length})
+	}
+	return handles, nil
 }
 
 func (rd *Reader) loadIndex() error {
@@ -266,12 +318,18 @@ func (rd *Reader) loadIndex() error {
 	if err != nil {
 		return err
 	}
+	if rd.version < FormatV3 {
+		rd.index, err = rd.parseHandles(payload)
+		return err
+	}
+	// Version 3: only the top-level chunk index materializes at open;
+	// each chunk's handles parse lazily in chunkHandles.
 	count, n := binary.Uvarint(payload)
 	if n <= 0 {
 		return ErrCorrupt
 	}
 	payload = payload[n:]
-	rd.index = make([]blockHandle, 0, count)
+	rd.chunks = make([]chunkHandle, 0, count)
 	for i := uint64(0); i < count; i++ {
 		klen, n := binary.Uvarint(payload)
 		if n <= 0 || uint64(len(payload[n:])) < klen {
@@ -290,15 +348,47 @@ func (rd *Reader) loadIndex() error {
 			return ErrCorrupt
 		}
 		payload = payload[n:]
-		// Like the footer regions: a block must lie within the file (its
-		// frame is length+4 bytes with the crc), or reads would allocate
-		// and read garbage-sized buffers. Ordered to avoid overflow.
-		if length > uint64(rd.size) || length+4 > uint64(rd.size) || off > uint64(rd.size)-(length+4) {
+		// A chunk frame needs at least its count varint and crc, and must
+		// lie within the file.
+		if length < 5 || length > uint64(rd.size) || off > uint64(rd.size)-length {
 			return ErrCorrupt
 		}
-		rd.index = append(rd.index, blockHandle{firstKey: key, offset: off, length: length})
+		rd.chunks = append(rd.chunks, chunkHandle{firstKey: key, offset: off, length: length})
 	}
+	rd.chunkData = make([]atomic.Pointer[[]blockHandle], len(rd.chunks))
 	return nil
+}
+
+// chunkHandles returns the block handles of chunk ci, parsing and caching
+// them on first use. For version-1/2 tables the flat index is the single
+// chunk. Concurrent first uses may both parse; the store is idempotent.
+func (rd *Reader) chunkHandles(ci int) ([]blockHandle, error) {
+	if rd.version < FormatV3 {
+		return rd.index, nil
+	}
+	if p := rd.chunkData[ci].Load(); p != nil {
+		return *p, nil
+	}
+	c := rd.chunks[ci]
+	payload, err := rd.readChecksummed(c.offset, c.length)
+	if err != nil {
+		return nil, err
+	}
+	handles, err := rd.parseHandles(payload)
+	if err != nil {
+		return nil, err
+	}
+	rd.chunkData[ci].Store(&handles)
+	return handles, nil
+}
+
+// numChunks reports how many index chunks the table has (1 for the flat
+// legacy index).
+func (rd *Reader) numChunks() int {
+	if rd.version < FormatV3 {
+		return 1
+	}
+	return len(rd.chunks)
 }
 
 func (rd *Reader) loadBloom() error {
@@ -315,14 +405,14 @@ func (rd *Reader) loadBloom() error {
 }
 
 // loadBounds populates the table's key/sequence bounds: from the bounds
-// block on version-2 tables; on version-1 tables from a valid persisted
+// block on version-2+ tables; on version-1 tables from a valid persisted
 // hint (the engine manifest's copy, sparing the backfill read) or else
 // backfilled from the data (smallest key from the block index, largest
 // key by scanning the final block; the sequence range is unknowable
 // without a full scan and degrades to [0, MaxUint64], which disables
 // seq-based early exit but never correctness).
 func (rd *Reader) loadBounds(hint *Bounds) error {
-	if rd.version >= 2 {
+	if rd.version >= FormatV2 {
 		payload, err := rd.readChecksummed(rd.f.boundsOff, rd.f.boundsLen)
 		if err != nil {
 			return err
@@ -390,8 +480,9 @@ func (rd *Reader) Bounds() (Bounds, bool) {
 }
 
 // FooterVersion reports the on-disk footer version the table was opened
-// with: 2 for current tables carrying a bounds block, 1 for legacy tables
-// whose bounds were backfilled at open.
+// with: 3 for current tables (restart-point blocks, partitioned index),
+// 2 for legacy flat-index tables carrying a bounds block, 1 for legacy
+// tables whose bounds were backfilled at open.
 func (rd *Reader) FooterVersion() int { return rd.version }
 
 // EntryCount returns the number of entries in the table.
@@ -407,13 +498,41 @@ func (rd *Reader) ValBytes() uint64 { return rd.f.valBytes }
 // quantity compaction counts as disk I/O when the table is read or written.
 func (rd *Reader) FileSize() uint64 { return uint64(rd.size) }
 
-// blockFor returns the index of the data block that could contain key.
-func (rd *Reader) blockFor(key []byte) int {
-	// First block whose firstKey > key, minus one.
-	i := sort.Search(len(rd.index), func(i int) bool {
-		return bytes.Compare(rd.index[i].firstKey, key) > 0
-	})
-	return i - 1
+// searchHandles returns the index of the last handle whose firstKey is
+// <= key, or -1 when key precedes every handle.
+func searchHandles(handles []blockHandle, key []byte) int {
+	return sort.Search(len(handles), func(i int) bool {
+		return bytes.Compare(handles[i].firstKey, key) > 0
+	}) - 1
+}
+
+// findBlockForKey locates the data block that could contain key: one
+// binary search over the flat index on legacy tables, or a top-level
+// chunk search plus an in-chunk search on version-3 tables.
+func (rd *Reader) findBlockForKey(key []byte) (blockHandle, bool, error) {
+	var zero blockHandle
+	if rd.version < FormatV3 {
+		bi := searchHandles(rd.index, key)
+		if bi < 0 {
+			return zero, false, nil
+		}
+		return rd.index[bi], true, nil
+	}
+	ci := sort.Search(len(rd.chunks), func(i int) bool {
+		return bytes.Compare(rd.chunks[i].firstKey, key) > 0
+	}) - 1
+	if ci < 0 {
+		return zero, false, nil
+	}
+	handles, err := rd.chunkHandles(ci)
+	if err != nil {
+		return zero, false, err
+	}
+	bi := searchHandles(handles, key)
+	if bi < 0 {
+		return zero, false, nil
+	}
+	return handles[bi], true, nil
 }
 
 // Get returns the entry for key, or ErrNotFound. The Bloom filter rejects
@@ -443,18 +562,39 @@ func (rd *Reader) GetEntry(key []byte) (iterator.Entry, bool, error) {
 	return e, owned, err
 }
 
+// copyEntryOut materializes an entry into one compact allocation so the
+// (much larger) block buffer it aliases can be recycled immediately
+// instead of escaping with the entry and starving the buffer pool.
+func copyEntryOut(e iterator.Entry) iterator.Entry {
+	kv := make([]byte, len(e.Key)+len(e.Value))
+	copy(kv, e.Key)
+	copy(kv[len(e.Key):], e.Value)
+	out := e
+	out.Key = kv[:len(e.Key):len(e.Key)]
+	if e.Value != nil {
+		out.Value = kv[len(e.Key):]
+	}
+	return out
+}
+
 // getPastFilter is the block-probing half of Get, after the Bloom filter
-// has said "maybe". A miss inside an exclusively owned block recycles the
-// block buffer — nothing from it escapes — which is what keeps the buffer
-// pool fed on the paths that need it (Bloom false positives and probes
-// for keys absent from their candidate block).
+// has said "maybe". An exclusively owned block buffer is recycled on every
+// outcome: a miss recycles it directly (nothing escapes), and a hit copies
+// the entry — a few dozen bytes — out of the block first. Returning block
+// buffers on hits is what keeps the pool fed on a read-heavy cacheless
+// workload; before that, every successful Get leaked its buffer to the
+// garbage collector and the pool stayed empty. On version-3 tables the
+// in-block probe binary-searches the restart array instead of scanning
+// the block linearly.
 func (rd *Reader) getPastFilter(key []byte) (iterator.Entry, bool, error) {
 	var zero iterator.Entry
-	bi := rd.blockFor(key)
-	if bi < 0 {
+	h, ok, err := rd.findBlockForKey(key)
+	if err != nil {
+		return zero, false, err
+	}
+	if !ok {
 		return zero, false, ErrNotFound
 	}
-	h := rd.index[bi]
 	payload, tok, err := rd.readBlock(h)
 	if err != nil {
 		return zero, false, err
@@ -465,6 +605,45 @@ func (rd *Reader) getPastFilter(key []byte) (iterator.Entry, bool, error) {
 		}
 		return zero, false, ErrNotFound
 	}
+	hit := func(e iterator.Entry) (iterator.Entry, bool, error) {
+		if tok == nil {
+			return e, false, nil
+		}
+		e = copyEntryOut(e)
+		putBlockBuf(tok)
+		return e, true, nil
+	}
+	if rd.version >= FormatV3 {
+		pb, err := parseV3Block(payload)
+		if err != nil {
+			return zero, false, err
+		}
+		var hd v3EntryHeader
+		err = searchV3Block(pb, key, &hd)
+		if err == ErrNotFound {
+			return miss()
+		}
+		if err != nil {
+			return zero, false, err
+		}
+		// A hit's key is byte-identical to the probe key; materialize the
+		// entry without ever reconstructing it from the prefix encoding.
+		if tok != nil {
+			kv := make([]byte, len(key)+len(hd.value))
+			copy(kv, key)
+			copy(kv[len(key):], hd.value)
+			e := iterator.Entry{Key: kv[:len(key):len(key)], Seq: hd.seq, Tombstone: hd.tombstone}
+			if hd.value != nil {
+				e.Value = kv[len(key):]
+			}
+			putBlockBuf(tok)
+			return e, true, nil
+		}
+		return iterator.Entry{
+			Key:   append([]byte(nil), key...),
+			Value: hd.value, Seq: hd.seq, Tombstone: hd.tombstone,
+		}, false, nil
+	}
 	for len(payload) > 0 {
 		e, rest, err := decodeEntry(payload)
 		if err != nil {
@@ -472,7 +651,7 @@ func (rd *Reader) getPastFilter(key []byte) (iterator.Entry, bool, error) {
 		}
 		switch bytes.Compare(e.Key, key) {
 		case 0:
-			return e, tok != nil, nil
+			return hit(e)
 		case 1:
 			return miss()
 		}
@@ -494,14 +673,17 @@ func (rd *Reader) IterFrom(start []byte) *Iter {
 	return it
 }
 
-// Iter iterates over a Reader's entries block by block.
+// Iter iterates over a Reader's entries block by block, chunk by chunk.
 type Iter struct {
-	rd    *Reader
-	block []byte
-	bi    int // next block to load
-	cur   iterator.Entry
-	valid bool
-	err   error
+	rd      *Reader
+	handles []blockHandle // block handles of the chunk being iterated
+	ci      int           // next chunk to load (handles == nil) or current+1
+	bi      int           // next block to load within handles
+	block   []byte        // remaining legacy-format block bytes
+	v3      *v3BlockIter  // current version-3 block
+	cur     iterator.Entry
+	valid   bool
+	err     error
 }
 
 // Err returns the first error encountered while iterating, if any; an
@@ -526,17 +708,38 @@ func (it *Iter) Next() {
 }
 
 // SeekGE repositions the iterator at the first entry with key >= target,
-// using the block index to skip earlier blocks.
+// using the chunk and block indexes to skip earlier blocks.
 func (it *Iter) SeekGE(target []byte) {
 	if it.err != nil {
 		return
 	}
-	bi := it.rd.blockFor(target)
+	if it.rd.numChunks() == 0 {
+		it.valid = false
+		return
+	}
+	ci := 0
+	if it.rd.version >= FormatV3 {
+		ci = sort.Search(len(it.rd.chunks), func(i int) bool {
+			return bytes.Compare(it.rd.chunks[i].firstKey, target) > 0
+		}) - 1
+		if ci < 0 {
+			ci = 0
+		}
+	}
+	handles, err := it.rd.chunkHandles(ci)
+	if err != nil {
+		it.err = err
+		return
+	}
+	bi := searchHandles(handles, target)
 	if bi < 0 {
 		bi = 0
 	}
-	it.block = nil
+	it.handles = handles
+	it.ci = ci + 1
 	it.bi = bi
+	it.block = nil
+	it.v3 = nil
 	it.valid = false
 	it.advance()
 	for it.valid && bytes.Compare(it.cur.Key, target) < 0 {
@@ -545,32 +748,76 @@ func (it *Iter) SeekGE(target []byte) {
 	}
 }
 
+// nextBlock loads the next data block, crossing into the next index chunk
+// as needed; it reports false at the end of the table or on error.
+func (it *Iter) nextBlock() bool {
+	for it.handles == nil || it.bi >= len(it.handles) {
+		if it.ci >= it.rd.numChunks() {
+			return false
+		}
+		handles, err := it.rd.chunkHandles(it.ci)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.handles = handles
+		it.ci++
+		it.bi = 0
+	}
+	h := it.handles[it.bi]
+	it.bi++
+	// Iterators never recycle owned blocks: entries alias the block
+	// until the caller moves past them, so ownership just falls to the
+	// garbage collector.
+	payload, _, err := it.rd.readBlock(h)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	if it.rd.version >= FormatV3 {
+		v3, err := newV3BlockIter(payload)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.v3 = v3
+	} else {
+		it.block = payload
+	}
+	return true
+}
+
 func (it *Iter) advance() {
 	if it.err != nil {
 		return
 	}
-	for len(it.block) == 0 {
-		if it.bi >= len(it.rd.index) {
+	for {
+		if it.rd.version >= FormatV3 {
+			if it.v3 != nil {
+				ok, err := it.v3.next(&it.cur)
+				if err != nil {
+					it.err = err
+					return
+				}
+				if ok {
+					it.valid = true
+					return
+				}
+				it.v3 = nil
+			}
+		} else if len(it.block) > 0 {
+			e, rest, err := decodeEntry(it.block)
+			if err != nil {
+				it.err = err
+				return
+			}
+			it.block = rest
+			it.cur = e
+			it.valid = true
 			return
 		}
-		h := it.rd.index[it.bi]
-		// Iterators never recycle owned blocks: entries alias the block
-		// until the caller moves past them, so ownership just falls to the
-		// garbage collector.
-		payload, _, err := it.rd.readBlock(h)
-		if err != nil {
-			it.err = err
+		if !it.nextBlock() {
 			return
 		}
-		it.block = payload
-		it.bi++
 	}
-	e, rest, err := decodeEntry(it.block)
-	if err != nil {
-		it.err = err
-		return
-	}
-	it.block = rest
-	it.cur = e
-	it.valid = true
 }

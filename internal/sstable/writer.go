@@ -10,15 +10,54 @@ import (
 	"repro/internal/iterator"
 )
 
+// DefaultIndexChunkSize is the number of block handles per index chunk in
+// a version-3 table. At the default block size a chunk covers ~1MiB of
+// data, so even multi-gigabyte tables open by materializing only a few
+// thousand top-level entries while each chunk parses lazily on first use.
+const DefaultIndexChunkSize = 256
+
+// WriterOptions configures table construction.
+type WriterOptions struct {
+	// Compression selects the data-block codec. The zero value stores
+	// blocks raw.
+	Compression Compression
+	// FormatVersion selects the table format: FormatV3 (the default when
+	// zero) or FormatV2 for compatibility tooling and tests. Version 1 is
+	// read-only.
+	FormatVersion int
+	// BlockSize overrides the target uncompressed data-block payload
+	// size; zero selects BlockSize.
+	BlockSize int
+	// IndexChunkSize overrides the number of block handles per index
+	// chunk (version 3 only); zero selects DefaultIndexChunkSize.
+	IndexChunkSize int
+}
+
+func (o WriterOptions) withDefaults() WriterOptions {
+	if o.FormatVersion == 0 {
+		o.FormatVersion = FormatLatest
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = BlockSize
+	}
+	if o.IndexChunkSize <= 0 {
+		o.IndexChunkSize = DefaultIndexChunkSize
+	}
+	return o
+}
+
 // Writer builds an sstable from entries added in strictly increasing key
 // order. Use one Writer per table; call Finish exactly once.
 type Writer struct {
-	w           io.Writer
-	off         uint64
-	compression Compression
+	w    io.Writer
+	off  uint64
+	opts WriterOptions
 
-	block    []byte // current block payload
-	blockKey []byte // first key of the current block
+	block    []byte       // current block payload (version <= 2)
+	bb       blockBuilder // current block (version 3)
+	blockKey []byte       // first key of the current block
+	frameBuf []byte       // reusable frame buffer, one allocation per table
+	enc      blockEncoder
 	index    []blockHandle
 	filter   *bloom.Filter
 
@@ -36,18 +75,24 @@ type Writer struct {
 // expectedEntries sizes the Bloom filter; an estimate is fine, and zero
 // selects a small default.
 func NewWriter(w io.Writer, expectedEntries int) *Writer {
-	return NewWriterCompressed(w, expectedEntries, NoCompression)
+	return NewWriterOpts(w, expectedEntries, WriterOptions{})
 }
 
 // NewWriterCompressed creates a Writer with the given data-block codec.
 func NewWriterCompressed(w io.Writer, expectedEntries int, compression Compression) *Writer {
+	return NewWriterOpts(w, expectedEntries, WriterOptions{Compression: compression})
+}
+
+// NewWriterOpts creates a Writer with full control over format version,
+// codec, block size and index chunking.
+func NewWriterOpts(w io.Writer, expectedEntries int, opts WriterOptions) *Writer {
 	if expectedEntries <= 0 {
 		expectedEntries = 1024
 	}
 	return &Writer{
-		w:           w,
-		compression: compression,
-		filter:      bloom.NewWithEstimates(uint64(expectedEntries), 0.01),
+		w:      w,
+		opts:   opts.withDefaults(),
+		filter: bloom.NewWithEstimates(uint64(expectedEntries), 0.01),
 	}
 }
 
@@ -75,18 +120,26 @@ func (w *Writer) Add(e iterator.Entry) error {
 	if e.Seq > w.maxSeq {
 		w.maxSeq = e.Seq
 	}
-	w.block = appendEntry(w.block, e)
+	var blockLen int
+	if w.opts.FormatVersion >= FormatV3 {
+		w.bb.add(e)
+		blockLen = w.bb.size()
+	} else {
+		w.block = appendEntry(w.block, e)
+		blockLen = len(w.block)
+	}
 	w.lastKey = append(w.lastKey[:0], e.Key...)
 	w.filter.Add(e.Key)
 	w.entryCount++
 	w.keyBytes += uint64(len(e.Key))
 	w.valBytes += uint64(len(e.Value))
-	if len(w.block) >= BlockSize {
+	if blockLen >= w.opts.BlockSize {
 		return w.flushBlock()
 	}
 	return nil
 }
 
+// appendEntry encodes one entry in the legacy (version <= 2) layout.
 func appendEntry(dst []byte, e iterator.Entry) []byte {
 	dst = binary.AppendUvarint(dst, e.Seq)
 	var flags byte
@@ -103,8 +156,8 @@ func appendEntry(dst []byte, e iterator.Entry) []byte {
 	return dst
 }
 
-// decodeEntry parses one entry from buf, returning it and the remaining
-// bytes. The returned entry aliases buf.
+// decodeEntry parses one legacy-layout entry from buf, returning it and
+// the remaining bytes. The returned entry aliases buf.
 func decodeEntry(buf []byte) (iterator.Entry, []byte, error) {
 	var e iterator.Entry
 	seq, n := binary.Uvarint(buf)
@@ -139,13 +192,26 @@ func decodeEntry(buf []byte) (iterator.Entry, []byte, error) {
 }
 
 func (w *Writer) flushBlock() error {
-	if len(w.block) == 0 {
-		return nil
+	var body []byte
+	if w.opts.FormatVersion >= FormatV3 {
+		if w.bb.empty() {
+			return nil
+		}
+		body = w.bb.finish()
+	} else {
+		if len(w.block) == 0 {
+			return nil
+		}
+		body = w.block
 	}
-	framed, err := encodeDataBlock(w.block, w.compression)
+	// Frame codec+body+crc in one pass into the Writer's reusable buffer:
+	// one allocation for the lifetime of the table instead of two
+	// allocations plus a full copy per block.
+	framed, err := w.enc.appendBlock(w.frameBuf[:0], body, w.opts.Compression, w.opts.FormatVersion)
 	if err != nil {
 		return err
 	}
+	w.frameBuf = framed
 	w.index = append(w.index, blockHandle{
 		firstKey: w.blockKey,
 		offset:   w.off,
@@ -155,8 +221,69 @@ func (w *Writer) flushBlock() error {
 		return fmt.Errorf("sstable: write block: %w", err)
 	}
 	w.off += uint64(len(framed))
+	w.bb.reset()
 	w.block = w.block[:0]
 	w.blockKey = nil
+	return nil
+}
+
+// appendHandles encodes a run of block handles in the index layout shared
+// by version-2 flat indexes and version-3 chunks.
+func appendHandles(dst []byte, handles []blockHandle) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(handles)))
+	for _, h := range handles {
+		dst = binary.AppendUvarint(dst, uint64(len(h.firstKey)))
+		dst = append(dst, h.firstKey...)
+		dst = binary.AppendUvarint(dst, h.offset)
+		dst = binary.AppendUvarint(dst, h.length)
+	}
+	return dst
+}
+
+// writeIndex emits the index and points f at it: a single flat block for
+// version 2, or fixed-size chunks plus a top-level chunk index for
+// version 3.
+func (w *Writer) writeIndex(f *footer) error {
+	if w.opts.FormatVersion < FormatV3 {
+		framed := appendChecksummed(nil, appendHandles(nil, w.index))
+		f.indexOff, f.indexLen = w.off, uint64(len(framed))
+		if _, err := w.w.Write(framed); err != nil {
+			return fmt.Errorf("sstable: write index: %w", err)
+		}
+		w.off += uint64(len(framed))
+		return nil
+	}
+	chunkSize := w.opts.IndexChunkSize
+	var chunks []chunkHandle
+	for start := 0; start < len(w.index); start += chunkSize {
+		end := start + chunkSize
+		if end > len(w.index) {
+			end = len(w.index)
+		}
+		framed := appendChecksummed(nil, appendHandles(nil, w.index[start:end]))
+		chunks = append(chunks, chunkHandle{
+			firstKey: w.index[start].firstKey,
+			offset:   w.off,
+			length:   uint64(len(framed)),
+		})
+		if _, err := w.w.Write(framed); err != nil {
+			return fmt.Errorf("sstable: write index chunk: %w", err)
+		}
+		w.off += uint64(len(framed))
+	}
+	top := binary.AppendUvarint(nil, uint64(len(chunks)))
+	for _, c := range chunks {
+		top = binary.AppendUvarint(top, uint64(len(c.firstKey)))
+		top = append(top, c.firstKey...)
+		top = binary.AppendUvarint(top, c.offset)
+		top = binary.AppendUvarint(top, c.length)
+	}
+	framed := appendChecksummed(nil, top)
+	f.indexOff, f.indexLen = w.off, uint64(len(framed))
+	if _, err := w.w.Write(framed); err != nil {
+		return fmt.Errorf("sstable: write index: %w", err)
+	}
+	w.off += uint64(len(framed))
 	return nil
 }
 
@@ -176,24 +303,12 @@ func (w *Writer) Finish() error {
 	f.keyBytes = w.keyBytes
 	f.valBytes = w.valBytes
 
-	// Index block.
-	var idx []byte
-	idx = binary.AppendUvarint(idx, uint64(len(w.index)))
-	for _, h := range w.index {
-		idx = binary.AppendUvarint(idx, uint64(len(h.firstKey)))
-		idx = append(idx, h.firstKey...)
-		idx = binary.AppendUvarint(idx, h.offset)
-		idx = binary.AppendUvarint(idx, h.length)
+	if err := w.writeIndex(&f); err != nil {
+		return err
 	}
-	framed := appendChecksummed(nil, idx)
-	f.indexOff, f.indexLen = w.off, uint64(len(framed))
-	if _, err := w.w.Write(framed); err != nil {
-		return fmt.Errorf("sstable: write index: %w", err)
-	}
-	w.off += uint64(len(framed))
 
 	// Bloom block.
-	framed = appendChecksummed(nil, w.filter.Marshal())
+	framed := appendChecksummed(nil, w.filter.Marshal())
 	f.bloomOff, f.bloomLen = w.off, uint64(len(framed))
 	if _, err := w.w.Write(framed); err != nil {
 		return fmt.Errorf("sstable: write bloom: %w", err)
@@ -213,7 +328,7 @@ func (w *Writer) Finish() error {
 	}
 	w.off += uint64(len(framed))
 
-	if _, err := w.w.Write(f.marshal()); err != nil {
+	if _, err := w.w.Write(f.marshal(w.opts.FormatVersion)); err != nil {
 		return fmt.Errorf("sstable: write footer: %w", err)
 	}
 	w.off += footerSize
