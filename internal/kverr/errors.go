@@ -24,4 +24,21 @@ var (
 	// ErrBatchTooLarge reports a write batch exceeding the engine's batch
 	// size limit; such a batch cannot commit as one atomic unit.
 	ErrBatchTooLarge = errors.New("kv: batch exceeds maximum batch size")
+
+	// ErrCorrupt reports on-disk damage detected by a checksum or
+	// structural validation failure — in an sstable block, a table footer,
+	// or a manifest referencing files that no longer exist. The engine
+	// quarantines the damaged file where it can; data covered only by the
+	// damaged region is gone, and callers must treat it as such rather
+	// than retry.
+	ErrCorrupt = errors.New("kv: corrupt data")
+
+	// ErrReadOnly reports that the engine has permanently degraded to
+	// read-only after a durability failure (a failed WAL or manifest
+	// fsync). Once an fsync fails the page cache can no longer be trusted,
+	// so instead of acknowledging writes it might lose, the engine rejects
+	// them. It is always wrapped together with the original cause. Reads
+	// and snapshots continue to work; recovery requires reopening the
+	// engine on a healthy disk.
+	ErrReadOnly = errors.New("kv: engine is read-only after durability failure")
 )

@@ -179,6 +179,10 @@ func decodeServerError(code ErrCode, msg string) error {
 		return fmt.Errorf("kvnet: server: %w", kverr.ErrStalled)
 	case CodeBatchTooLarge:
 		return fmt.Errorf("kvnet: server: %w", kverr.ErrBatchTooLarge)
+	case CodeCorrupt:
+		return fmt.Errorf("kvnet: server: %w", kverr.ErrCorrupt)
+	case CodeReadOnly:
+		return fmt.Errorf("kvnet: server: %w", kverr.ErrReadOnly)
 	case CodeCanceled:
 		return fmt.Errorf("kvnet: server: %w", context.Canceled)
 	case CodeDeadlineExceeded:

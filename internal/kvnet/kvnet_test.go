@@ -3,12 +3,14 @@ package kvnet
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/kverr"
 	"repro/internal/lsm"
 )
 
@@ -299,7 +301,8 @@ func TestProtocolRoundTrip(t *testing.T) {
 		{Status: StatusOK, Entries: []ScanEntry{{Key: []byte("a"), Value: []byte("1")}}},
 		{Status: StatusOK, Compact: &CompactInfo{TablesBefore: 3, Merges: 2, BytesRead: 10, BytesWritten: 5, CostActual: 7, DurationMicro: 99}},
 		{Status: StatusOK, Stats: &StatsInfo{Tables: 1, TableBytes: 2, MemtableKeys: 3, Flushes: 4, MinorCompactions: 5,
-			GroupCommits: 6, GroupedWrites: 7, WALSyncs: 8, WriteStalls: 9}},
+			GroupCommits: 6, GroupedWrites: 7, WALSyncs: 8, WriteStalls: 9,
+			ReadOnly: 1, QuarantinedTables: 2, CleanupFailures: 3}},
 	}
 	for _, resp := range resps {
 		got, err := DecodeResponse(EncodeResponse(resp))
@@ -382,5 +385,33 @@ func TestQuickProtocolRequests(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestDurabilityErrorCodesOverWire checks the two durability-taxonomy
+// errors survive the encode/decode round trip as errors.Is-able
+// sentinels: a corrupt read and a read-only engine must be programmable
+// against on the client exactly as they are in-process.
+func TestDurabilityErrorCodesOverWire(t *testing.T) {
+	cases := []struct {
+		in   error
+		code ErrCode
+		want error
+	}{
+		{fmt.Errorf("lsm: table x: %w", kverr.ErrCorrupt), CodeCorrupt, kverr.ErrCorrupt},
+		{fmt.Errorf("lsm: %w (cause: sync failed)", kverr.ErrReadOnly), CodeReadOnly, kverr.ErrReadOnly},
+	}
+	for _, tc := range cases {
+		resp := errResponse(tc.in)
+		if resp.Status != StatusError || resp.Code != tc.code {
+			t.Fatalf("errResponse(%v) = %+v, want code %d", tc.in, resp, tc.code)
+		}
+		got, err := DecodeResponse(EncodeResponse(resp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rehydrated := decodeServerError(got.Code, got.Err); !errors.Is(rehydrated, tc.want) {
+			t.Fatalf("decoded error %v does not match sentinel %v", rehydrated, tc.want)
+		}
 	}
 }

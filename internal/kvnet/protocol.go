@@ -65,6 +65,12 @@ const (
 	CodeBatchTooLarge
 	CodeCanceled
 	CodeDeadlineExceeded
+	// CodeCorrupt and CodeReadOnly travel the durability taxonomy: data
+	// failing integrity checks, and an engine that refuses writes after a
+	// durability failure. Appended past the original codes so the byte
+	// values of the existing ones are unchanged on the wire.
+	CodeCorrupt
+	CodeReadOnly
 )
 
 // MaxMessageSize bounds a single message; larger frames are rejected as
@@ -127,6 +133,13 @@ type StatsInfo struct {
 	GroupedWrites uint64
 	WALSyncs      uint64
 	WriteStalls   uint64
+	// ReadOnly is 1 when the engine has degraded to read-only after a
+	// durability failure. QuarantinedTables counts corrupt sstables
+	// renamed aside; CleanupFailures counts file removals that failed and
+	// left recoverable garbage behind.
+	ReadOnly          uint64
+	QuarantinedTables uint64
+	CleanupFailures   uint64
 }
 
 // Response is a decoded server response.
@@ -353,7 +366,8 @@ func EncodeResponse(resp Response) []byte {
 		out = append(out, 'S')
 		s := resp.Stats
 		for _, v := range []uint64{s.Tables, s.TableBytes, s.MemtableKeys, s.Flushes, s.MinorCompactions,
-			s.MajorCompactions, s.GroupCommits, s.GroupedWrites, s.WALSyncs, s.WriteStalls} {
+			s.MajorCompactions, s.GroupCommits, s.GroupedWrites, s.WALSyncs, s.WriteStalls,
+			s.ReadOnly, s.QuarantinedTables, s.CleanupFailures} {
 			out = binary.AppendUvarint(out, v)
 		}
 	case resp.Entries != nil:
@@ -435,7 +449,8 @@ func DecodeResponse(buf []byte) (Response, error) {
 	case 'S':
 		s := &StatsInfo{}
 		for _, dst := range []*uint64{&s.Tables, &s.TableBytes, &s.MemtableKeys, &s.Flushes, &s.MinorCompactions,
-			&s.MajorCompactions, &s.GroupCommits, &s.GroupedWrites, &s.WALSyncs, &s.WriteStalls} {
+			&s.MajorCompactions, &s.GroupCommits, &s.GroupedWrites, &s.WALSyncs, &s.WriteStalls,
+			&s.ReadOnly, &s.QuarantinedTables, &s.CleanupFailures} {
 			if *dst, buf, err = readUvarint(buf); err != nil {
 				return resp, err
 			}

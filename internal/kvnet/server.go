@@ -183,6 +183,10 @@ func errResponse(err error) Response {
 		code = CodeStalled
 	case errors.Is(err, kverr.ErrBatchTooLarge):
 		code = CodeBatchTooLarge
+	case errors.Is(err, kverr.ErrCorrupt):
+		code = CodeCorrupt
+	case errors.Is(err, kverr.ErrReadOnly):
+		code = CodeReadOnly
 	case errors.Is(err, context.Canceled):
 		code = CodeCanceled
 	case errors.Is(err, context.DeadlineExceeded):
@@ -275,20 +279,31 @@ func (s *Server) execute(ctx context.Context, req Request) Response {
 	case OpStats:
 		st := s.db.Stats()
 		return Response{Status: StatusOK, Stats: &StatsInfo{
-			Tables:           uint64(st.Tables),
-			TableBytes:       st.TableBytes,
-			MemtableKeys:     uint64(st.MemtableKeys),
-			Flushes:          uint64(st.Flushes),
-			MinorCompactions: uint64(st.MinorCompactions),
-			MajorCompactions: uint64(st.MajorCompactions),
-			GroupCommits:     st.GroupCommits,
-			GroupedWrites:    st.GroupedWrites,
-			WALSyncs:         st.WALSyncs,
-			WriteStalls:      uint64(st.WriteStalls),
+			Tables:            uint64(st.Tables),
+			TableBytes:        st.TableBytes,
+			MemtableKeys:      uint64(st.MemtableKeys),
+			Flushes:           uint64(st.Flushes),
+			MinorCompactions:  uint64(st.MinorCompactions),
+			MajorCompactions:  uint64(st.MajorCompactions),
+			GroupCommits:      st.GroupCommits,
+			GroupedWrites:     st.GroupedWrites,
+			WALSyncs:          st.WALSyncs,
+			WriteStalls:       uint64(st.WriteStalls),
+			ReadOnly:          boolWord(st.ReadOnly),
+			QuarantinedTables: uint64(st.QuarantinedTables),
+			CleanupFailures:   st.CleanupFailures,
 		}}
 	default:
 		return Response{Status: StatusError, Err: fmt.Sprintf("unknown op %d", req.Op)}
 	}
+}
+
+// boolWord encodes a flag as the wire's 0/1 word.
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // scanRange serves one bounded, limited page of entries in key order; the

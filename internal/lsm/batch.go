@@ -348,6 +348,10 @@ func (db *DB) commitGroup(group []*commitReq, doSync bool, stall *bool) error {
 		db.mu.Unlock()
 		return ErrClosed
 	}
+	if err := db.readOnlyErrLocked(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
 	n := 0
 	for _, r := range group {
 		n += r.batch.Len()
@@ -370,10 +374,28 @@ func (db *DB) commitGroup(group []*commitReq, doSync bool, stall *bool) error {
 	}
 	db.walRecs = recs[:0]
 	if err := log.AppendBatch(recs); err != nil {
+		// AppendBatch rolls the log back to its pre-call offset on failure.
+		// If that rollback itself failed the log is sticky-poisoned
+		// (log.Err() != nil): records may linger durably past the logical
+		// end, so the whole DB degrades to read-only. A clean rollback
+		// leaves the log valid and the write retryable.
+		if werr := log.Err(); werr != nil {
+			db.mu.Lock()
+			db.failDurabilityLocked(werr)
+			db.mu.Unlock()
+		}
 		return err
 	}
 	if doSync {
 		if err := log.Sync(); err != nil {
+			// The records were acked by the kernel but may not have reached
+			// stable media, and after a failed fsync the page cache state is
+			// unknowable (dirty pages may have been dropped). No future sync
+			// can retroactively make this group durable, so never ack it and
+			// never ack anything after it: poison durability permanently.
+			db.mu.Lock()
+			db.failDurabilityLocked(err)
+			db.mu.Unlock()
 			return err
 		}
 	}

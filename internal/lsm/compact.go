@@ -2,7 +2,6 @@ package lsm
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -118,6 +117,11 @@ func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResul
 		db.pipeMu.Unlock()
 		return nil, ErrClosed
 	}
+	if err := db.readOnlyErrLocked(); err != nil {
+		db.mu.Unlock()
+		db.pipeMu.Unlock()
+		return nil, err
+	}
 	db.setState(CompactionPlanning)
 	if err := db.flushLocked(); err != nil {
 		db.setState(CompactionIdle)
@@ -182,7 +186,9 @@ func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResul
 		for _, th := range created {
 			if th != nil {
 				th.rd.Close()
-				os.Remove(filepath.Join(db.dir, th.name))
+				if err := db.fs.Remove(filepath.Join(db.dir, th.name)); err != nil {
+					db.cleanupFails.Add(1)
+				}
 			}
 		}
 	}
@@ -237,8 +243,13 @@ func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResul
 		db.man.tables[i] = th.name
 	}
 	db.man.recordBounds(newTables)
-	if err := db.man.save(db.dir); err != nil {
+	if err := db.man.save(db.fs, db.dir); err != nil {
+		// The swap's manifest rewrite failed: the old manifest may no
+		// longer be trustworthy on disk. Keep the old in-memory table set
+		// and degrade to read-only — acknowledging further writes against
+		// an unverifiable manifest risks losing them.
 		db.man.tables = oldManTables
+		db.failDurabilityLocked(err)
 		db.mu.Unlock()
 		removeCreated()
 		return abort(err)
@@ -294,6 +305,9 @@ func (db *DB) MajorCompactBlocking(strategy string, k int, seed int64) (*Compact
 	if db.closed {
 		return nil, ErrClosed
 	}
+	if err := db.readOnlyErrLocked(); err != nil {
+		return nil, err
+	}
 	db.setState(CompactionPlanning)
 	defer db.setState(CompactionIdle)
 	start := time.Now()
@@ -341,7 +355,9 @@ func (db *DB) MajorCompactBlocking(strategy string, k int, seed int64) (*Compact
 		for _, th := range created {
 			if th != nil {
 				th.rd.Close()
-				os.Remove(filepath.Join(db.dir, th.name))
+				if rerr := db.fs.Remove(filepath.Join(db.dir, th.name)); rerr != nil {
+					db.cleanupFails.Add(1)
+				}
 			}
 		}
 		return nil, err
@@ -357,11 +373,14 @@ func (db *DB) MajorCompactBlocking(strategy string, k int, seed int64) (*Compact
 	oldManTables := db.man.tables
 	db.man.tables = []string{root.name}
 	db.man.recordBounds([]*tableHandle{root})
-	if err := db.man.save(db.dir); err != nil {
+	if err := db.man.save(db.fs, db.dir); err != nil {
 		db.man.tables = oldManTables
+		db.failDurabilityLocked(err)
 		for _, th := range created {
 			th.rd.Close()
-			os.Remove(filepath.Join(db.dir, th.name))
+			if rerr := db.fs.Remove(filepath.Join(db.dir, th.name)); rerr != nil {
+				db.cleanupFails.Add(1)
+			}
 		}
 		return nil, err
 	}
@@ -427,32 +446,39 @@ func (db *DB) executeSchedule(sched *compaction.Schedule, snap []*tableHandle, a
 		}
 		name := alloc()
 		path := filepath.Join(db.dir, name)
-		f, err := os.Create(path)
+		f, err := db.fs.Create(path)
 		if err != nil {
 			return fmt.Errorf("lsm: compaction output: %w", err)
+		}
+		// Failure cleanup mirrors flushLocked: close before remove, return
+		// the first error, count (never propagate) removal failures.
+		removeOutput := func() {
+			if rerr := db.fs.Remove(path); rerr != nil {
+				db.cleanupFails.Add(1)
+			}
 		}
 		dropTombstones := step.Output.ID == rootID
 		mstats, err := sstable.MergeOpts(f, dropTombstones, db.tableWriterOpts(), inputs...)
 		if err != nil {
 			f.Close()
-			os.Remove(path)
+			removeOutput()
 			return err
 		}
 		if err := f.Sync(); err != nil {
 			f.Close()
-			os.Remove(path)
+			removeOutput()
 			return err
 		}
 		if err := f.Close(); err != nil {
-			os.Remove(path)
-			return err
+			removeOutput()
+			return fmt.Errorf("lsm: close compaction output: %w", err)
 		}
 		rd, err := db.openTable(name)
 		if err != nil {
-			os.Remove(path)
+			removeOutput()
 			return err
 		}
-		nodes[step.Output.ID] = newTableHandle(name, rd, db.dir, 0)
+		nodes[step.Output.ID] = db.newTableHandle(name, rd, 0)
 		stats[i] = mstats
 		return nil
 	}

@@ -19,17 +19,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/iterator"
 	"repro/internal/kverr"
 	"repro/internal/memtable"
 	"repro/internal/sstable"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -51,6 +53,19 @@ var (
 
 	// ErrBatchTooLarge reports a WriteBatch larger than MaxBatchBytes.
 	ErrBatchTooLarge = kverr.ErrBatchTooLarge
+
+	// ErrCorrupt reports on-disk damage: a checksum-failing sstable block,
+	// or a manifest referencing files that no longer exist. A corrupt
+	// sstable detected at read time is quarantined (renamed aside and
+	// dropped from the live set) so the store keeps serving its healthy
+	// tables.
+	ErrCorrupt = kverr.ErrCorrupt
+
+	// ErrReadOnly reports a write rejected because the DB permanently
+	// degraded to read-only after a durability failure — a failed WAL or
+	// manifest fsync. The original cause is wrapped alongside it. Reads,
+	// scans and snapshots continue to work.
+	ErrReadOnly = kverr.ErrReadOnly
 )
 
 // Options tunes a DB. The zero value is usable.
@@ -91,6 +106,11 @@ type Options struct {
 	// compaction as if it crashed there. Intended for tests that need to
 	// wedge or fail the compactor at a deterministic point.
 	HookBeforeSwap func() error
+	// FS is the filesystem every durability-critical operation goes
+	// through: WAL and sstable creation, manifest rewrites, table reads,
+	// orphan cleanup. Nil selects the real OS filesystem (vfs.Default);
+	// tests substitute a vfs.Fault to inject disk failures.
+	FS vfs.FS
 	// WriteLoad, when non-nil, is a shared gauge of writers in flight
 	// across a family of related DBs — the shards of a store.Store. A
 	// group-commit leader consults the gauge (in place of this DB's own
@@ -114,6 +134,9 @@ func (o Options) withDefaults() Options {
 	if o.BlockCacheBytes == 0 {
 		o.BlockCacheBytes = DefaultBlockCacheBytes
 	}
+	if o.FS == nil {
+		o.FS = vfs.Default
+	}
 	return o
 }
 
@@ -127,6 +150,11 @@ type tableHandle struct {
 	name string
 	rd   *sstable.Reader
 	dir  string
+	// fs removes the table's file on last release; cleanupFails points at
+	// the owning DB's counter of removals that failed (the release can
+	// outlive the DB's locks, so the counter is shared by pointer).
+	fs           vfs.FS
+	cleanupFails *atomic.Uint64
 	// gen is the table-set generation that created this table.
 	gen  uint64
 	refs atomic.Int32
@@ -141,13 +169,20 @@ type tableHandle struct {
 	// obsolete marks a table that has been replaced by a compaction; its
 	// file is deleted when the reference count reaches zero.
 	obsolete atomic.Bool
+	// quarantined marks a table whose file was renamed aside after a
+	// corruption was detected reading it: the last release closes the
+	// reader but must not try to remove the (already renamed) file.
+	quarantined atomic.Bool
 	// compacting marks a table captured in a live major-compaction
 	// snapshot; minor compactions must not touch it. Guarded by DB.mu.
 	compacting bool
 }
 
-func newTableHandle(name string, rd *sstable.Reader, dir string, gen uint64) *tableHandle {
-	th := &tableHandle{name: name, rd: rd, dir: dir, gen: gen}
+func (db *DB) newTableHandle(name string, rd *sstable.Reader, gen uint64) *tableHandle {
+	th := &tableHandle{
+		name: name, rd: rd, dir: db.dir, gen: gen,
+		fs: db.fs, cleanupFails: &db.cleanupFails,
+	}
 	if b, ok := rd.Bounds(); ok {
 		th.smallest, th.largest = b.Smallest, b.Largest
 		th.minSeq, th.maxSeq = b.MinSeq, b.MaxSeq
@@ -160,14 +195,19 @@ func newTableHandle(name string, rd *sstable.Reader, dir string, gen uint64) *ta
 func (th *tableHandle) retain() { th.refs.Add(1) }
 
 // release drops one reference; the last release closes the reader and, if
-// the table was superseded, removes its file.
+// the table was superseded, removes its file. A removal failure is counted
+// (Stats.CleanupFailures) rather than dropped: the file is an orphan the
+// next Open will retry, but operators watching the counter can see disk
+// space leaking.
 func (th *tableHandle) release() {
 	if th.refs.Add(-1) != 0 {
 		return
 	}
 	th.rd.Close()
-	if th.obsolete.Load() {
-		os.Remove(filepath.Join(th.dir, th.name))
+	if th.obsolete.Load() && !th.quarantined.Load() {
+		if err := th.fs.Remove(filepath.Join(th.dir, th.name)); err != nil {
+			th.cleanupFails.Add(1)
+		}
 	}
 }
 
@@ -181,6 +221,18 @@ func releaseTables(tables []*tableHandle) {
 type DB struct {
 	dir  string
 	opts Options
+	// fs is opts.FS after defaulting: the filesystem all durability paths
+	// go through.
+	fs vfs.FS
+
+	// cleanupFails counts file removals that failed — orphan cleanup at
+	// Open, obsolete tables at last release, aborted flush/compaction
+	// outputs. Failures leave recoverable garbage (the next Open retries),
+	// so they are counted, not fatal.
+	cleanupFails atomic.Uint64
+	// ro is set once the DB degrades to read-only (see failDurabilityLocked);
+	// it mirrors roCause for lock-free checks.
+	ro atomic.Bool
 
 	blockCache *cache.Sharded // nil when disabled
 	// filterMetrics accumulates Bloom-filter outcomes across all table
@@ -242,6 +294,16 @@ type DB struct {
 	majorCompactions int
 	writeStalls      int
 	bgLastErr        error
+	// roCause is the durability failure that degraded the DB to read-only
+	// (nil while writable); quarantined counts corrupt tables renamed
+	// aside since Open. Both guarded by mu.
+	roCause     error
+	quarantined int
+	// bgRetries counts background-compaction attempts retried after a
+	// transient failure; bgFailures counts runs that exhausted their
+	// retry budget. Guarded by mu.
+	bgRetries  int
+	bgFailures int
 	// groupCommits, groupedWrites and walSyncs count commit-pipeline work:
 	// groups committed, records committed through groups, and WAL fsyncs
 	// issued, exposed through Stats (avg group size, syncs per write).
@@ -269,17 +331,20 @@ type DB struct {
 // crashed compaction left outside the manifest.
 func Open(dir string, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("lsm: mkdir: %w", err)
 	}
-	man, err := loadManifest(dir)
+	man, err := loadManifest(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	if err := removeOrphans(dir, man); err != nil {
+	orphanFails, err := removeOrphans(fsys, dir, man)
+	if err != nil {
 		return nil, err
 	}
-	db := &DB{dir: dir, opts: opts, man: man, mem: memtable.New(opts.Seed)}
+	db := &DB{dir: dir, opts: opts, fs: fsys, man: man, mem: memtable.New(opts.Seed)}
+	db.cleanupFails.Add(orphanFails)
 	db.stallCond = sync.NewCond(&db.mu)
 	db.hookBeforeSwap = opts.HookBeforeSwap
 	if opts.BlockCacheBytes > 0 {
@@ -296,15 +361,21 @@ func Open(dir string, opts Options) (*DB, error) {
 		rd, err := db.openTableWithBounds(name, hint)
 		if err != nil {
 			releaseTables(db.tables)
+			if errors.Is(err, fs.ErrNotExist) {
+				// The manifest promises a table the directory does not
+				// hold: the store is damaged, and the caller must learn it
+				// through the canonical taxonomy, not a bare *PathError.
+				return nil, fmt.Errorf("lsm: open table %s: %w (%w)", name, ErrCorrupt, err)
+			}
 			return nil, fmt.Errorf("lsm: open table %s: %w", name, err)
 		}
-		db.tables = append(db.tables, newTableHandle(name, rd, dir, 0))
+		db.tables = append(db.tables, db.newTableHandle(name, rd, 0))
 	}
 	// Recover the WAL, if present, into the fresh memtable.
 	walPath := filepath.Join(dir, "wal.log")
-	if _, err := os.Stat(walPath); err == nil {
+	if _, err := fsys.Stat(walPath); err == nil {
 		maxSeq := man.nextSeq
-		stats, err := wal.Replay(walPath, func(r wal.Record) error {
+		stats, err := wal.Replay(fsys, walPath, func(r wal.Record) error {
 			switch r.Op {
 			case wal.OpPut:
 				db.mem.Put(r.Key, r.Value, r.Seq)
@@ -326,7 +397,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		db.walRecovery = stats
 		man.nextSeq = maxSeq
 	}
-	log, err := wal.Create(walPath + ".new")
+	log, err := wal.Create(fsys, walPath+".new")
 	if err != nil {
 		releaseTables(db.tables)
 		return nil, err
@@ -374,7 +445,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		releaseTables(db.tables)
 		return nil, err
 	}
-	if err := os.Rename(walPath+".new", walPath); err != nil {
+	if err := fsys.Rename(walPath+".new", walPath); err != nil {
 		log.Close()
 		releaseTables(db.tables)
 		return nil, fmt.Errorf("lsm: swap wal: %w", err)
@@ -397,26 +468,29 @@ func Open(dir string, opts Options) (*DB, error) {
 // reference — the merge outputs of a compaction that crashed between
 // writing its files and committing the swap — plus any stale manifest temp
 // file. Recovery is thereby idempotent: reopening after a crash converges
-// to exactly the manifest's view of the store.
-func removeOrphans(dir string, man *manifest) error {
+// to exactly the manifest's view of the store. A removal that fails is
+// counted and skipped rather than failing Open: an undeletable orphan is
+// only leaked space, and the next Open retries it; quarantined files
+// (.sst.corrupt) are never touched.
+func removeOrphans(fsys vfs.FS, dir string, man *manifest) (failed uint64, err error) {
 	live := make(map[string]bool, len(man.tables))
 	for _, name := range man.tables {
 		live[name] = true
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
-		return fmt.Errorf("lsm: scan for orphans: %w", err)
+		return 0, fmt.Errorf("lsm: scan for orphans: %w", err)
 	}
 	for _, ent := range entries {
 		name := ent.Name()
 		orphanSST := strings.HasSuffix(name, ".sst") && !live[name]
 		if orphanSST || name == manifestName+".tmp" {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
-				return fmt.Errorf("lsm: remove orphan %s: %w", name, err)
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+				failed++
 			}
 		}
 	}
-	return nil
+	return failed, nil
 }
 
 // openTable opens an sstable file and attaches the shared block cache.
@@ -427,7 +501,7 @@ func (db *DB) openTable(name string) (*sstable.Reader, error) {
 // openTableWithBounds is openTable passing a persisted bounds hint from
 // the manifest; see sstable.OpenWithBounds.
 func (db *DB) openTableWithBounds(name string, hint *sstable.Bounds) (*sstable.Reader, error) {
-	rd, err := sstable.OpenWithBounds(filepath.Join(db.dir, name), hint)
+	rd, err := sstable.OpenFS(db.fs, filepath.Join(db.dir, name), hint)
 	if err != nil {
 		return nil, err
 	}
@@ -536,7 +610,7 @@ func (db *DB) maybeStallLocked(ctx context.Context) error {
 		})
 		defer stop()
 	}
-	for len(db.tables) >= db.bgCfg.Stall && !db.closed && db.bgLastErr == nil {
+	for len(db.tables) >= db.bgCfg.Stall && !db.closed && db.bgLastErr == nil && db.roCause == nil {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("%w: %w", ErrStalled, err)
 		}
@@ -557,11 +631,111 @@ func (db *DB) kickBackground() {
 	}
 }
 
+// failDurabilityLocked permanently degrades the DB to read-only, recording
+// cause. Called (under mu) when a WAL or manifest fsync fails — after a
+// failed fsync the kernel may have dropped the dirty pages, so nothing
+// later written could be trusted as durable, and acknowledging writes
+// would risk silently losing them. Reads keep working; every subsequent
+// write fails with ErrReadOnly wrapping the cause. Stalled writers are
+// released so they fail fast instead of hanging.
+func (db *DB) failDurabilityLocked(cause error) {
+	if db.roCause != nil {
+		return
+	}
+	db.roCause = cause
+	db.ro.Store(true)
+	db.stallCond.Broadcast()
+}
+
+// readOnlyErrLocked returns the composed read-only error, or nil while the
+// DB is writable. Callers hold mu.
+func (db *DB) readOnlyErrLocked() error {
+	if db.roCause == nil {
+		return nil
+	}
+	return fmt.Errorf("%w (cause: %w)", ErrReadOnly, db.roCause)
+}
+
+// ReadOnly reports whether the DB has degraded to read-only after a
+// durability failure, and the cause if so.
+func (db *DB) ReadOnly() (bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.roCause != nil, db.roCause
+}
+
+// quarantineTable handles a corruption detected while reading th: the
+// table leaves the live set and the manifest, and its file is renamed
+// aside (name.corrupt) for forensics — never silently deleted, never
+// probed again. The read that found the damage still fails with
+// ErrCorrupt; quarantining just stops the damage from wedging every later
+// read that lands on the same table. Tables captured in a live compaction
+// snapshot are skipped (the compaction owns their lifecycle and will fail
+// on its own read of the damage).
+func (db *DB) quarantineTable(th *tableHandle, cause error) {
+	db.mu.Lock()
+	if db.closed || th.compacting || th.quarantined.Load() {
+		db.mu.Unlock()
+		return
+	}
+	idx := -1
+	for i, t := range db.tables {
+		if t == th {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// Already superseded by a compaction; the obsolete path owns it.
+		db.mu.Unlock()
+		return
+	}
+	th.quarantined.Store(true)
+	db.tables = append(db.tables[:idx:idx], db.tables[idx+1:]...)
+	manTables := make([]string, 0, len(db.man.tables))
+	for _, name := range db.man.tables {
+		if name != th.name {
+			manTables = append(manTables, name)
+		}
+	}
+	db.man.tables = manTables
+	db.man.recordBounds(db.tables)
+	saveErr := db.man.save(db.fs, db.dir)
+	db.generation++
+	db.quarantined++
+	db.installViewLocked()
+	if saveErr != nil {
+		// The on-disk manifest still references the quarantined file, so
+		// the table-set change cannot be promised durable: degrade to
+		// read-only and leave the file under its manifest name for the
+		// next Open to sort out.
+		db.failDurabilityLocked(saveErr)
+	}
+	db.mu.Unlock()
+
+	if saveErr == nil {
+		path := filepath.Join(db.dir, th.name)
+		if err := db.fs.Rename(path, path+".corrupt"); err != nil {
+			db.cleanupFails.Add(1)
+		}
+	}
+	th.release() // the live set's reference
+}
+
 // backgroundCompactor is the maintenance goroutine: it waits for kicks from
 // the write path and runs non-blocking major compactions until the live
 // table count is back under the trigger threshold.
+// bgMaxRetries bounds how many times the background compactor retries a
+// failing compaction before giving up and surfacing the error; retries
+// back off exponentially from bgRetryBase.
+const (
+	bgMaxRetries = 3
+	bgRetryBase  = 10 * time.Millisecond
+)
+
 func (db *DB) backgroundCompactor() {
 	defer db.bgWG.Done()
+	retries := 0
 	for {
 		select {
 		case <-db.bgQuit:
@@ -572,26 +746,46 @@ func (db *DB) backgroundCompactor() {
 			db.mu.RLock()
 			n := len(db.tables)
 			closed := db.closed
+			readOnly := db.roCause != nil
 			db.mu.RUnlock()
-			if closed || n < db.bgCfg.Trigger {
+			if closed || readOnly || n < db.bgCfg.Trigger {
 				break
 			}
 			_, err := db.MajorCompact(db.bgCfg.Strategy, db.bgCfg.K, db.bgCfg.Seed)
 			if errors.Is(err, ErrClosed) {
 				return
 			}
+			if err != nil && !errors.Is(err, ErrReadOnly) && retries < bgMaxRetries {
+				// Transient failures (an injected I/O error, a momentary
+				// ENOSPC) get a bounded, backed-off retry before the error
+				// sticks and disables backpressure. Read-only degradation
+				// is permanent, so retrying it would just spin.
+				retries++
+				db.mu.Lock()
+				db.bgRetries++
+				db.mu.Unlock()
+				select {
+				case <-db.bgQuit:
+					return
+				case <-time.After(bgRetryBase << (retries - 1)):
+				}
+				continue
+			}
 			db.mu.Lock()
 			// A success clears any earlier transient failure so
-			// backpressure stalls re-arm; a failure records the error and
-			// releases stalled writers rather than hanging them.
+			// backpressure stalls re-arm; a failure that exhausted its
+			// retries records the error and releases stalled writers
+			// rather than hanging them.
 			db.bgLastErr = err
 			if err != nil {
+				db.bgFailures++
 				db.stallCond.Broadcast()
 			}
 			db.mu.Unlock()
 			if err != nil {
 				break
 			}
+			retries = 0
 		}
 	}
 }
@@ -631,7 +825,15 @@ func (db *DB) GetContext(ctx context.Context, key []byte) ([]byte, error) {
 		return nil, err
 	}
 	defer v.unpin()
-	return v.get(ctx, key)
+	val, bad, err := v.get(ctx, key)
+	if err != nil && bad != nil && errors.Is(err, ErrCorrupt) {
+		// A checksum mismatch in one table must not wedge the engine:
+		// quarantine the damaged file (rename aside, drop from the view)
+		// so later reads serve from the healthy tables. This read still
+		// reports the corruption.
+		db.quarantineTable(bad, err)
+	}
+	return val, err
 }
 
 // Flush forces the memtable to an sstable even if it is below threshold.
@@ -672,36 +874,70 @@ func (db *DB) flushLocked() error {
 	if db.mem.Len() == 0 {
 		return nil
 	}
+	if err := db.readOnlyErrLocked(); err != nil {
+		return err
+	}
 	name := fmt.Sprintf("%06d.sst", db.man.nextFileNum)
 	db.man.nextFileNum++
 	path := filepath.Join(db.dir, name)
-	f, err := os.Create(path)
+	f, err := db.fs.Create(path)
 	if err != nil {
 		return fmt.Errorf("lsm: create sstable: %w", err)
 	}
+	// Every failure before the manifest records the table aborts the
+	// flush cleanly: the partial file is closed before removal (removing
+	// an open file works on POSIX but masks close diagnostics), the first
+	// error is the one returned, and a failed removal is counted rather
+	// than allowed to shadow it. The memtable and WAL are untouched, so
+	// the flush simply retries later — nothing acknowledged is at risk.
+	abort := func(first error) error {
+		f.Close()
+		if rerr := db.fs.Remove(path); rerr != nil {
+			db.cleanupFails.Add(1)
+		}
+		return first
+	}
 	w := sstable.NewWriterOpts(f, db.mem.Len(), db.tableWriterOpts())
 	if err := sstable.WriteAll(w, db.mem.Iter()); err != nil {
-		f.Close()
-		os.Remove(path)
-		return err
+		return abort(err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+		return abort(err)
 	}
 	if err := f.Close(); err != nil {
-		return err
+		if rerr := db.fs.Remove(path); rerr != nil {
+			db.cleanupFails.Add(1)
+		}
+		return fmt.Errorf("lsm: close sstable: %w", err)
 	}
 	rd, err := db.openTable(name)
 	if err != nil {
+		if rerr := db.fs.Remove(path); rerr != nil {
+			db.cleanupFails.Add(1)
+		}
 		return err
 	}
 	// Newest first.
 	db.generation++
-	db.tables = append([]*tableHandle{newTableHandle(name, rd, db.dir, db.generation)}, db.tables...)
+	db.tables = append([]*tableHandle{db.newTableHandle(name, rd, db.generation)}, db.tables...)
 	db.man.tables = append([]string{name}, db.man.tables...)
 	db.man.recordBounds(db.tables)
-	if err := db.man.save(db.dir); err != nil {
+	if err := db.man.save(db.fs, db.dir); err != nil {
+		// The manifest rewrite (or its fsync) failed: the on-disk manifest
+		// may or may not reference the new table, so the table-set change
+		// cannot be promised durable. Roll the in-memory set back — the
+		// data is still safe in the memtable and WAL — and degrade to
+		// read-only rather than risk acknowledging writes against an
+		// untrustworthy manifest.
+		db.generation++
+		db.tables = db.tables[1:]
+		db.man.tables = db.man.tables[1:]
+		db.man.recordBounds(db.tables)
+		rd.Close()
+		if rerr := db.fs.Remove(path); rerr != nil {
+			db.cleanupFails.Add(1)
+		}
+		db.failDurabilityLocked(err)
 		return err
 	}
 	// The memtable is durable in the sstable now; start a fresh WAL.
@@ -717,13 +953,21 @@ func (db *DB) flushLocked() error {
 	return nil
 }
 
+// resetWALLocked starts a fresh WAL after a flush made the memtable
+// durable in an sstable. The new log is created before the old one is
+// closed: if creation fails, the old (still valid) writer stays in place
+// and the flush reports a retryable error instead of leaving the DB with
+// a closed log. The old log's close error is counted, not returned — its
+// contents are already durable in the just-flushed table.
 func (db *DB) resetWALLocked() error {
-	if err := db.log.Close(); err != nil {
-		return err
-	}
-	log, err := wal.Create(filepath.Join(db.dir, "wal.log"))
+	log, err := wal.Create(db.fs, filepath.Join(db.dir, "wal.log"))
 	if err != nil {
-		return err
+		return fmt.Errorf("lsm: reset wal: %w", err)
+	}
+	if db.log != nil {
+		if cerr := db.log.Close(); cerr != nil {
+			db.cleanupFails.Add(1)
+		}
 	}
 	db.log = log
 	return nil
@@ -811,7 +1055,10 @@ func (db *DB) RangeContext(ctx context.Context, start, end []byte, fn func(key, 
 }
 
 // RangeLoop drives a merged iterator through fn with periodic context
-// checks; shared by the single-shard and sharded scan paths.
+// checks; shared by the single-shard and sharded scan paths. When the
+// iterator ends it is checked for a deferred error (IterErr): a corrupt
+// block mid-scan surfaces as ErrCorrupt instead of masquerading as a
+// clean, short result.
 func RangeLoop(ctx context.Context, it iterator.Iterator, fn func(key, value []byte) error) error {
 	for n := 0; it.Valid(); it.Next() {
 		if n%rangeCtxCheckEvery == 0 {
@@ -825,7 +1072,43 @@ func RangeLoop(ctx context.Context, it iterator.Iterator, fn func(key, value []b
 			return err
 		}
 	}
+	return IterErr(it)
+}
+
+// IterErr returns the deferred error of an iterator that carries one (the
+// iterator.Iterator interface has no Err method; sources that can fail
+// mid-stream — sstable block reads — record the error and end early).
+func IterErr(it iterator.Iterator) error {
+	if ec, ok := it.(interface{ Err() error }); ok {
+		return ec.Err()
+	}
 	return nil
+}
+
+// errSourcedIter decorates a merged iterator with the Err() of its
+// children: the merging heap treats an erroring child as exhausted, which
+// silently truncates the stream; the decoration lets RangeLoop (and any
+// caller using IterErr) distinguish a clean end from a failed source.
+type errSourcedIter struct {
+	iterator.Iterator
+	sources []iterator.Iterator
+}
+
+func (it *errSourcedIter) Err() error {
+	for _, s := range it.sources {
+		if ec, ok := s.(interface{ Err() error }); ok {
+			if err := ec.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// withErrSources wraps it so IterErr reports the first deferred error of
+// any source.
+func withErrSources(it iterator.Iterator, sources []iterator.Iterator) iterator.Iterator {
+	return &errSourcedIter{Iterator: it, sources: sources}
 }
 
 // boundedIter truncates a sorted stream at an exclusive end key.
@@ -863,7 +1146,7 @@ func (db *DB) NewIterator(start, end []byte) (iterator.Iterator, func(), error) 
 	if end != nil {
 		it = &boundedIter{Iterator: it, end: end}
 	}
-	return it, func() { releaseTables(tables) }, nil
+	return withErrSources(it, children), func() { releaseTables(tables) }, nil
 }
 
 // Stats reports store state.
@@ -918,6 +1201,21 @@ type Stats struct {
 	// corrupt frame instead of a clean end-of-file: the store recovered a
 	// crash-truncated prefix rather than the full log.
 	WALRecoveryTruncated bool
+	// ReadOnly reports the DB has permanently degraded to read-only after
+	// a durability failure (a failed WAL or manifest fsync); writes fail
+	// with ErrReadOnly while reads continue.
+	ReadOnly bool
+	// QuarantinedTables counts corrupt sstables renamed aside (.corrupt)
+	// and dropped from the live set since Open.
+	QuarantinedTables int
+	// CleanupFailures counts file removals that failed — orphan cleanup,
+	// obsolete-table deletion, aborted flush or compaction outputs. Each
+	// is leaked-but-recoverable space the next Open retries.
+	CleanupFailures uint64
+	// BackgroundRetries counts background-compaction attempts retried
+	// after transient failures; BackgroundFailures counts runs that
+	// exhausted the retry budget and surfaced through BackgroundErr.
+	BackgroundRetries, BackgroundFailures int
 }
 
 // Stats returns a snapshot of store statistics.
@@ -944,6 +1242,12 @@ func (db *DB) Stats() Stats {
 		WALRecoveredBatches:  db.walRecovery.Batches,
 		WALRecoveredBytes:    db.walRecovery.GoodBytes,
 		WALRecoveryTruncated: db.walRecovery.Truncated,
+
+		ReadOnly:           db.roCause != nil,
+		QuarantinedTables:  db.quarantined,
+		CleanupFailures:    db.cleanupFails.Load(),
+		BackgroundRetries:  db.bgRetries,
+		BackgroundFailures: db.bgFailures,
 	}
 	if db.blockCache != nil {
 		st.BlockCacheHits, st.BlockCacheMisses, _ = db.blockCache.Stats()

@@ -1,0 +1,584 @@
+// Chaos harness for the disk-fault resilience contract. Every test here
+// drives an engine through a vfs.Fault filesystem and holds it to three
+// promises, at each layer of the stack (lsm.DB, store.Store, kv.Engine):
+//
+//  1. No acknowledged write is ever lost: an operation that returned nil
+//     under SyncWAL must read back after a crash and reopen.
+//  2. Every error that escapes is typed: one of the canonical sentinels
+//     (ErrNotFound, ErrClosed, ErrStalled, ErrReadOnly, ErrCorrupt,
+//     ErrBatchTooLarge), a context error, or the injected fault itself
+//     (vfs.ErrInjected, ENOSPC) — never an anonymous string.
+//  3. A write that hit a durability failure is never silently retried
+//     into an ack: after a failed WAL or manifest fsync the engine
+//     degrades to read-only and says so.
+//
+// The external test package lets the same harness run through the public
+// kv facade and the sharded store without an import cycle.
+package lsm_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/store"
+	"repro/internal/vfs"
+	"repro/kv"
+)
+
+// typedErr reports whether err belongs to the engine's public error
+// taxonomy. The chaos workload fails the test on any error for which this
+// is false: callers must be able to program against every failure.
+func typedErr(err error) bool {
+	for _, sentinel := range []error{
+		lsm.ErrNotFound, lsm.ErrClosed, lsm.ErrStalled, lsm.ErrReadOnly,
+		lsm.ErrCorrupt, lsm.ErrBatchTooLarge,
+		context.Canceled, context.DeadlineExceeded,
+		vfs.ErrInjected, syscall.ENOSPC,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// chaosKV is the slice of the engine API the workload exercises; adapters
+// below bind it to lsm.DB, store.Store and kv.Engine.
+type chaosKV interface {
+	Put(key, value []byte) error
+	Delete(key []byte) error
+	Get(key []byte) ([]byte, error)
+	Close() error
+}
+
+// keyModel tracks what the harness may legally observe for one key after
+// a crash. The final acknowledged operation must win unless a later
+// errored write overtook it: an errored write is allowed to surface (its
+// records can be durable in the WAL even though the writer got an error —
+// e.g. the group's fsync failed after the kernel took the data, or the
+// flush after a successful append failed) but is never required to.
+type keyModel struct {
+	ackedSet bool   // some operation on this key returned nil
+	ackedDel bool   // ... and the last such operation was a delete
+	acked    []byte // value of the last acknowledged put
+	// maybe holds values of errored puts issued after the last acked
+	// operation; maybeDel records an errored delete in that window.
+	maybe    [][]byte
+	maybeDel bool
+}
+
+func (m *keyModel) ackPut(v []byte) {
+	m.ackedSet, m.ackedDel, m.acked = true, false, append([]byte(nil), v...)
+	m.maybe, m.maybeDel = nil, false
+}
+
+func (m *keyModel) ackDelete() {
+	m.ackedSet, m.ackedDel, m.acked = true, true, nil
+	m.maybe, m.maybeDel = nil, false
+}
+
+func (m *keyModel) failPut(v []byte) { m.maybe = append(m.maybe, append([]byte(nil), v...)) }
+func (m *keyModel) failDelete()      { m.maybeDel = true }
+
+// check validates one observed (value, found) pair against the model.
+func (m *keyModel) check(val []byte, found bool) error {
+	if !found {
+		if m.ackedSet && !m.ackedDel && !m.maybeDel {
+			return fmt.Errorf("acknowledged value %q lost", m.acked)
+		}
+		return nil
+	}
+	if m.ackedSet && !m.ackedDel && bytes.Equal(val, m.acked) {
+		return nil
+	}
+	for _, v := range m.maybe {
+		if bytes.Equal(val, v) {
+			return nil
+		}
+	}
+	return fmt.Errorf("got %q, want acked %q (ackedSet=%v ackedDel=%v, %d maybe-values)",
+		val, m.acked, m.ackedSet, m.ackedDel, len(m.maybe))
+}
+
+// runChaos drives one seeded chaos round: a mixed workload against kvOpen
+// under randomized faults, then a simulated crash (faults off, close with
+// its error ignored), a reopen, and a full verification sweep.
+func runChaos(t *testing.T, seed int64, fault *vfs.Fault, kvOpen func() (chaosKV, error)) {
+	t.Helper()
+	const keySpace = 64
+	rng := rand.New(rand.NewSource(seed))
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%03d", i)) }
+
+	db, err := kvOpen()
+	if err != nil {
+		t.Fatalf("seed %d: open: %v", seed, err)
+	}
+
+	// Arm the faults only once the engine is up: the interesting failures
+	// are the ones that race live traffic, and the recovery path gets its
+	// own clean run at reopen below.
+	fault.SetProb(vfs.OpWrite, 0.02)
+	fault.SetProb(vfs.OpSync, 0.02)
+	fault.SetProb(vfs.OpCreate, 0.02)
+	fault.SetProb(vfs.OpRead, 0.01)
+	fault.SetProb(vfs.OpRename, 0.01)
+	fault.SetProb(vfs.OpRemove, 0.02)
+	fault.SetProb(vfs.OpSyncDir, 0.01)
+
+	model := make(map[string]*keyModel, keySpace)
+	mod := func(i int) *keyModel {
+		k := string(key(i))
+		if model[k] == nil {
+			model[k] = &keyModel{}
+		}
+		return model[k]
+	}
+	for op := 0; op < 300; op++ {
+		i := rng.Intn(keySpace)
+		switch r := rng.Float64(); {
+		case r < 0.70:
+			v := []byte(fmt.Sprintf("value-%03d-op%04d-%032d", i, op, op))
+			err := db.Put(key(i), v)
+			if err == nil {
+				mod(i).ackPut(v)
+			} else if !typedErr(err) {
+				t.Fatalf("seed %d op %d: untyped put error: %v", seed, op, err)
+			} else {
+				mod(i).failPut(v)
+			}
+		case r < 0.85:
+			err := db.Delete(key(i))
+			if err == nil {
+				mod(i).ackDelete()
+			} else if !typedErr(err) {
+				t.Fatalf("seed %d op %d: untyped delete error: %v", seed, op, err)
+			} else {
+				mod(i).failDelete()
+			}
+		default:
+			val, err := db.Get(key(i))
+			switch {
+			case err == nil:
+				if merr := mod(i).check(val, true); merr != nil {
+					t.Fatalf("seed %d op %d: live read of %s: %v", seed, op, key(i), merr)
+				}
+			case errors.Is(err, lsm.ErrNotFound):
+				if merr := mod(i).check(nil, false); merr != nil {
+					t.Fatalf("seed %d op %d: live read of %s: %v", seed, op, key(i), merr)
+				}
+			case !typedErr(err):
+				t.Fatalf("seed %d op %d: untyped get error: %v", seed, op, err)
+			}
+		}
+	}
+
+	// Crash: stop injecting, abandon whatever close can or cannot do, and
+	// recover from what actually reached the disk.
+	fault.Disable()
+	db.Close()
+	db, err = kvOpen()
+	if err != nil {
+		t.Fatalf("seed %d: reopen after chaos: %v", seed, err)
+	}
+	defer db.Close()
+
+	for i := 0; i < keySpace; i++ {
+		m := mod(i)
+		val, err := db.Get(key(i))
+		switch {
+		case err == nil:
+			if merr := m.check(val, true); merr != nil {
+				t.Errorf("seed %d: after reopen, %s: %v", seed, key(i), merr)
+			}
+		case errors.Is(err, lsm.ErrNotFound):
+			if merr := m.check(nil, false); merr != nil {
+				t.Errorf("seed %d: after reopen, %s: %v", seed, key(i), merr)
+			}
+		default:
+			t.Errorf("seed %d: after reopen, %s: unexpected error %v", seed, key(i), err)
+		}
+	}
+
+	// The reopened engine must be fully writable again: degradation is a
+	// property of an incarnation, not of the directory.
+	if err := db.Put([]byte("post-recovery-probe"), []byte("ok")); err != nil {
+		t.Fatalf("seed %d: write after recovery: %v", seed, err)
+	}
+	if got, err := db.Get([]byte("post-recovery-probe")); err != nil || string(got) != "ok" {
+		t.Fatalf("seed %d: read back after recovery: %q, %v", seed, got, err)
+	}
+}
+
+// chaosLSMOptions is the engine tuning every chaos round uses: synchronous
+// WAL so nil means durable, a tiny memtable so flushes (and their manifest
+// rewrites) happen constantly, and auto minor compaction so the compaction
+// machinery runs under fault too.
+func chaosLSMOptions(fault *vfs.Fault) lsm.Options {
+	return lsm.Options{
+		FS:            fault,
+		SyncWAL:       true,
+		MemtableBytes: 4 << 10,
+		AutoCompact:   lsm.ThresholdPolicy{},
+		Seed:          1,
+	}
+}
+
+func TestFaultChaosDB(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			fault := vfs.NewFault(vfs.Default, seed)
+			runChaos(t, seed, fault, func() (chaosKV, error) {
+				return lsm.Open(dir, chaosLSMOptions(fault))
+			})
+		})
+	}
+}
+
+// storeChaos adapts store.Store (whose Get/Put/Delete signatures already
+// match) — only present so the compiler checks the adaptation explicitly.
+type storeChaos struct{ *store.Store }
+
+func TestFaultChaosStore(t *testing.T) {
+	for seed := int64(11); seed <= 12; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			fault := vfs.NewFault(vfs.Default, seed)
+			runChaos(t, seed, fault, func() (chaosKV, error) {
+				st, err := store.Open(dir, store.Options{Shards: 2, Options: chaosLSMOptions(fault)})
+				if err != nil {
+					return nil, err
+				}
+				return storeChaos{st}, nil
+			})
+		})
+	}
+}
+
+// engineChaos adapts the context-aware kv.Engine to the harness.
+type engineChaos struct{ eng kv.Engine }
+
+func (e engineChaos) Put(k, v []byte) error        { return e.eng.Put(context.Background(), k, v) }
+func (e engineChaos) Delete(k []byte) error        { return e.eng.Delete(context.Background(), k) }
+func (e engineChaos) Get(k []byte) ([]byte, error) { return e.eng.Get(context.Background(), k) }
+func (e engineChaos) Close() error                 { return e.eng.Close() }
+
+func TestFaultChaosEngine(t *testing.T) {
+	seed := int64(21)
+	dir := t.TempDir()
+	fault := vfs.NewFault(vfs.Default, seed)
+	runChaos(t, seed, fault, func() (chaosKV, error) {
+		eng, err := kv.Open(dir,
+			kv.WithFS(fault),
+			kv.WithSyncWAL(),
+			kv.WithMemtableBytes(4<<10),
+			kv.WithAutoCompact("threshold"))
+		if err != nil {
+			return nil, err
+		}
+		return engineChaos{eng}, nil
+	})
+}
+
+// TestFaultChaosKillsDurabilityOnNthSync is the scripted heart of the
+// durability contract: exactly one WAL fsync fails, and the engine must
+// (a) error that write, (b) refuse every later write with ErrReadOnly,
+// (c) keep serving reads, and (d) hand back every previously acknowledged
+// write after a reopen. It must never ack a write whose sync failed.
+func TestFaultChaosKillsDurabilityOnNthSync(t *testing.T) {
+	dir := t.TempDir()
+	fault := vfs.NewFault(vfs.Default, 1)
+	open := func() (*lsm.DB, error) {
+		return lsm.Open(dir, lsm.Options{FS: fault, SyncWAL: true})
+	}
+	db, err := open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("acked-%02d", i)) }
+	for i := 0; i < 10; i++ {
+		if err := db.Put(key(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+
+	// With a large memtable no flush intervenes, so the next fsync the
+	// engine issues is the WAL sync of the next commit group.
+	fault.FailNthSync(1)
+	if err := db.Put([]byte("doomed"), []byte("never-acked")); err == nil {
+		t.Fatal("put with failed WAL fsync returned nil: acked a non-durable write")
+	} else if !typedErr(err) {
+		t.Fatalf("failed-sync write error is untyped: %v", err)
+	}
+
+	if err := db.Put([]byte("after"), []byte("x")); !errors.Is(err, lsm.ErrReadOnly) {
+		t.Fatalf("write after durability failure = %v, want ErrReadOnly", err)
+	}
+	if ro, cause := db.ReadOnly(); !ro || cause == nil {
+		t.Fatalf("ReadOnly() = %v, %v after failed fsync", ro, cause)
+	}
+	if !db.Stats().ReadOnly {
+		t.Fatal("Stats().ReadOnly = false after failed fsync")
+	}
+	// Reads ride through degradation.
+	if got, err := db.Get(key(3)); err != nil || string(got) != "v3" {
+		t.Fatalf("read while read-only: %q, %v", got, err)
+	}
+
+	fault.Disable()
+	db.Close()
+	db, err = open()
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		got, err := db.Get(key(i))
+		if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("acked write %d after reopen: %q, %v", i, got, err)
+		}
+	}
+	// The doomed write was never acknowledged; it may or may not have
+	// reached the log before the failed sync. Both outcomes are legal —
+	// what matters is it never displaced an acked value and reads stay
+	// typed.
+	if _, err := db.Get([]byte("doomed")); err != nil && !errors.Is(err, lsm.ErrNotFound) {
+		t.Fatalf("doomed key after reopen: %v", err)
+	}
+	if err := db.Put([]byte("fresh"), []byte("writable-again")); err != nil {
+		t.Fatalf("reopened engine not writable: %v", err)
+	}
+}
+
+// TestFaultENOSPCIsRetryable: running out of disk space must surface as a
+// typed, retryable error — the WAL rollback keeps the log valid, so the
+// engine does NOT degrade to read-only, and writes resume once space
+// frees up. Nothing acked before or after the outage may be lost.
+func TestFaultENOSPCIsRetryable(t *testing.T) {
+	dir := t.TempDir()
+	fault := vfs.NewFault(vfs.Default, 7)
+	db, err := lsm.Open(dir, lsm.Options{FS: fault, SyncWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("before"), []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.SetDiskFullAfter(0)
+	for i := 0; i < 3; i++ {
+		err := db.Put([]byte("full"), []byte("wedged"))
+		if err == nil {
+			t.Fatal("put on a full disk returned nil")
+		}
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("put on full disk = %v, want ENOSPC", err)
+		}
+	}
+	if ro, _ := db.ReadOnly(); ro {
+		t.Fatal("ENOSPC with a clean WAL rollback must not poison durability")
+	}
+
+	fault.SetDiskFullAfter(-1) // space freed
+	if err := db.Put([]byte("after"), []byte("resumed")); err != nil {
+		t.Fatalf("write after space freed: %v", err)
+	}
+
+	fault.Disable()
+	db.Close()
+	db, err = lsm.Open(dir, lsm.Options{FS: fault, SyncWAL: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db.Close()
+	for k, want := range map[string]string{"before": "kept", "after": "resumed"} {
+		if got, err := db.Get([]byte(k)); err != nil || string(got) != want {
+			t.Fatalf("%s after reopen: %q, %v", k, got, err)
+		}
+	}
+}
+
+// TestCorruptSSTableQuarantined flips a byte in a data block and checks
+// the read path's reaction: a typed ErrCorrupt, the table renamed aside
+// as .sst.corrupt and dropped from the live set (counted in Stats), and
+// an engine that keeps serving — degraded, not dead.
+func TestCorruptSSTableQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	// Negative cache so every probe reads the disk: a cached block would
+	// mask the corruption.
+	opts := lsm.Options{BlockCacheBytes: -1}
+	db, err := lsm.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("corrupt-key-%04d", i)) }
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), bytes.Repeat([]byte{byte('a' + i%26)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ssts, err := filepath.Glob(filepath.Join(dir, "*.sst"))
+	if err != nil || len(ssts) == 0 {
+		t.Fatalf("expected an sstable on disk, got %v (%v)", ssts, err)
+	}
+	raw, err := os.ReadFile(ssts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[16] ^= 0xff // inside the first data block; the footer stays intact
+	if err := os.WriteFile(ssts[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = lsm.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open with a corrupt data block (intact footer): %v", err)
+	}
+	defer db.Close()
+
+	sawCorrupt := false
+	for i := 0; i < n; i++ {
+		_, err := db.Get(key(i))
+		switch {
+		case err == nil || errors.Is(err, lsm.ErrNotFound):
+		case errors.Is(err, lsm.ErrCorrupt):
+			sawCorrupt = true
+		default:
+			t.Fatalf("get %d: untyped error under corruption: %v", i, err)
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("no read hit the flipped block; corruption never surfaced")
+	}
+
+	st := db.Stats()
+	if st.QuarantinedTables != 1 {
+		t.Fatalf("Stats().QuarantinedTables = %d, want 1", st.QuarantinedTables)
+	}
+	if corrupted, _ := filepath.Glob(filepath.Join(dir, "*.sst.corrupt")); len(corrupted) != 1 {
+		t.Fatalf("want exactly one quarantined .sst.corrupt file, found %v", corrupted)
+	}
+	if remaining, _ := filepath.Glob(filepath.Join(dir, "*.sst")); len(remaining) != 0 {
+		t.Fatalf("corrupt table still live under its manifest name: %v", remaining)
+	}
+
+	// Quarantine degrades, it does not kill: the engine still writes and
+	// reads, and the next open does not trip over the quarantined file.
+	if err := db.Put([]byte("alive"), []byte("yes")); err != nil {
+		t.Fatalf("write after quarantine: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = lsm.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("reopen after quarantine: %v", err)
+	}
+	defer db.Close()
+	if got, err := db.Get([]byte("alive")); err != nil || string(got) != "yes" {
+		t.Fatalf("post-quarantine write after reopen: %q, %v", got, err)
+	}
+}
+
+// TestOpenMissingTableTypedCorrupt: a manifest referencing an sstable
+// that no longer exists must fail Open with the typed ErrCorrupt, not a
+// bare fs.ErrNotExist the caller cannot classify.
+func TestOpenMissingTableTypedCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	db, err := lsm.Open(dir, lsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ssts, _ := filepath.Glob(filepath.Join(dir, "*.sst"))
+	if len(ssts) == 0 {
+		t.Fatal("no sstable to delete")
+	}
+	if err := os.Remove(ssts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lsm.Open(dir, lsm.Options{}); !errors.Is(err, lsm.ErrCorrupt) {
+		t.Fatalf("open with missing table = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestDoubleClose: the second Close reports ErrClosed and nothing worse.
+func TestDoubleClose(t *testing.T) {
+	db, err := lsm.Open(t.TempDir(), lsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := db.Close(); !errors.Is(err, lsm.ErrClosed) {
+		t.Fatalf("second close = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseRacesBackgroundCompaction closes the DB while concurrent
+// writers are feeding the background compactor. Whatever interleaving
+// happens, writers must only ever see typed errors and Close must return.
+// (The -race runs in CI are the other half of this test.)
+func TestCloseRacesBackgroundCompaction(t *testing.T) {
+	db, err := lsm.Open(t.TempDir(), lsm.Options{
+		MemtableBytes: 2 << 10,
+		Background:    &lsm.BackgroundConfig{Trigger: 2, Stall: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				k := []byte(fmt.Sprintf("w%d-key-%06d", w, i))
+				if err := db.Put(k, bytes.Repeat([]byte{'x'}, 128)); err != nil {
+					if !typedErr(err) {
+						t.Errorf("writer %d: untyped error racing close: %v", w, err)
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := db.Close(); err != nil {
+		t.Fatalf("close racing background compaction: %v", err)
+	}
+	wg.Wait()
+	if err := db.Put([]byte("late"), []byte("x")); !errors.Is(err, lsm.ErrClosed) {
+		t.Fatalf("write after close = %v, want ErrClosed", err)
+	}
+}

@@ -2,16 +2,17 @@ package lsm
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"repro/internal/sstable"
+	"repro/internal/vfs"
 )
 
 // manifest records the durable state of the store: the next file number and
@@ -49,18 +50,17 @@ func (m *manifest) recordBounds(handles []*tableHandle) {
 
 // loadManifest reads the manifest in dir, returning an empty manifest if
 // none exists yet.
-func loadManifest(dir string) (*manifest, error) {
+func loadManifest(fsys vfs.FS, dir string) (*manifest, error) {
 	m := &manifest{nextFileNum: 1, nextSeq: 1}
-	f, err := os.Open(filepath.Join(dir, manifestName))
-	if os.IsNotExist(err) {
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
 		return m, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("lsm: open manifest: %w", err)
 	}
-	defer f.Close()
 
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(bytes.NewReader(data))
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -121,8 +121,12 @@ func parseBoundsLine(rest string) (string, sstable.Bounds, error) {
 	return fields[0], b, nil
 }
 
-// save atomically persists the manifest into dir.
-func (m *manifest) save(dir string) error {
+// save atomically persists the manifest into dir through fsys: write a
+// temp file, fsync it, rename over the live name, fsync the directory. A
+// failure anywhere means the on-disk manifest cannot be trusted to match
+// the in-memory table set; callers committing a table-set change must
+// treat it as a durability failure.
+func (m *manifest) save(fsys vfs.FS, dir string) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# lsm manifest\nnext-file %d\nnext-seq %d\n", m.nextFileNum, m.nextSeq)
 	for _, t := range m.tables {
@@ -133,11 +137,11 @@ func (m *manifest) save(dir string) error {
 		}
 	}
 	tmp := filepath.Join(dir, manifestName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("lsm: write manifest: %w", err)
 	}
-	if _, err := f.WriteString(b.String()); err != nil {
+	if _, err := f.Write([]byte(b.String())); err != nil {
 		f.Close()
 		return fmt.Errorf("lsm: write manifest: %w", err)
 	}
@@ -148,25 +152,15 @@ func (m *manifest) save(dir string) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("lsm: close manifest: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		return fmt.Errorf("lsm: rename manifest: %w", err)
 	}
 	// The rename is only durable once the directory entry is flushed; a
 	// compaction swap that skipped this could survive a crash with the old
-	// manifest naming deleted tables.
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so renames within it are durable. Platforms
-// that refuse to fsync directories (some network filesystems) degrade to
-// no-op rather than failing the commit.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("lsm: open dir for sync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+	// manifest naming deleted tables. (Platforms that refuse to fsync
+	// directories degrade to no-op inside SyncDir rather than failing the
+	// commit.)
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("lsm: sync dir: %w", err)
 	}
 	return nil

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -179,7 +180,7 @@ func TestGroupCommitCrashRecovery(t *testing.T) {
 	// Recover the batch commit order straight from the log.
 	var order []string
 	seen := make(map[string]bool)
-	if _, err := wal.Replay(filepath.Join(dir, "wal.log"), func(r wal.Record) error {
+	if _, err := wal.Replay(vfs.Default, filepath.Join(dir, "wal.log"), func(r wal.Record) error {
 		if tag := batchTag(r.Key); !seen[tag] {
 			seen[tag] = true
 			order = append(order, tag)

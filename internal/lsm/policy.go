@@ -2,7 +2,6 @@ package lsm
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"time"
@@ -264,22 +263,29 @@ func (db *DB) minorCompactLocked(policy CompactionPolicy) (*MinorCompactionResul
 	name := fmt.Sprintf("%06d.sst", db.man.nextFileNum)
 	db.man.nextFileNum++
 	path := filepath.Join(db.dir, name)
-	f, err := os.Create(path)
+	f, err := db.fs.Create(path)
 	if err != nil {
 		return nil, false, fmt.Errorf("lsm: minor compaction output: %w", err)
+	}
+	removeOutput := func() {
+		if rerr := db.fs.Remove(path); rerr != nil {
+			db.cleanupFails.Add(1)
+		}
 	}
 	stats, err := sstable.MergeOpts(f, false, db.tableWriterOpts(), inputs...)
 	if err != nil {
 		f.Close()
-		os.Remove(path)
+		removeOutput()
 		return nil, false, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		removeOutput()
 		return nil, false, err
 	}
 	if err := f.Close(); err != nil {
-		return nil, false, err
+		removeOutput()
+		return nil, false, fmt.Errorf("lsm: close minor compaction output: %w", err)
 	}
 	rd, err := db.openTable(name)
 	if err != nil {
@@ -302,7 +308,7 @@ func (db *DB) minorCompactLocked(policy CompactionPolicy) (*MinorCompactionResul
 	for i, th := range db.tables {
 		switch {
 		case i == newest:
-			kept = append(kept, newTableHandle(name, rd, db.dir, db.generation+1))
+			kept = append(kept, db.newTableHandle(name, rd, db.generation+1))
 			removed = append(removed, th)
 		case seen[i]:
 			removed = append(removed, th)
@@ -316,10 +322,11 @@ func (db *DB) minorCompactLocked(policy CompactionPolicy) (*MinorCompactionResul
 		db.man.tables[i] = th.name
 	}
 	db.man.recordBounds(kept)
-	if err := db.man.save(db.dir); err != nil {
+	if err := db.man.save(db.fs, db.dir); err != nil {
 		db.man.tables = oldManTables
+		db.failDurabilityLocked(err)
 		rd.Close()
-		os.Remove(path)
+		removeOutput()
 		return nil, false, err
 	}
 	db.tables = kept

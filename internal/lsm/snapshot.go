@@ -84,7 +84,11 @@ func (s *Snapshot) GetContext(ctx context.Context, key []byte) ([]byte, error) {
 		}
 		return append([]byte(nil), e.Value...), nil
 	}
-	return probeTables(ctx, s.byseq, key)
+	// The offending table of a failed probe is dropped here: a snapshot
+	// has no DB to quarantine through, and its caller still gets the
+	// typed corruption error.
+	val, _, err := probeTables(ctx, s.byseq, key)
+	return val, err
 }
 
 // NewIterator returns an iterator over the snapshot's live entries with
@@ -128,5 +132,5 @@ func (s *Snapshot) NewIterator(start, end []byte) (iterator.Iterator, func(), er
 	if end != nil {
 		it = &boundedIter{Iterator: it, end: end}
 	}
-	return it, func() { releaseTables(tables) }, nil
+	return withErrSources(it, children), func() { releaseTables(tables) }, nil
 }

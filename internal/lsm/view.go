@@ -121,13 +121,13 @@ func (db *DB) pinView() (*readView, error) {
 // get serves a point read against the pinned view: memtable first (the
 // newest version of a key lives there if anywhere), then the sstables in
 // descending max-sequence order with key-range pruning and early exit.
-func (v *readView) get(ctx context.Context, key []byte) ([]byte, error) {
+func (v *readView) get(ctx context.Context, key []byte) ([]byte, *tableHandle, error) {
 	if e, ok := v.mem.Get(key); ok {
 		if e.Tombstone {
-			return nil, ErrNotFound
+			return nil, nil, ErrNotFound
 		}
 		// The memtable buffer is shared with future flushes: copy.
-		return append([]byte(nil), e.Value...), nil
+		return append([]byte(nil), e.Value...), nil, nil
 	}
 	return probeTables(ctx, v.byseq, key)
 }
@@ -138,8 +138,10 @@ func (v *readView) get(ctx context.Context, key []byte) ([]byte, error) {
 // sequence s is found, the probe stops at the first table whose maxSeq is
 // at or below s (no later table can hold anything newer). ctx is
 // re-checked between per-table probes, so a cancelled caller stops after
-// at most one table's disk read.
-func probeTables(ctx context.Context, tables []*tableHandle, key []byte) ([]byte, error) {
+// at most one table's disk read. On a probe failure the offending table
+// is returned alongside the error, so the DB-level caller can quarantine
+// a table whose blocks fail their checksums.
+func probeTables(ctx context.Context, tables []*tableHandle, key []byte) ([]byte, *tableHandle, error) {
 	var (
 		bestSeq   uint64
 		bestVal   []byte
@@ -157,7 +159,7 @@ func probeTables(ctx context.Context, tables []*tableHandle, key []byte) ([]byte
 		}
 		if checkCtx {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		e, owned, err := th.rd.GetEntry(key)
@@ -165,22 +167,22 @@ func probeTables(ctx context.Context, tables []*tableHandle, key []byte) ([]byte
 			continue
 		}
 		if err != nil {
-			return nil, err
+			return nil, th, err
 		}
 		if !foundAny || e.Seq > bestSeq {
 			foundAny, bestSeq, bestVal, bestTomb, bestOwned = true, e.Seq, e.Value, e.Tombstone, owned
 		}
 	}
 	if !foundAny || bestTomb {
-		return nil, ErrNotFound
+		return nil, nil, ErrNotFound
 	}
 	if bestOwned {
 		// The winning entry aliases a block buffer owned exclusively by
 		// this probe (read outside the block cache): hand it to the caller
 		// without the defensive copy.
-		return bestVal, nil
+		return bestVal, nil, nil
 	}
-	return append([]byte(nil), bestVal...), nil
+	return append([]byte(nil), bestVal...), nil, nil
 }
 
 // contains reports whether key falls inside the table's [smallest,

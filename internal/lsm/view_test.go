@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/vfs"
 )
 
 // TestReadsProgressWhileMuHeldExclusively is the acceptance check for the
@@ -430,7 +432,7 @@ func TestProbeTablesContextCancelled(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer v.unpin()
-	if _, err := probeTables(ctx, v.byseq, []byte("key-1")); err != context.Canceled {
+	if _, _, err := probeTables(ctx, v.byseq, []byte("key-1")); err != context.Canceled {
 		t.Fatalf("probeTables with cancelled ctx err = %v, want context.Canceled", err)
 	}
 	// And through the public face.
@@ -456,7 +458,7 @@ func TestManifestBoundsRoundTrip(t *testing.T) {
 	if err := db.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	man, err := loadManifest(dir)
+	man, err := loadManifest(vfs.Default, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

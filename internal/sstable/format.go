@@ -85,6 +85,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"repro/internal/kverr"
 )
 
 // BlockSize is the default target uncompressed payload size of a data
@@ -166,8 +168,10 @@ const (
 	footerSize   = 10 * 8
 )
 
-// ErrCorrupt reports a structurally invalid or checksum-failing table.
-var ErrCorrupt = errors.New("sstable: corrupt table")
+// ErrCorrupt reports a structurally invalid or checksum-failing table. It
+// aliases the canonical kverr.ErrCorrupt so corruption detected down here
+// satisfies errors.Is at every layer above, including across the wire.
+var ErrCorrupt = kverr.ErrCorrupt
 
 // ErrNotFound reports a key absent from the table.
 var ErrNotFound = errors.New("sstable: key not found")

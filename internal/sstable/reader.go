@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/bloom"
 	"repro/internal/cache"
 	"repro/internal/iterator"
+	"repro/internal/vfs"
 )
 
 // readerIDs hands each Reader a unique ID for block-cache keying.
@@ -134,7 +134,13 @@ func Open(path string) (*Reader, error) {
 // OpenWithBounds is Open taking a persisted bounds hint; see
 // NewReaderWithBounds.
 func OpenWithBounds(path string, hint *Bounds) (*Reader, error) {
-	file, err := os.Open(path)
+	return OpenFS(vfs.Default, path, hint)
+}
+
+// OpenFS is OpenWithBounds reading through fsys, so tests can serve table
+// reads from a fault-injecting filesystem.
+func OpenFS(fsys vfs.FS, path string, hint *Bounds) (*Reader, error) {
+	file, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/iterator"
 	"repro/internal/lsm"
+	"repro/internal/vfs"
 )
 
 // markerName is the file in the store root recording the shard count. The
@@ -73,8 +74,8 @@ type Store struct {
 }
 
 // readMarker parses the persisted shard count, returning 0 when absent.
-func readMarker(dir string) (int, error) {
-	data, err := os.ReadFile(filepath.Join(dir, markerName))
+func readMarker(fsys vfs.FS, dir string) (int, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, markerName))
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
 	}
@@ -92,9 +93,9 @@ func readMarker(dir string) (int, error) {
 // fsync-dir — the same sequence the engine's manifest uses, so a crash
 // leaves either no marker or a complete one, never a torn file that would
 // refuse every subsequent Open.
-func writeMarker(dir string, n int) error {
+func writeMarker(fsys vfs.FS, dir string, n int) error {
 	tmp := filepath.Join(dir, markerName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("store: write shard marker: %w", err)
 	}
@@ -109,15 +110,10 @@ func writeMarker(dir string, n int) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: close shard marker: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, markerName)); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, markerName)); err != nil {
 		return fmt.Errorf("store: rename shard marker: %w", err)
 	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("store: sync store dir: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("store: sync store dir: %w", err)
 	}
 	return nil
@@ -127,7 +123,12 @@ func writeMarker(dir string, n int) error {
 // marker). Callers deciding between a plain lsm.DB and a Store — the kv
 // façade's Open — use it to adopt whatever the directory already is.
 func IsSharded(dir string) (bool, error) {
-	n, err := readMarker(dir)
+	return IsShardedFS(vfs.Default, dir)
+}
+
+// IsShardedFS is IsSharded reading through fsys.
+func IsShardedFS(fsys vfs.FS, dir string) (bool, error) {
+	n, err := readMarker(fsys, dir)
 	return n > 0, err
 }
 
@@ -135,19 +136,24 @@ func IsSharded(dir string) (bool, error) {
 // manifest is only cut at the first flush, so a store whose acknowledged
 // data still lives entirely in its WAL must be recognized too — missing it
 // would re-initialize the directory and silently lose those writes.
-func legacyLayout(dir string) (bool, error) {
+func legacyLayout(fsys vfs.FS, dir string) (bool, error) {
 	for _, name := range []string{"MANIFEST", "wal.log"} {
-		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+		if _, err := fsys.Stat(filepath.Join(dir, name)); err == nil {
 			return true, nil
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return false, fmt.Errorf("store: probe %s: %w", name, err)
 		}
 	}
-	ssts, err := filepath.Glob(filepath.Join(dir, "*.sst"))
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return false, fmt.Errorf("store: probe sstables: %w", err)
 	}
-	return len(ssts) > 0, nil
+	for _, ent := range ents {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".sst") {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // Open opens (creating if necessary) a sharded store rooted at dir, with
@@ -157,10 +163,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("store: negative shard count %d", opts.Shards)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.Default
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: mkdir: %w", err)
 	}
-	persisted, err := readMarker(dir)
+	persisted, err := readMarker(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +185,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		// is written, so the directory keeps working with plain lsm.Open
 		// too. Re-sharding it would strand its data, so a shard count
 		// above 1 is refused.
-		isLegacy, err := legacyLayout(dir)
+		isLegacy, err := legacyLayout(fsys, dir)
 		if err != nil {
 			return nil, err
 		}
@@ -255,7 +265,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 	if writeMarkerAfterOpen {
-		if err := writeMarker(dir, n); err != nil {
+		if err := writeMarker(fsys, dir, n); err != nil {
 			closeAll()
 			return nil, err
 		}
@@ -624,6 +634,14 @@ func Aggregate(shardStats []lsm.Stats) lsm.Stats {
 		agg.WALRecoveredBatches += st.WALRecoveredBatches
 		agg.WALRecoveredBytes += st.WALRecoveredBytes
 		agg.WALRecoveryTruncated = agg.WALRecoveryTruncated || st.WALRecoveryTruncated
+		// Fault-resilience counters: a store is read-only for writes once
+		// any shard is (a cross-shard batch touching that shard fails), so
+		// the aggregate ORs the flag; the rest are summable.
+		agg.ReadOnly = agg.ReadOnly || st.ReadOnly
+		agg.QuarantinedTables += st.QuarantinedTables
+		agg.CleanupFailures += st.CleanupFailures
+		agg.BackgroundRetries += st.BackgroundRetries
+		agg.BackgroundFailures += st.BackgroundFailures
 	}
 	return agg
 }

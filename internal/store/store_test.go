@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/lsm"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -258,7 +259,7 @@ func TestStoreCrashRecoveryPerShard(t *testing.T) {
 		}
 		walData[sh] = data
 		expect[sh] = make(map[string]int)
-		if _, err := wal.Replay(path, func(r wal.Record) error {
+		if _, err := wal.Replay(vfs.Default, path, func(r wal.Record) error {
 			tag := batchTag(r.Key)
 			if expect[sh][tag] == 0 {
 				orders[sh] = append(orders[sh], tag)

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/vfs"
 )
 
 // frameFor builds a valid frame around recs, for seeding the fuzzer.
@@ -40,7 +42,7 @@ func FuzzReplay(f *testing.F) {
 			t.Fatal(err)
 		}
 		n := 0
-		st, err := Replay(path, func(r Record) error {
+		st, err := Replay(vfs.Default, path, func(r Record) error {
 			if r.Op != OpPut && r.Op != OpDelete {
 				t.Fatalf("replay surfaced invalid op %d", r.Op)
 			}

@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+	"math"
+
+	"repro/internal/vfs"
 )
 
 // Op is the kind of logged operation.
@@ -107,16 +109,16 @@ func decodeRecord(payload []byte) (Record, []byte, error) {
 // the log would silently cut off every later (even fsynced and
 // acknowledged) record at replay, which stops at the first damaged frame.
 type Writer struct {
-	f    *os.File
+	f    vfs.File
 	size int64
 	buf  []byte    // reusable frame encode buffer
 	one  [1]Record // scratch so Append doesn't allocate a slice
 	err  error     // sticky: the log tail is no longer trustworthy
 }
 
-// Create opens (truncating) a new log file at path.
-func Create(path string) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+// Create opens (truncating) a new log file at path through fsys.
+func Create(fsys vfs.FS, path string) (*Writer, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create: %w", err)
 	}
@@ -219,13 +221,14 @@ type ReplayStats struct {
 // The returned stats report the recovered count, the byte offset of the
 // surviving prefix, and whether replay stopped at damage, letting callers
 // surface truncated recoveries instead of mistaking them for clean ones.
-func Replay(path string, fn func(Record) error) (ReplayStats, error) {
+func Replay(fsys vfs.FS, path string, fn func(Record) error) (ReplayStats, error) {
 	var st ReplayStats
-	f, err := os.Open(path)
+	rf, err := fsys.Open(path)
 	if err != nil {
 		return st, fmt.Errorf("wal: open for replay: %w", err)
 	}
-	defer f.Close()
+	defer rf.Close()
+	f := io.NewSectionReader(rf, 0, math.MaxInt64)
 
 	var (
 		header  [frameHeader]byte

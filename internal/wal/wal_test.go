@@ -8,11 +8,13 @@ import (
 	"path/filepath"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/vfs"
 )
 
 func writeLog(t *testing.T, path string, recs []Record) {
 	t.Helper()
-	w, err := Create(path)
+	w, err := Create(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +34,7 @@ func writeLog(t *testing.T, path string, recs []Record) {
 func replayAll(t *testing.T, path string) ([]Record, ReplayStats) {
 	t.Helper()
 	var got []Record
-	st, err := Replay(path, func(r Record) error {
+	st, err := Replay(vfs.Default, path, func(r Record) error {
 		got = append(got, r)
 		return nil
 	})
@@ -83,7 +85,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 
 func TestAppendBatchRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "log")
-	w, err := Create(path)
+	w, err := Create(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +131,7 @@ func TestAppendBatchRoundTrip(t *testing.T) {
 func TestBatchAtomicOnTornTail(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "log")
-	w, err := Create(path)
+	w, err := Create(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +186,7 @@ func TestEmptyLog(t *testing.T) {
 }
 
 func TestReplayMissingFile(t *testing.T) {
-	_, err := Replay(filepath.Join(t.TempDir(), "nope"), func(Record) error { return nil })
+	_, err := Replay(vfs.Default, filepath.Join(t.TempDir(), "nope"), func(Record) error { return nil })
 	if err == nil {
 		t.Errorf("replay of missing file succeeded")
 	}
@@ -266,7 +268,7 @@ func TestReplayCallbackError(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "log")
 	writeLog(t, path, []Record{{Op: OpPut, Seq: 1, Key: []byte("k"), Value: []byte("v")}})
 	sentinel := errors.New("stop")
-	_, err := Replay(path, func(Record) error { return sentinel })
+	_, err := Replay(vfs.Default, path, func(Record) error { return sentinel })
 	if !errors.Is(err, sentinel) {
 		t.Errorf("Replay err = %v, want sentinel", err)
 	}
@@ -274,7 +276,7 @@ func TestReplayCallbackError(t *testing.T) {
 
 func TestWriterSize(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "log")
-	w, err := Create(path)
+	w, err := Create(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +299,7 @@ func TestWriterSize(t *testing.T) {
 // discard them.
 func TestSyncFailurePoisonsWriter(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "log")
-	w, err := Create(path)
+	w, err := Create(vfs.Default, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +330,7 @@ func TestQuickRoundTrip(t *testing.T) {
 	f := func(keys [][]byte, dels []bool) bool {
 		i++
 		path := filepath.Join(dir, fmt.Sprintf("log-%d", i))
-		w, err := Create(path)
+		w, err := Create(vfs.Default, path)
 		if err != nil {
 			return false
 		}
@@ -347,7 +349,7 @@ func TestQuickRoundTrip(t *testing.T) {
 			return false
 		}
 		var got []Record
-		if _, err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		if _, err := Replay(vfs.Default, path, func(r Record) error { got = append(got, r); return nil }); err != nil {
 			return false
 		}
 		if len(got) != len(want) {
@@ -378,7 +380,7 @@ func TestQuickBatchSplit(t *testing.T) {
 			recs[j] = Record{Op: OpPut, Seq: uint64(j), Key: k, Value: []byte{byte(j)}}
 		}
 		batched := filepath.Join(dir, fmt.Sprintf("b-%d", i))
-		w, err := Create(batched)
+		w, err := Create(vfs.Default, batched)
 		if err != nil {
 			return false
 		}
@@ -400,7 +402,7 @@ func TestQuickBatchSplit(t *testing.T) {
 			return false
 		}
 		var got []Record
-		if _, err := Replay(batched, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		if _, err := Replay(vfs.Default, batched, func(r Record) error { got = append(got, r); return nil }); err != nil {
 			return false
 		}
 		if len(got) != len(recs) {
@@ -420,7 +422,7 @@ func TestQuickBatchSplit(t *testing.T) {
 
 func BenchmarkAppend(b *testing.B) {
 	path := filepath.Join(b.TempDir(), "log")
-	w, err := Create(path)
+	w, err := Create(vfs.Default, path)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -440,7 +442,7 @@ func BenchmarkAppendBatch(b *testing.B) {
 	for _, size := range []int{8, 64} {
 		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
 			path := filepath.Join(b.TempDir(), "log")
-			w, err := Create(path)
+			w, err := Create(vfs.Default, path)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -464,7 +466,7 @@ func BenchmarkAppendBatch(b *testing.B) {
 
 func BenchmarkReplay(b *testing.B) {
 	path := filepath.Join(b.TempDir(), "log")
-	w, err := Create(path)
+	w, err := Create(vfs.Default, path)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -481,7 +483,7 @@ func BenchmarkReplay(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st, err := Replay(path, func(Record) error { return nil })
+		st, err := Replay(vfs.Default, path, func(Record) error { return nil })
 		if err != nil || st.Records != n {
 			b.Fatalf("replay: %v, %d records", err, st.Records)
 		}

@@ -1,0 +1,97 @@
+package kv
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// TestEngineReadOnlyAcrossBackends drives the durability-failure contract
+// through every backend: after a failed WAL fsync the engine errors the
+// doomed write, refuses later writes with ErrReadOnly (the sentinel must
+// survive the wire on the remote backend), keeps serving reads, and
+// reports the degradation through Stats.
+func TestEngineReadOnlyAcrossBackends(t *testing.T) {
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			ctx := context.Background()
+			fault := vfs.NewFault(vfs.Default, 1)
+			eng := bc.open(t, WithFS(fault), WithSyncWAL())
+
+			if err := eng.Put(ctx, []byte("acked"), []byte("safe")); err != nil {
+				t.Fatal(err)
+			}
+
+			// Repeated writes to one key stay on one shard, so the scripted
+			// sync failure and the writes that observe it meet on the same
+			// WAL regardless of the backend's shard count.
+			fault.FailNthSync(1)
+			if err := eng.Put(ctx, []byte("acked"), []byte("doomed")); err == nil {
+				t.Fatal("write with failed WAL fsync was acknowledged")
+			}
+			if err := eng.Put(ctx, []byte("acked"), []byte("late")); !errors.Is(err, ErrReadOnly) {
+				t.Fatalf("write after durability failure = %v, want ErrReadOnly", err)
+			}
+			if err := eng.Delete(ctx, []byte("acked")); !errors.Is(err, ErrReadOnly) {
+				t.Fatalf("delete after durability failure = %v, want ErrReadOnly", err)
+			}
+
+			// Reads ride through: the acked value is still served, and the
+			// never-acked overwrite never became visible.
+			got, err := eng.Get(ctx, []byte("acked"))
+			if err != nil || !bytes.Equal(got, []byte("safe")) {
+				t.Fatalf("read while read-only: %q, %v", got, err)
+			}
+
+			st, err := eng.Stats(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.ReadOnly {
+				t.Fatalf("Stats().ReadOnly = false on %s after durability failure", bc.name)
+			}
+		})
+	}
+}
+
+// TestEngineCorruptStatsAcrossLayers seeds quarantine counters on the
+// local backends and checks they aggregate (store sums its shards) and
+// travel the wire (remote reports the serving store's counters).
+func TestEngineCorruptStatsAcrossLayers(t *testing.T) {
+	ctx := context.Background()
+	fault := vfs.NewFault(vfs.Default, 2)
+	eng := openLocal(t, 2, WithFS(fault), WithSyncWAL())
+
+	// A removal fault while obsolete files are cleaned up is the cheapest
+	// counter to provoke deterministically: fail every Remove, then force
+	// flush + compaction traffic.
+	fault.SetProb(vfs.OpRemove, 1)
+	// Two flush rounds give every shard at least two tables, so the major
+	// compaction below has inputs to merge and obsolete files to remove.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 64; i++ {
+			k := []byte(fmt.Sprintf("k-%d-%03d", round, i))
+			if err := eng.Put(ctx, k, bytes.Repeat([]byte{'v'}, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Compact(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	fault.Disable()
+	st, err := eng.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CleanupFailures == 0 {
+		t.Fatal("failed removals during compaction were not counted in CleanupFailures")
+	}
+}

@@ -10,7 +10,8 @@
 // points where the engine can hold a caller: parked in the commit queue,
 // blocked in write-stall backpressure, draining a scan, or waiting on the
 // network. Errors are typed — ErrNotFound, ErrClosed, ErrStalled,
-// ErrBatchTooLarge — and compare with errors.Is identically across all
+// ErrBatchTooLarge, ErrCorrupt, ErrReadOnly — and compare with errors.Is
+// identically across all
 // three backends; the network layer carries them as wire codes and
 // rehydrates the same sentinels on the client side.
 //
@@ -47,6 +48,18 @@ var (
 
 	// ErrBatchTooLarge reports a batch exceeding MaxBatchBytes.
 	ErrBatchTooLarge = kverr.ErrBatchTooLarge
+
+	// ErrCorrupt reports data that failed an integrity check — an sstable
+	// block whose checksum does not match, or a manifest referencing a
+	// missing file. The engine quarantines the offending table and keeps
+	// serving what remains.
+	ErrCorrupt = kverr.ErrCorrupt
+
+	// ErrReadOnly reports a write rejected because the engine permanently
+	// degraded to read-only after a durability failure (a failed WAL or
+	// manifest fsync). Reads keep working; the error wraps the original
+	// cause. Recovery is reopening the engine.
+	ErrReadOnly = kverr.ErrReadOnly
 )
 
 // MaxBatchBytes bounds a single Batch (keys + values + per-op overhead);
@@ -238,6 +251,22 @@ type Stats struct {
 	WALRecoveredBytes    int64 `json:"wal_recovered_bytes,omitempty"`
 	WALRecoveryTruncated bool  `json:"wal_recovery_truncated,omitempty"`
 
+	// ReadOnly reports the engine has permanently degraded to read-only
+	// after a durability failure: writes fail with ErrReadOnly while reads
+	// continue. On a sharded store, true if any shard degraded.
+	ReadOnly bool `json:"read_only,omitempty"`
+	// QuarantinedTables counts corrupt sstables renamed aside (.corrupt)
+	// and dropped from the live set since Open.
+	QuarantinedTables int `json:"quarantined_tables,omitempty"`
+	// CleanupFailures counts file removals that failed, leaving orphaned
+	// files the next Open's cleanup pass retries.
+	CleanupFailures uint64 `json:"cleanup_failures,omitempty"`
+	// BackgroundRetries and BackgroundFailures count background-compaction
+	// attempts retried after transient failures, and runs that exhausted
+	// the retry budget.
+	BackgroundRetries  int `json:"background_retries,omitempty"`
+	BackgroundFailures int `json:"background_failures,omitempty"`
+
 	// PerShard is the per-shard breakdown on a sharded store.
 	PerShard []Stats `json:"per_shard,omitempty"`
 }
@@ -268,6 +297,11 @@ func statsFromLSM(st lsm.Stats, backend string, shards int) Stats {
 		WALRecoveredBatches:    st.WALRecoveredBatches,
 		WALRecoveredBytes:      st.WALRecoveredBytes,
 		WALRecoveryTruncated:   st.WALRecoveryTruncated,
+		ReadOnly:               st.ReadOnly,
+		QuarantinedTables:      st.QuarantinedTables,
+		CleanupFailures:        st.CleanupFailures,
+		BackgroundRetries:      st.BackgroundRetries,
+		BackgroundFailures:     st.BackgroundFailures,
 	}
 }
 

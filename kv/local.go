@@ -232,7 +232,19 @@ func (it *localIterator) Valid() bool {
 		it.fail(ErrClosed)
 		return false
 	}
-	return it.it.Valid()
+	if it.it.Valid() {
+		return true
+	}
+	// A merged scan ends silently when a source iterator fails mid-stream
+	// (a block that flunks its checksum, a read error): the engine wraps
+	// its iterators to record such failures, and an exhausted scan must
+	// surface them through Err rather than report a clean end.
+	if src, ok := it.it.(interface{ Err() error }); ok {
+		if err := src.Err(); err != nil {
+			it.fail(err)
+		}
+	}
+	return false
 }
 
 func (it *localIterator) Key() []byte {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/lsm"
 	"repro/internal/store"
+	"repro/internal/vfs"
 )
 
 // Open opens (creating if necessary) an embedded engine rooted at dir.
@@ -26,7 +27,11 @@ func Open(dir string, opts ...Option) (Engine, error) {
 		// Shards <= 1: adopt a persisted sharded layout if one exists (the
 		// store validates that its count matches an explicit request);
 		// otherwise this is a plain single-partition directory.
-		existing, err := store.IsSharded(dir)
+		fsys := cfg.fs
+		if fsys == nil {
+			fsys = vfs.Default
+		}
+		existing, err := store.IsShardedFS(fsys, dir)
 		if err != nil {
 			return nil, err
 		}

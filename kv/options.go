@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/lsm"
+	"repro/internal/vfs"
 )
 
 // entryPoint names the constructor an Option is being applied by, so
@@ -28,6 +29,7 @@ type config struct {
 	compactionWorkers int
 	autoCompact       string
 	background        *BackgroundConfig
+	fs                vfs.FS
 	hookBeforeSwap    func() error // tests only (withHookBeforeSwap)
 
 	// Both.
@@ -56,6 +58,7 @@ func (c *config) lsmOptions() lsm.Options {
 		SyncWAL:           c.syncWAL,
 		BlockCacheBytes:   c.blockCacheBytes,
 		CompactionWorkers: c.compactionWorkers,
+		FS:                c.fs,
 		HookBeforeSwap:    c.hookBeforeSwap,
 	}
 	switch c.autoCompact {
@@ -183,6 +186,19 @@ type BackgroundConfig struct {
 func WithBackgroundCompaction(cfg BackgroundConfig) Option {
 	return openOnly("WithBackgroundCompaction", func(c *config) error {
 		c.background = &cfg
+		return nil
+	})
+}
+
+// WithFS routes every filesystem operation the engine performs — WAL,
+// manifest, sstables, directory maintenance — through fsys instead of the
+// OS filesystem. The primary use is fault injection (vfs.NewFault) in
+// robustness tests: deterministic fsync failures, torn writes, ENOSPC and
+// read corruption, without touching the host filesystem's behavior. A nil
+// fsys selects the real filesystem.
+func WithFS(fsys vfs.FS) Option {
+	return openOnly("WithFS", func(c *config) error {
+		c.fs = fsys
 		return nil
 	})
 }

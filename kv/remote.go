@@ -199,17 +199,20 @@ func (e *remoteEngine) Stats(ctx context.Context) (Stats, error) {
 		return Stats{}, err
 	}
 	return Stats{
-		Backend:          "remote",
-		Tables:           int(st.Tables),
-		TableBytes:       st.TableBytes,
-		MemtableKeys:     int(st.MemtableKeys),
-		Flushes:          int(st.Flushes),
-		MinorCompactions: int(st.MinorCompactions),
-		MajorCompactions: int(st.MajorCompactions),
-		WriteStalls:      int(st.WriteStalls),
-		GroupCommits:     st.GroupCommits,
-		GroupedWrites:    st.GroupedWrites,
-		WALSyncs:         st.WALSyncs,
+		Backend:           "remote",
+		Tables:            int(st.Tables),
+		TableBytes:        st.TableBytes,
+		MemtableKeys:      int(st.MemtableKeys),
+		Flushes:           int(st.Flushes),
+		MinorCompactions:  int(st.MinorCompactions),
+		MajorCompactions:  int(st.MajorCompactions),
+		WriteStalls:       int(st.WriteStalls),
+		GroupCommits:      st.GroupCommits,
+		GroupedWrites:     st.GroupedWrites,
+		WALSyncs:          st.WALSyncs,
+		ReadOnly:          st.ReadOnly != 0,
+		QuarantinedTables: int(st.QuarantinedTables),
+		CleanupFailures:   st.CleanupFailures,
 	}, nil
 }
 
