@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/compaction"
@@ -53,10 +54,15 @@ func run() error {
 		trials  = flag.Int("optgap-trials", 5, "trials for the optimality-gap experiment")
 		score   = flag.String("score", "", "score an instance file (one table per line, keys or lo-hi ranges) with every strategy and exit")
 		dump    = flag.String("dump", "", "generate one workload instance (using -ops/-records/-memtable/-dist) and write it to this file, then exit")
+		strats  = flag.String("strategies", "", "comma-separated strategy subset for figure 7 (registry names, same as the live engine; empty = the paper's five)")
 	)
 	flag.Parse()
 
 	d, err := ycsb.ParseDistribution(*dist)
+	if err != nil {
+		return err
+	}
+	strategies, err := parseStrategies(*strats)
 	if err != nil {
 		return err
 	}
@@ -69,6 +75,7 @@ func run() error {
 		Workers:        *workers,
 		Distribution:   d,
 		Seed:           *seed,
+		Strategies:     strategies,
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -169,6 +176,33 @@ func run() error {
 		return fmt.Errorf("unknown figure %q (want 7, 7a, 7b, 8, 9a, 9b, optgap, ablation, all)", *fig)
 	}
 	return nil
+}
+
+// parseStrategies splits a comma-separated strategy list and validates
+// every name against the registry — the same name list the live engine
+// accepts. An unknown name is an error naming the accepted set, never a
+// silent fallback to the defaults.
+func parseStrategies(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	valid := make(map[string]bool)
+	for _, name := range compaction.StrategyNames() {
+		valid[name] = true
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !valid[name] {
+			return nil, fmt.Errorf("unknown strategy %q (have %s)",
+				name, strings.Join(compaction.StrategyNames(), ", "))
+		}
+		out = append(out, name)
+	}
+	return out, nil
 }
 
 // scoreFile scores an instance file with every strategy (and the exact

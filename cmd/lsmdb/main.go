@@ -40,12 +40,13 @@ func main() {
 	dir := flag.String("dir", "", "database directory (required)")
 	sync := flag.Bool("sync", false, "fsync the WAL on every write")
 	shards := flag.Int("shards", 0, "engine shard count (0 = adopt existing store, 1 for a new one)")
+	auto := flag.String("auto", "none", "auto minor compaction: size-tiered, threshold, leveled, a paper strategy (SI, SO, BT, BT(I), BT(O), CHAIN, RANDOM), or none")
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "lsmdb: -dir is required")
 		os.Exit(2)
 	}
-	opts := []kv.Option{kv.WithShards(*shards)}
+	opts := []kv.Option{kv.WithShards(*shards), kv.WithAutoCompact(*auto)}
 	if *sync {
 		opts = append(opts, kv.WithSyncWAL())
 	}

@@ -48,7 +48,7 @@ func run() error {
 	var (
 		dir        = flag.String("dir", "", "database directory (required)")
 		listen     = flag.String("listen", "127.0.0.1:7700", "listen address")
-		auto       = flag.String("auto", "size-tiered", "auto minor compaction: size-tiered, threshold, none")
+		auto       = flag.String("auto", "size-tiered", "auto minor compaction: size-tiered, threshold, leveled, a paper strategy (SI, SO, BT, BT(I), BT(O), CHAIN, RANDOM), or none")
 		memSize    = flag.Int("memtable", 4<<20, "memtable flush threshold in bytes, per shard (total buffered memory is shards x this)")
 		sync       = flag.Bool("sync", false, "fsync the WAL on every write")
 		background = flag.Bool("background", false, "run non-blocking background major compactions")
@@ -166,6 +166,10 @@ func logStats(ctx context.Context, eng kv.Engine, every time.Duration) {
 		if lookups := st.BlockCacheHits + st.BlockCacheMisses; lookups > 0 {
 			cacheHitPct = 100 * float64(st.BlockCacheHits) / float64(lookups)
 		}
+		writeAmp := 0.0
+		if st.BytesFlushed > 0 {
+			writeAmp = float64(st.BytesFlushed+st.BytesCompacted) / float64(st.BytesFlushed)
+		}
 		perShard := make([]string, 0, len(st.PerShard))
 		for _, ss := range st.PerShard {
 			perShard = append(perShard, fmt.Sprint(ss.Tables))
@@ -173,10 +177,11 @@ func logStats(ctx context.Context, eng kv.Engine, every time.Duration) {
 		if len(perShard) == 0 {
 			perShard = append(perShard, fmt.Sprint(st.Tables))
 		}
-		fmt.Printf("lsmserver: stats tables=%d(%s) mem-keys=%d writes=%d groups=%d avg-group=%.1f syncs/write=%.3f cache-hit=%.1f%% cache-balance=%.2f filter-neg=%d filter-fp=%d stalls=%d state=%s\n",
+		fmt.Printf("lsmserver: stats tables=%d(%s) mem-keys=%d writes=%d groups=%d avg-group=%.1f syncs/write=%.3f cache-hit=%.1f%% cache-balance=%.2f filter-neg=%d filter-fp=%d stalls=%d stall-ms=%d write-amp=%.2f flushed=%d compacted=%d state=%s\n",
 			st.Tables, strings.Join(perShard, "/"), st.MemtableKeys, writes, groups, groupSize,
 			syncsPerWrite, cacheHitPct, st.BlockCacheShardBalance, st.FilterNegatives, st.FilterFalsePositives,
-			st.WriteStalls, st.CompactionState)
+			st.WriteStalls, st.WriteStallNanos/1e6, writeAmp, st.BytesFlushed, st.BytesCompacted,
+			st.CompactionState)
 		last = st
 	}
 }

@@ -1,0 +1,205 @@
+package compaction
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hll"
+)
+
+// LiveTable describes one live sstable the way the engine's compaction
+// picker sees it: no key data, only the statistics the write path persists
+// — exact entry count (sstable keys are unique, so the count is the
+// cardinality), byte size, key bounds from the bounds block, and the
+// per-table HyperLogLog key sketch for overlap estimation. Sketch may be
+// nil on tables written before sketches were persisted; strategies that
+// rank by union size then degrade to a disjointness assumption for the
+// affected pairs.
+type LiveTable struct {
+	// SizeBytes is the table's file size.
+	SizeBytes uint64
+	// Entries is the table's exact key count.
+	Entries int
+	// Smallest and Largest bound the table's key range (both inclusive).
+	Smallest, Largest []byte
+	// Sketch estimates the table's key set; nil when not persisted.
+	Sketch *hll.Sketch
+}
+
+// ErrNeedsKeys reports a strategy that cannot pick from live statistics
+// because it ranks by exact set operations (SO(exact), LM).
+type ErrNeedsKeys struct{ Strategy string }
+
+func (e ErrNeedsKeys) Error() string {
+	return fmt.Sprintf("compaction: strategy %q needs exact key sets and cannot pick from live table stats", e.Strategy)
+}
+
+// LiveStrategies returns the strategy names PickLive accepts, sorted: the
+// registry minus the two exact-set strategies.
+func LiveStrategies() []string {
+	var names []string
+	for _, name := range StrategyNames() {
+		if IsLiveStrategy(name) {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// IsLiveStrategy reports whether name is a registry strategy PickLive can
+// drive from live table statistics.
+func IsLiveStrategy(name string) bool {
+	switch name {
+	case "SI", "SO", "BT", "BT(I)", "BT(O)", "CHAIN", "RANDOM":
+		return true
+	default:
+		return false
+	}
+}
+
+// PickLive selects the next group of tables to merge using a registry
+// strategy, driven by live per-table statistics instead of key sets. It
+// mirrors exactly the first CHOOSETWOSETS pick the same strategy makes on
+// the equivalent Instance — leaf IDs are the slice indices, entry counts
+// stand in for set cardinalities, and persisted sketches stand in for
+// model-built ones (the sstable writer and the model hash keys
+// identically, so the sketches are register-identical) — which is what
+// the picker≡model property test pins. It returns the selected indices,
+// nil when fewer than two tables exist, and ErrNeedsKeys for the
+// exact-set strategies.
+func PickLive(tables []LiveTable, strategy string, k int, seed int64) ([]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("compaction: k = %d, need k >= 2", k)
+	}
+	n := len(tables)
+	if n < 2 {
+		return nil, nil
+	}
+	g := groupSize(k, n)
+	switch strategy {
+	case "SI", "BT(I)":
+		// SI pops the g smallest sets; BT(I)'s first pick sees every leaf
+		// at level 1 and sorts the same way. Both order by (cardinality,
+		// ID).
+		idx := ascending(n)
+		sort.Slice(idx, func(a, b int) bool {
+			if ea, eb := tables[idx[a]].Entries, tables[idx[b]].Entries; ea != eb {
+				return ea < eb
+			}
+			return idx[a] < idx[b]
+		})
+		return idx[:g], nil
+	case "BT", "CHAIN":
+		// BT's arbitrary order takes the first g leaves by ID; CHAIN takes
+		// them in table order. Identical on the first pick.
+		return ascending(g), nil
+	case "RANDOM":
+		// Same seeded generator, same shuffle over the ID-sorted leaves as
+		// Random.Choose's first call.
+		rng := rand.New(rand.NewSource(seed))
+		idx := ascending(n)
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		return idx[:g], nil
+	case "SO", "BT(O)":
+		// Both pick the pair with the smallest estimated union and grow it
+		// greedily; on the first pick (all leaves live, all at one level)
+		// their candidate sets and tie-breaks coincide: minimum score,
+		// earliest indices.
+		return pickSmallestUnion(tables, g), nil
+	case "SO(exact)", "LM":
+		return nil, ErrNeedsKeys{Strategy: strategy}
+	default:
+		return nil, fmt.Errorf("compaction: unknown strategy %q", strategy)
+	}
+}
+
+// ascending returns [0, 1, ..., n-1].
+func ascending(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// pickSmallestUnion is the shared SO / BT(O) first pick: the pair
+// minimizing the estimated union cardinality (ties to the earliest index
+// pair), grown one table at a time by the candidate minimizing the group
+// union (ties to the earliest index).
+func pickSmallestUnion(tables []LiveTable, g int) []int {
+	n := len(tables)
+	bestI, bestJ := -1, -1
+	bestScore := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			score := livePairEstimate(tables, i, j)
+			if bestI < 0 || score < bestScore {
+				bestI, bestJ, bestScore = i, j, score
+			}
+		}
+	}
+	group := []int{bestI, bestJ}
+	for len(group) < g {
+		best := -1
+		bestScore = 0.0
+		for c := 0; c < n; c++ {
+			if containsInt(group, c) {
+				continue
+			}
+			score := liveGroupEstimate(tables, group, c)
+			if best < 0 || score < bestScore {
+				best, bestScore = c, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		group = append(group, best)
+	}
+	return group
+}
+
+// livePairEstimate estimates |A_i ∪ A_j| from persisted sketches, falling
+// back to the disjoint sum when either sketch is absent.
+func livePairEstimate(tables []LiveTable, i, j int) float64 {
+	if si, sj := tables[i].Sketch, tables[j].Sketch; si != nil && sj != nil {
+		if u, err := hll.UnionEstimate(si, sj); err == nil {
+			return u
+		}
+	}
+	return float64(tables[i].Entries + tables[j].Entries)
+}
+
+// liveGroupEstimate estimates the union cardinality of group ∪ {extra},
+// falling back to the disjoint sum when any sketch is absent.
+func liveGroupEstimate(tables []LiveTable, group []int, extra int) float64 {
+	acc := tables[extra].Sketch
+	if acc != nil {
+		acc = acc.Clone()
+		for _, gi := range group {
+			s := tables[gi].Sketch
+			if s == nil || acc.Merge(s) != nil {
+				acc = nil
+				break
+			}
+		}
+		if acc != nil {
+			return acc.Estimate()
+		}
+	}
+	sum := tables[extra].Entries
+	for _, gi := range group {
+		sum += tables[gi].Entries
+	}
+	return float64(sum)
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

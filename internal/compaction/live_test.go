@@ -1,0 +1,133 @@
+package compaction
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/hll"
+	"repro/internal/keyset"
+)
+
+// liveTablesOf builds the live-statistics view of an instance the way the
+// engine would see its sstables: entry counts for cardinalities and
+// HyperLogLog sketches for the key sets, at the registry precision.
+func liveTablesOf(t *testing.T, inst *Instance) []LiveTable {
+	t.Helper()
+	tables := make([]LiveTable, inst.N())
+	for i, tab := range inst.Tables() {
+		s, err := hll.SketchOfUint64s(DefaultHLLPrecision, tab.Set.Keys())
+		if err != nil {
+			t.Fatalf("sketch: %v", err)
+		}
+		tables[i] = LiveTable{
+			SizeBytes: uint64(tab.Set.Len()) * 100,
+			Entries:   tab.Set.Len(),
+			Sketch:    s,
+		}
+	}
+	return tables
+}
+
+func sortedInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+// TestPickLiveMatchesModelFirstPick is the picker≡model property: for
+// random instances, every live-capable strategy picking from table
+// statistics selects exactly the tables the paper-model chooser's first
+// CHOOSETWOSETS call selects on the equivalent Instance.
+func TestPickLiveMatchesModelFirstPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(9)
+		k := 2 + rng.Intn(3)
+		universe := uint64(20 + rng.Intn(200))
+		sets := make([]keyset.Set, n)
+		for i := range sets {
+			size := 1 + rng.Intn(30)
+			keys := make([]uint64, size)
+			for j := range keys {
+				keys[j] = rng.Uint64() % universe
+			}
+			sets[i] = keyset.New(keys...)
+		}
+		inst := NewInstance(sets...)
+		if inst.Validate() != nil {
+			continue // a duplicate-heavy draw can produce an empty set
+		}
+		seed := rng.Int63()
+		live := liveTablesOf(t, inst)
+		for _, strategy := range LiveStrategies() {
+			chooser, err := NewChooserByName(strategy, seed)
+			if err != nil {
+				t.Fatalf("%s: %v", strategy, err)
+			}
+			sc, err := Run(inst, k, chooser)
+			if err != nil {
+				t.Fatalf("%s: Run: %v", strategy, err)
+			}
+			want := make([]int, 0, k)
+			for _, nd := range sc.Steps[0].Inputs {
+				want = append(want, nd.TableID)
+			}
+			got, err := PickLive(live, strategy, k, seed)
+			if err != nil {
+				t.Fatalf("%s: PickLive: %v", strategy, err)
+			}
+			wantS, gotS := sortedInts(want), sortedInts(got)
+			if len(wantS) != len(gotS) {
+				t.Fatalf("trial %d %s: model picked %v, live picked %v", trial, strategy, wantS, gotS)
+			}
+			for i := range wantS {
+				if wantS[i] != gotS[i] {
+					t.Fatalf("trial %d %s: model picked %v, live picked %v", trial, strategy, wantS, gotS)
+				}
+			}
+		}
+	}
+}
+
+// TestPickLiveDegradesWithoutSketches: strategies that rank by union size
+// still produce a valid pick when sketches are missing (tables written
+// before the sketch extension), falling back to the disjoint-sum estimate.
+func TestPickLiveDegradesWithoutSketches(t *testing.T) {
+	tables := []LiveTable{
+		{Entries: 10}, {Entries: 3}, {Entries: 7}, {Entries: 5},
+	}
+	for _, strategy := range []string{"SO", "BT(O)"} {
+		got, err := PickLive(tables, strategy, 2, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		// Disjoint sums make the two smallest tables the best pair.
+		want := []int{1, 3}
+		gotS := sortedInts(got)
+		if len(gotS) != 2 || gotS[0] != want[0] || gotS[1] != want[1] {
+			t.Fatalf("%s: got %v, want %v", strategy, gotS, want)
+		}
+	}
+}
+
+// TestPickLiveEdgeCases covers the trivial and error paths.
+func TestPickLiveEdgeCases(t *testing.T) {
+	if got, err := PickLive([]LiveTable{{Entries: 1}}, "SI", 4, 1); err != nil || got != nil {
+		t.Fatalf("single table: got %v, %v; want nil pick", got, err)
+	}
+	if _, err := PickLive(make([]LiveTable, 3), "SI", 1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := PickLive(make([]LiveTable, 3), "LM", 2, 1); err == nil {
+		t.Fatal("LM accepted for live picking")
+	}
+	if _, err := PickLive(make([]LiveTable, 3), "bogus", 2, 1); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	for _, name := range LiveStrategies() {
+		if !IsLiveStrategy(name) {
+			t.Fatalf("LiveStrategies returned non-live %q", name)
+		}
+	}
+}

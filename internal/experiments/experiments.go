@@ -68,6 +68,10 @@ type Params struct {
 	Distribution ycsb.Distribution
 	// Seed bases the per-run seeds, keeping every experiment reproducible.
 	Seed int64
+	// Strategies restricts strategy-comparison figures (Figure 7) to a
+	// subset of the registry. Empty selects the paper's evaluated five.
+	// Names must come from compaction.StrategyNames().
+	Strategies []string
 }
 
 // DefaultParams returns the paper's settings.

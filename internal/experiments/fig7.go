@@ -30,7 +30,10 @@ type Fig7Row struct {
 // workloads.
 func Fig7(p Params) ([]Fig7Row, error) {
 	p = p.withDefaults()
-	strategies := compaction.EvaluatedStrategies()
+	strategies := p.Strategies
+	if len(strategies) == 0 {
+		strategies = compaction.EvaluatedStrategies()
+	}
 	rows := make([]Fig7Row, 0, len(UpdatePercentages))
 	for _, pct := range UpdatePercentages {
 		row := Fig7Row{UpdatePct: pct, Strategies: strategies, Cells: map[string]Fig7Cell{}}

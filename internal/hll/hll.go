@@ -11,6 +11,7 @@
 package hll
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -186,28 +187,93 @@ func (s *Sketch) StdError() float64 {
 	return 1.04 / math.Sqrt(float64(len(s.registers)))
 }
 
-// Marshal serializes the sketch: one byte of precision, then the registers.
+// sparseFlag marks a sparse encoding in the header byte's high bit;
+// precisions never exceed MaxPrecision (18), so the bit is free.
+const sparseFlag = 0x80
+
+// Marshal serializes the sketch, choosing the smaller of two encodings:
+// dense (one byte of precision, then all 2^p registers) or sparse (the
+// precision with the high bit set, a count, then gap-delta/value pairs
+// for the non-zero registers). Sketches over few keys — small sstables —
+// are mostly zero registers, and the sparse form keeps their on-disk
+// footprint proportional to the data instead of to 2^p.
 func (s *Sketch) Marshal() []byte {
+	nonZero := 0
+	for _, r := range s.registers {
+		if r != 0 {
+			nonZero++
+		}
+	}
+	// Each sparse pair costs at most 3+1 bytes (uvarint gap up to 2^18,
+	// one value byte); only bother when clearly smaller than dense.
+	if nonZero*4 < len(s.registers) {
+		out := make([]byte, 0, 1+binary.MaxVarintLen32+nonZero*4)
+		out = append(out, s.p|sparseFlag)
+		out = binary.AppendUvarint(out, uint64(nonZero))
+		prev := 0
+		for i, r := range s.registers {
+			if r == 0 {
+				continue
+			}
+			out = binary.AppendUvarint(out, uint64(i-prev))
+			out = append(out, r)
+			prev = i
+		}
+		return out
+	}
 	out := make([]byte, 1+len(s.registers))
 	out[0] = s.p
 	copy(out[1:], s.registers)
 	return out
 }
 
-// Unmarshal reconstructs a sketch serialized by Marshal.
+// Unmarshal reconstructs a sketch serialized by Marshal, accepting both
+// the dense and the sparse encoding.
 func Unmarshal(data []byte) (*Sketch, error) {
 	if len(data) < 1 {
 		return nil, errors.New("hll: empty encoding")
 	}
-	p := data[0]
+	p := data[0] &^ sparseFlag
 	if p < MinPrecision || p > MaxPrecision {
 		return nil, fmt.Errorf("hll: invalid precision %d", p)
 	}
-	if len(data) != 1+(1<<p) {
-		return nil, fmt.Errorf("hll: encoding length %d does not match precision %d", len(data), p)
-	}
 	s := &Sketch{p: p, registers: make([]uint8, 1<<p)}
-	copy(s.registers, data[1:])
+	if data[0]&sparseFlag == 0 {
+		if len(data) != 1+(1<<p) {
+			return nil, fmt.Errorf("hll: encoding length %d does not match precision %d", len(data), p)
+		}
+		copy(s.registers, data[1:])
+		return s, nil
+	}
+	rest := data[1:]
+	count, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return nil, errors.New("hll: truncated sparse count")
+	}
+	rest = rest[w:]
+	idx := -1
+	for i := uint64(0); i < count; i++ {
+		gap, w := binary.Uvarint(rest)
+		if w <= 0 || len(rest) < w+1 {
+			return nil, errors.New("hll: truncated sparse entry")
+		}
+		val := rest[w]
+		rest = rest[w+1:]
+		next := idx
+		if idx < 0 {
+			next = int(gap)
+		} else {
+			next = idx + int(gap)
+		}
+		if gap == 0 && idx >= 0 || next >= len(s.registers) || val == 0 {
+			return nil, errors.New("hll: invalid sparse entry")
+		}
+		s.registers[next] = val
+		idx = next
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("hll: trailing bytes after sparse entries")
+	}
 	return s, nil
 }
 

@@ -259,6 +259,8 @@ func (db *DB) MajorCompact(strategy string, k int, seed int64) (*CompactionResul
 	db.generation++
 	root.gen = db.generation
 	db.majorCompactions++
+	db.bytesCompacted += res.BytesWritten
+	db.recordPickLocked(strategy)
 	res.TablesAfter = len(newTables)
 	// The snapshot tables left the live set: drop their live reference and
 	// mark them for deletion once the last concurrent reader drains.
@@ -390,6 +392,8 @@ func (db *DB) MajorCompactBlocking(strategy string, k int, seed int64) (*Compact
 	db.generation++
 	root.gen = db.generation
 	db.majorCompactions++
+	db.bytesCompacted += res.BytesWritten
+	db.recordPickLocked(strategy)
 	res.TablesAfter = 1
 	for _, th := range old {
 		th.obsolete.Store(true)

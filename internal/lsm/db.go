@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/hll"
 	"repro/internal/iterator"
 	"repro/internal/kverr"
 	"repro/internal/memtable"
@@ -166,6 +167,15 @@ type tableHandle struct {
 	smallest, largest []byte
 	minSeq, maxSeq    uint64
 	hasBounds         bool
+	// sketch is the table's HyperLogLog key sketch: read from the bounds
+	// tail of a format-v3 table at open, or restored from the manifest for
+	// tables whose file predates the extension. Nil when never persisted.
+	// Immutable after open — consumers Clone before merging.
+	sketch *hll.Sketch
+	// level is the table's position in a leveled layout (0 for fresh
+	// flushes and flat layouts), persisted through the manifest. Guarded
+	// by DB.mu.
+	level int
 	// obsolete marks a table that has been replaced by a compaction; its
 	// file is deleted when the reference count reaches zero.
 	obsolete atomic.Bool
@@ -188,6 +198,7 @@ func (db *DB) newTableHandle(name string, rd *sstable.Reader, gen uint64) *table
 		th.minSeq, th.maxSeq = b.MinSeq, b.MaxSeq
 		th.hasBounds = true
 	}
+	th.sketch = rd.Sketch()
 	th.refs.Store(1)
 	return th
 }
@@ -293,7 +304,17 @@ type DB struct {
 	minorCompactions int
 	majorCompactions int
 	writeStalls      int
-	bgLastErr        error
+	// bytesFlushed and bytesCompacted total the sstable bytes written by
+	// memtable flushes and by compactions (minor and major) respectively;
+	// their ratio is the store's write amplification. stallTime is the
+	// cumulative wall time writers spent blocked in backpressure stalls.
+	// compactionPicks counts completed compactions by the policy or
+	// strategy that picked them. All guarded by mu.
+	bytesFlushed    uint64
+	bytesCompacted  uint64
+	stallTime       time.Duration
+	compactionPicks map[string]uint64
+	bgLastErr       error
 	// roCause is the durability failure that degraded the DB to read-only
 	// (nil while writable); quarantined counts corrupt tables renamed
 	// aside since Open. Both guarded by mu.
@@ -369,7 +390,15 @@ func Open(dir string, opts Options) (*DB, error) {
 			}
 			return nil, fmt.Errorf("lsm: open table %s: %w", name, err)
 		}
-		db.tables = append(db.tables, db.newTableHandle(name, rd, 0))
+		th := db.newTableHandle(name, rd, 0)
+		// A table whose file embeds no sketch (format v2, or v3 written
+		// before the extension) may still have one persisted in the
+		// manifest; levels live only in the manifest.
+		if th.sketch == nil {
+			th.sketch = man.sketches[name]
+		}
+		th.level = man.levels[name]
+		db.tables = append(db.tables, th)
 	}
 	// Recover the WAL, if present, into the fresh memtable.
 	walPath := filepath.Join(dir, "wal.log")
@@ -600,6 +629,8 @@ func (db *DB) maybeStallLocked(ctx context.Context) error {
 		return nil
 	}
 	db.writeStalls++
+	stallStart := time.Now()
+	defer func() { db.stallTime += time.Since(stallStart) }()
 	// stallCond has no select form, so context expiry is delivered by a
 	// watcher that wakes every waiter; each one rechecks its own ctx.
 	if ctx.Done() != nil {
@@ -618,6 +649,15 @@ func (db *DB) maybeStallLocked(ctx context.Context) error {
 		db.stallCond.Wait()
 	}
 	return nil
+}
+
+// recordPickLocked counts a completed compaction against the policy or
+// strategy that picked it. Callers hold mu.
+func (db *DB) recordPickLocked(name string) {
+	if db.compactionPicks == nil {
+		db.compactionPicks = make(map[string]uint64)
+	}
+	db.compactionPicks[name]++
 }
 
 // kickBackground nudges the maintenance goroutine without blocking.
@@ -919,7 +959,14 @@ func (db *DB) flushLocked() error {
 	}
 	// Newest first.
 	db.generation++
-	db.tables = append([]*tableHandle{db.newTableHandle(name, rd, db.generation)}, db.tables...)
+	th := db.newTableHandle(name, rd, db.generation)
+	if th.sketch == nil {
+		// Table formats that do not embed the sketch (v2) still get one:
+		// the writer maintained it in memory, and the manifest carries it
+		// across restarts.
+		th.sketch = w.Sketch()
+	}
+	db.tables = append([]*tableHandle{th}, db.tables...)
 	db.man.tables = append([]string{name}, db.man.tables...)
 	db.man.recordBounds(db.tables)
 	if err := db.man.save(db.fs, db.dir); err != nil {
@@ -946,6 +993,7 @@ func (db *DB) flushLocked() error {
 	}
 	db.mem = memtable.New(db.opts.Seed + int64(db.man.nextFileNum))
 	db.flushCount++
+	db.bytesFlushed += rd.FileSize()
 	// Publish the new (empty memtable, grown table set) pair. Readers
 	// pinned to the old view keep reading the old memtable — whose
 	// contents the new table duplicates — so no version is ever invisible.
@@ -1164,8 +1212,20 @@ type Stats struct {
 	// MajorCompactions counts completed major compactions since Open,
 	// blocking and background alike.
 	MajorCompactions int
-	// WriteStalls counts writes delayed by compaction backpressure.
-	WriteStalls int
+	// WriteStalls counts writes delayed by compaction backpressure, and
+	// WriteStallTime the cumulative wall time those writers spent blocked.
+	WriteStalls    int
+	WriteStallTime time.Duration
+	// BytesFlushed totals sstable bytes written by memtable flushes and
+	// BytesCompacted sstable bytes written by compactions, minor and major
+	// alike. (BytesFlushed + BytesCompacted) / BytesFlushed is the store's
+	// write amplification — the quantity the paper's compaction strategies
+	// minimize.
+	BytesFlushed, BytesCompacted uint64
+	// CompactionPicks counts completed compactions by the policy or
+	// strategy name that picked them ("size-tiered", "SI", "BT(I)", ...).
+	// Nil when no compaction has run.
+	CompactionPicks map[string]uint64
 	// Generation counts table-set changes (flushes and compactions).
 	Generation uint64
 	// CompactionState is the major-compaction state machine's current
@@ -1229,6 +1289,9 @@ func (db *DB) Stats() Stats {
 		MinorCompactions: db.minorCompactions,
 		MajorCompactions: db.majorCompactions,
 		WriteStalls:      db.writeStalls,
+		WriteStallTime:   db.stallTime,
+		BytesFlushed:     db.bytesFlushed,
+		BytesCompacted:   db.bytesCompacted,
 		Generation:       db.generation,
 		CompactionState:  db.CompactionState().String(),
 
@@ -1248,6 +1311,12 @@ func (db *DB) Stats() Stats {
 		CleanupFailures:    db.cleanupFails.Load(),
 		BackgroundRetries:  db.bgRetries,
 		BackgroundFailures: db.bgFailures,
+	}
+	if len(db.compactionPicks) > 0 {
+		st.CompactionPicks = make(map[string]uint64, len(db.compactionPicks))
+		for k, v := range db.compactionPicks {
+			st.CompactionPicks[k] = v
+		}
 	}
 	if db.blockCache != nil {
 		st.BlockCacheHits, st.BlockCacheMisses, _ = db.blockCache.Stats()

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/hll"
 	"repro/internal/sstable"
 	"repro/internal/vfs"
 )
@@ -30,20 +31,38 @@ type manifest struct {
 	// the manifest copy spares the backfill read of the table's last
 	// block (sstable.OpenWithBounds).
 	bounds map[string]sstable.Bounds
+	// sketches carries the HyperLogLog key sketch of tables whose file
+	// does not embed one (formats before v3's bounds-tail extension), so
+	// overlap-driven compaction strategies keep their statistics across
+	// restarts. Tables that embed a sketch are omitted — the file is
+	// authoritative.
+	sketches map[string]*hll.Sketch
+	// levels records each table's position in a leveled layout; tables at
+	// level 0 (fresh flushes, flat layouts) are omitted.
+	levels map[string]int
 }
 
 const manifestName = "MANIFEST"
 
-// recordBounds rebuilds the manifest's bounds annotations from the
-// prospective live handle set, called immediately before save.
+// recordBounds rebuilds the manifest's per-table annotations — bounds,
+// sketches for tables whose file embeds none, and non-zero levels — from
+// the prospective live handle set, called immediately before save.
 func (m *manifest) recordBounds(handles []*tableHandle) {
 	m.bounds = make(map[string]sstable.Bounds, len(handles))
+	m.sketches = make(map[string]*hll.Sketch)
+	m.levels = make(map[string]int)
 	for _, th := range handles {
 		if th.hasBounds {
 			m.bounds[th.name] = sstable.Bounds{
 				Smallest: th.smallest, Largest: th.largest,
 				MinSeq: th.minSeq, MaxSeq: th.maxSeq,
 			}
+		}
+		if th.sketch != nil && th.rd.Sketch() == nil {
+			m.sketches[th.name] = th.sketch
+		}
+		if th.level != 0 {
+			m.levels[th.name] = th.level
 		}
 	}
 }
@@ -88,6 +107,36 @@ func loadManifest(fsys vfs.FS, dir string) (*manifest, error) {
 				m.bounds = make(map[string]sstable.Bounds)
 			}
 			m.bounds[name] = b
+		case strings.HasPrefix(line, "sketch "):
+			fields := strings.Fields(strings.TrimPrefix(line, "sketch "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("lsm: manifest sketch: want 2 fields, got %q", line)
+			}
+			raw, err := hex.DecodeString(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("lsm: manifest sketch: %w", err)
+			}
+			s, err := hll.Unmarshal(raw)
+			if err != nil {
+				return nil, fmt.Errorf("lsm: manifest sketch: %w", err)
+			}
+			if m.sketches == nil {
+				m.sketches = make(map[string]*hll.Sketch)
+			}
+			m.sketches[fields[0]] = s
+		case strings.HasPrefix(line, "level "):
+			fields := strings.Fields(strings.TrimPrefix(line, "level "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("lsm: manifest level: want 2 fields, got %q", line)
+			}
+			lv, err := strconv.Atoi(fields[1])
+			if err != nil || lv < 0 {
+				return nil, fmt.Errorf("lsm: manifest level: bad value %q", fields[1])
+			}
+			if m.levels == nil {
+				m.levels = make(map[string]int)
+			}
+			m.levels[fields[0]] = lv
 		default:
 			return nil, fmt.Errorf("lsm: manifest: unrecognized line %q", line)
 		}
@@ -134,6 +183,12 @@ func (m *manifest) save(fsys vfs.FS, dir string) error {
 		if tb, ok := m.bounds[t]; ok {
 			fmt.Fprintf(&b, "bounds %s %d %d %s %s\n", t, tb.MinSeq, tb.MaxSeq,
 				hex.EncodeToString(tb.Smallest), hex.EncodeToString(tb.Largest))
+		}
+		if s, ok := m.sketches[t]; ok {
+			fmt.Fprintf(&b, "sketch %s %s\n", t, hex.EncodeToString(s.Marshal()))
+		}
+		if lv, ok := m.levels[t]; ok {
+			fmt.Fprintf(&b, "level %s %d\n", t, lv)
 		}
 	}
 	tmp := filepath.Join(dir, manifestName+".tmp")

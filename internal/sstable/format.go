@@ -31,7 +31,9 @@
 //	bloom   := filter bytes, crc32
 //	bounds  := smallestLen uvarint, smallestKey,
 //	           largestLen uvarint, largestKey,
-//	           minSeq uvarint, maxSeq uvarint, crc32
+//	           minSeq uvarint, maxSeq uvarint,
+//	           [sketchLen uvarint, sketch]   (version 3 only)
+//	           crc32
 //	footer  := indexOff u64, indexLen u64, bloomOff u64, bloomLen u64,
 //	           entryCount u64, keyBytes u64, valBytes u64,
 //	           boundsOff u64, boundsLen u64,
@@ -65,6 +67,12 @@
 // plus its sequence-number range, which the engine's read path uses to
 // prune point lookups to the tables whose key range covers the probe and
 // to stop probing once no remaining table can hold a newer version.
+// Version-3 tables extend the bounds payload (inside the same CRC frame)
+// with an optional trailing HyperLogLog sketch of the table's keys, which
+// compaction strategies use to estimate inter-table overlap without
+// reading any data blocks. Decoders that predate the extension parse the
+// bounds fields and ignore the tail, so the extension needs no new footer
+// version; tables written before it simply carry no sketch.
 // Version 1 ("STBL001F", 64-byte footer, no bounds block) tables remain
 // readable: the reader detects the old magic and backfills the bounds at
 // open time from the block index (smallest key) and the last data block
@@ -86,6 +94,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"repro/internal/hll"
 	"repro/internal/kverr"
 )
 
@@ -258,9 +267,18 @@ func marshalBounds(b Bounds) []byte {
 	return out
 }
 
-// unmarshalBounds decodes a checksum-verified bounds-block payload. The
-// returned keys are copies, safe to retain.
+// unmarshalBounds decodes a checksum-verified bounds-block payload,
+// ignoring any trailing extension bytes. The returned keys are copies,
+// safe to retain.
 func unmarshalBounds(payload []byte) (Bounds, error) {
+	b, _, err := unmarshalBoundsTail(payload)
+	return b, err
+}
+
+// unmarshalBoundsTail is unmarshalBounds returning the unparsed remainder
+// of the payload — the extension area version-3 writers put the key sketch
+// in.
+func unmarshalBoundsTail(payload []byte) (Bounds, []byte, error) {
 	var b Bounds
 	readKey := func() ([]byte, error) {
 		n, w := binary.Uvarint(payload)
@@ -277,20 +295,53 @@ func unmarshalBounds(payload []byte) (Bounds, error) {
 	}
 	var err error
 	if b.Smallest, err = readKey(); err != nil {
-		return b, err
+		return b, nil, err
 	}
 	if b.Largest, err = readKey(); err != nil {
-		return b, err
+		return b, nil, err
 	}
 	var w int
 	if b.MinSeq, w = binary.Uvarint(payload); w <= 0 {
-		return b, ErrCorrupt
+		return b, nil, ErrCorrupt
 	}
 	payload = payload[w:]
 	if b.MaxSeq, w = binary.Uvarint(payload); w <= 0 {
-		return b, ErrCorrupt
+		return b, nil, ErrCorrupt
 	}
-	return b, nil
+	return b, payload[w:], nil
+}
+
+// SketchPrecision is the HyperLogLog precision of the per-table key sketch
+// the Writer maintains (2^12 registers ≈ 4 KiB, ≈1.6% standard error) —
+// the same precision the compaction package's estimators use, so sketches
+// read off disk merge directly with model-built ones.
+const SketchPrecision = 12
+
+// appendBoundsSketch appends the sketch extension (sketchLen uvarint,
+// sketch bytes) to a marshaled bounds payload.
+func appendBoundsSketch(payload []byte, s *hll.Sketch) []byte {
+	enc := s.Marshal()
+	payload = binary.AppendUvarint(payload, uint64(len(enc)))
+	return append(payload, enc...)
+}
+
+// decodeBoundsSketch parses the optional sketch extension from the bounds
+// payload's tail. An empty tail (a pre-extension table) yields a nil
+// sketch; bytes after the sketch are reserved for future extensions and
+// ignored.
+func decodeBoundsSketch(tail []byte) (*hll.Sketch, error) {
+	if len(tail) == 0 {
+		return nil, nil
+	}
+	n, w := binary.Uvarint(tail)
+	if w <= 0 || uint64(len(tail[w:])) < n {
+		return nil, ErrCorrupt
+	}
+	s, err := hll.Unmarshal(tail[w : w+int(n)])
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	return s, nil
 }
 
 // blockHandle locates one data block within the file.

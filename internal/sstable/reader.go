@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/cache"
+	"repro/internal/hll"
 	"repro/internal/iterator"
 	"repro/internal/vfs"
 )
@@ -59,7 +60,8 @@ type Reader struct {
 	chunks    []chunkHandle
 	chunkData []atomic.Pointer[[]blockHandle]
 	filter    *bloom.Filter
-	closer    io.Closer // non-nil when the Reader owns the underlying file
+	sketch    *hll.Sketch // key sketch from the bounds tail; nil when absent
+	closer    io.Closer   // non-nil when the Reader owns the underlying file
 	blocks    Cache
 	fm        *FilterMetrics
 }
@@ -423,7 +425,7 @@ func (rd *Reader) loadBounds(hint *Bounds) error {
 		if err != nil {
 			return err
 		}
-		b, err := unmarshalBounds(payload)
+		b, tail, err := unmarshalBoundsTail(payload)
 		if err != nil {
 			return err
 		}
@@ -434,6 +436,9 @@ func (rd *Reader) loadBounds(hint *Bounds) error {
 			}
 		}
 		rd.bounds = b
+		if rd.sketch, err = decodeBoundsSketch(tail); err != nil {
+			return err
+		}
 		return nil
 	}
 	if len(rd.index) == 0 || rd.f.entryCount == 0 {
@@ -484,6 +489,13 @@ func (rd *Reader) loadBounds(hint *Bounds) error {
 func (rd *Reader) Bounds() (Bounds, bool) {
 	return rd.bounds, rd.f.entryCount > 0
 }
+
+// Sketch returns the table's persisted HyperLogLog key sketch, or nil for
+// tables written before the bounds-tail extension (and all version-1/2
+// tables, which may instead carry a manifest-persisted sketch upstream).
+// Callers must not mutate the returned sketch; Clone before merging into
+// it.
+func (rd *Reader) Sketch() *hll.Sketch { return rd.sketch }
 
 // FooterVersion reports the on-disk footer version the table was opened
 // with: 3 for current tables (restart-point blocks, partitioned index),

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/bloom"
+	"repro/internal/hll"
 	"repro/internal/iterator"
 )
 
@@ -60,6 +61,7 @@ type Writer struct {
 	enc      blockEncoder
 	index    []blockHandle
 	filter   *bloom.Filter
+	sketch   *hll.Sketch
 
 	lastKey    []byte
 	firstKey   []byte
@@ -93,6 +95,7 @@ func NewWriterOpts(w io.Writer, expectedEntries int, opts WriterOptions) *Writer
 		w:      w,
 		opts:   opts.withDefaults(),
 		filter: bloom.NewWithEstimates(uint64(expectedEntries), 0.01),
+		sketch: hll.MustNew(SketchPrecision),
 	}
 }
 
@@ -130,6 +133,7 @@ func (w *Writer) Add(e iterator.Entry) error {
 	}
 	w.lastKey = append(w.lastKey[:0], e.Key...)
 	w.filter.Add(e.Key)
+	w.sketch.Add(e.Key)
 	w.entryCount++
 	w.keyBytes += uint64(len(e.Key))
 	w.valBytes += uint64(len(e.Value))
@@ -317,11 +321,17 @@ func (w *Writer) Finish() error {
 
 	// Bounds block: the key range and sequence range the engine's read
 	// path prunes with. An empty table encodes nil keys and a zero range.
+	// Version-3 tables carry the key sketch in the payload's extension
+	// tail; version-2 output stays byte-identical to the frozen format.
 	var bounds Bounds
 	if w.entryCount > 0 {
 		bounds = Bounds{Smallest: w.firstKey, Largest: w.lastKey, MinSeq: w.minSeq, MaxSeq: w.maxSeq}
 	}
-	framed = appendChecksummed(nil, marshalBounds(bounds))
+	payload := marshalBounds(bounds)
+	if w.opts.FormatVersion >= FormatV3 {
+		payload = appendBoundsSketch(payload, w.sketch)
+	}
+	framed = appendChecksummed(nil, payload)
 	f.boundsOff, f.boundsLen = w.off, uint64(len(framed))
 	if _, err := w.w.Write(framed); err != nil {
 		return fmt.Errorf("sstable: write bounds: %w", err)
@@ -341,6 +351,12 @@ func (w *Writer) Size() uint64 { return w.off }
 
 // EntryCount returns the number of entries added so far.
 func (w *Writer) EntryCount() uint64 { return w.entryCount }
+
+// Sketch returns the HyperLogLog sketch of every key added so far. The
+// Writer maintains it for all format versions; only version-3 output
+// embeds it, so callers writing older formats can persist it elsewhere
+// (the engine's manifest does).
+func (w *Writer) Sketch() *hll.Sketch { return w.sketch }
 
 // WriteAll drains it into w in order and finishes the table; a convenience
 // wrapper used by flushes and compaction merges.

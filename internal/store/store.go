@@ -614,6 +614,15 @@ func Aggregate(shardStats []lsm.Stats) lsm.Stats {
 		agg.MinorCompactions += st.MinorCompactions
 		agg.MajorCompactions += st.MajorCompactions
 		agg.WriteStalls += st.WriteStalls
+		agg.WriteStallTime += st.WriteStallTime
+		agg.BytesFlushed += st.BytesFlushed
+		agg.BytesCompacted += st.BytesCompacted
+		for name, n := range st.CompactionPicks {
+			if agg.CompactionPicks == nil {
+				agg.CompactionPicks = make(map[string]uint64)
+			}
+			agg.CompactionPicks[name] += n
+		}
 		agg.Generation += st.Generation
 		if statePhaseRank[st.CompactionState] > statePhaseRank[agg.CompactionState] {
 			agg.CompactionState = st.CompactionState

@@ -222,6 +222,19 @@ type Stats struct {
 	MinorCompactions int    `json:"minor_compactions"`
 	MajorCompactions int    `json:"major_compactions"`
 	WriteStalls      int    `json:"write_stalls"`
+	// WriteStallNanos is the cumulative wall time writers spent blocked
+	// in compaction backpressure.
+	WriteStallNanos int64 `json:"write_stall_nanos,omitempty"`
+
+	// BytesFlushed and BytesCompacted total the sstable bytes written by
+	// memtable flushes and by compactions respectively:
+	// (BytesFlushed + BytesCompacted) / BytesFlushed is the engine's
+	// write amplification.
+	BytesFlushed   uint64 `json:"bytes_flushed,omitempty"`
+	BytesCompacted uint64 `json:"bytes_compacted,omitempty"`
+	// CompactionPicks counts completed compactions by the policy or
+	// strategy name that picked them.
+	CompactionPicks map[string]uint64 `json:"compaction_picks,omitempty"`
 
 	// GroupCommits, GroupedWrites and WALSyncs describe the group-commit
 	// pipeline: GroupedWrites/GroupCommits is the average group size,
@@ -284,6 +297,10 @@ func statsFromLSM(st lsm.Stats, backend string, shards int) Stats {
 		MinorCompactions:       st.MinorCompactions,
 		MajorCompactions:       st.MajorCompactions,
 		WriteStalls:            st.WriteStalls,
+		WriteStallNanos:        st.WriteStallTime.Nanoseconds(),
+		BytesFlushed:           st.BytesFlushed,
+		BytesCompacted:         st.BytesCompacted,
+		CompactionPicks:        st.CompactionPicks,
 		GroupCommits:           st.GroupCommits,
 		GroupedWrites:          st.GroupedWrites,
 		WALSyncs:               st.WALSyncs,

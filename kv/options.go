@@ -61,11 +61,10 @@ func (c *config) lsmOptions() lsm.Options {
 		FS:                c.fs,
 		HookBeforeSwap:    c.hookBeforeSwap,
 	}
-	switch c.autoCompact {
-	case "size-tiered":
-		opts.AutoCompact = lsm.SizeTieredPolicy{}
-	case "threshold":
-		opts.AutoCompact = lsm.ThresholdPolicy{}
+	// WithAutoCompact already validated the name, so resolution here
+	// cannot fail; the strategy seed and fan-in ride the Compact defaults.
+	if p, err := lsm.PolicyByName(c.autoCompact, c.compactK, 1); err == nil {
+		opts.AutoCompact = p
 	}
 	if c.background != nil {
 		opts.Background = &lsm.BackgroundConfig{
@@ -148,16 +147,19 @@ func WithCompactionWorkers(n int) Option {
 
 // WithAutoCompact enables minor compactions after flushes with the named
 // policy: "size-tiered" (Cassandra's bucketing), "threshold" (Bigtable's
-// count trigger) or "none" (the default).
+// count trigger), "leveled" (the LevelDB-style layout with per-level
+// size targets), any live-capable strategy from the paper registry (SI,
+// SO, BT, BT(I), BT(O), CHAIN, RANDOM — picking from per-table statistics
+// and HyperLogLog overlap sketches), or "none" (the default).
 func WithAutoCompact(policy string) Option {
 	return openOnly("WithAutoCompact", func(c *config) error {
-		switch policy {
-		case "size-tiered", "threshold", "none":
-			c.autoCompact = policy
-			return nil
-		default:
-			return fmt.Errorf("kv: unknown auto-compaction policy %q", policy)
+		if policy != "none" {
+			if _, err := lsm.PolicyByName(policy, 0, 0); err != nil {
+				return fmt.Errorf("kv: %w", err)
+			}
 		}
+		c.autoCompact = policy
+		return nil
 	})
 }
 
