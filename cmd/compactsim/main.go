@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/compaction"
 	"repro/internal/experiments"
 	"repro/internal/simulator"
+	"repro/internal/vfs"
 	"repro/internal/ycsb"
 )
 
@@ -78,7 +80,7 @@ func run() error {
 		Strategies:     strategies,
 	}
 	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		if err := vfs.Default.MkdirAll(*csvDir, 0o755); err != nil {
 			return err
 		}
 	}
@@ -106,7 +108,7 @@ func run() error {
 			return err
 		}
 		fmt.Print(experiments.FormatFig7(rows))
-		if err := writeCSV(*csvDir, "fig7.csv", func(f *os.File) error {
+		if err := writeCSV(*csvDir, "fig7.csv", func(f io.Writer) error {
 			return experiments.WriteFig7CSV(f, rows)
 		}); err != nil {
 			return err
@@ -119,7 +121,7 @@ func run() error {
 			return err
 		}
 		fmt.Println(experiments.FormatFig8(rows))
-		if err := writeCSV(*csvDir, "fig8.csv", func(f *os.File) error {
+		if err := writeCSV(*csvDir, "fig8.csv", func(f io.Writer) error {
 			return experiments.WriteFig8CSV(f, rows)
 		}); err != nil {
 			return err
@@ -132,7 +134,7 @@ func run() error {
 			return err
 		}
 		fmt.Println(experiments.FormatFig9("Figure 9a: SI cost vs time, update percentage sweep", "update%", rows))
-		if err := writeCSV(*csvDir, "fig9a.csv", func(f *os.File) error {
+		if err := writeCSV(*csvDir, "fig9a.csv", func(f io.Writer) error {
 			return experiments.WriteFig9CSV(f, "update_pct", rows)
 		}); err != nil {
 			return err
@@ -145,7 +147,7 @@ func run() error {
 			return err
 		}
 		fmt.Println(experiments.FormatFig9("Figure 9b: SI cost vs time, operationcount sweep", "opcount", rows))
-		if err := writeCSV(*csvDir, "fig9b.csv", func(f *os.File) error {
+		if err := writeCSV(*csvDir, "fig9b.csv", func(f io.Writer) error {
 			return experiments.WriteFig9CSV(f, "operation_count", rows)
 		}); err != nil {
 			return err
@@ -208,12 +210,17 @@ func parseStrategies(s string) ([]string, error) {
 // scoreFile scores an instance file with every strategy (and the exact
 // optimum when feasible), printing simple and actual costs.
 func scoreFile(path string, k int, seed int64) error {
-	f, err := os.Open(path)
+	f, err := vfs.Default.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	inst, err := compaction.ParseInstance(f)
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	// vfs.File reads at offsets, not sequentially; adapt it for the parser.
+	inst, err := compaction.ParseInstance(io.NewSectionReader(f, 0, st.Size()))
 	if err != nil {
 		return err
 	}
@@ -253,7 +260,7 @@ func dumpInstance(path string, p experiments.Params) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	f, err := vfs.Default.Create(path)
 	if err != nil {
 		return err
 	}
@@ -269,11 +276,11 @@ func dumpInstance(path string, p experiments.Params) error {
 }
 
 // writeCSV writes one CSV file into dir when dir is non-empty.
-func writeCSV(dir, name string, fn func(*os.File) error) error {
+func writeCSV(dir, name string, fn func(io.Writer) error) error {
 	if dir == "" {
 		return nil
 	}
-	f, err := os.Create(filepath.Join(dir, name))
+	f, err := vfs.Default.Create(filepath.Join(dir, name))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,12 @@
+package apiboundary_test
+
+import (
+	"testing"
+
+	"repro/cmd/lsmlint/internal/analyzers/apiboundary"
+	"repro/cmd/lsmlint/internal/lintcore/linttest"
+)
+
+func TestAPIBoundary(t *testing.T) {
+	linttest.Run(t, "testdata/src/boundfix", apiboundary.Analyzer)
+}

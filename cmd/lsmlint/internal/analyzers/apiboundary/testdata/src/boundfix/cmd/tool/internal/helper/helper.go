@@ -1,0 +1,4 @@
+// Package helper is implementation detail of cmd/tool.
+package helper
+
+func Help() {}

@@ -1,0 +1,16 @@
+// Command tool exercises the apiboundary analyzer from the cmd/ side.
+package main
+
+import (
+	"boundfix/cmd/tool/internal/helper"
+	"boundfix/internal/compaction"
+	"boundfix/internal/lsm" // want `boundfix/cmd/tool may not import boundfix/internal/lsm`
+	"boundfix/kv"
+)
+
+func main() {
+	kv.Open()
+	compaction.Simulate()
+	helper.Help()
+	lsm.Secret()
+}

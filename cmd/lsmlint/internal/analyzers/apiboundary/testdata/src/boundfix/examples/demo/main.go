@@ -1,0 +1,15 @@
+// Command demo exercises the apiboundary analyzer from the examples/ side,
+// including the annotation escape hatch.
+package main
+
+import (
+	"boundfix/internal/lsm" // want `boundfix/examples/demo may not import boundfix/internal/lsm`
+	"boundfix/kv"
+	"boundfix/pkglib" //lint:allow apiboundary fixture proves the annotation works on imports
+)
+
+func main() {
+	lsm.Secret()
+	kv.Open()
+	pkglib.Use()
+}

@@ -1,0 +1,3 @@
+module boundfix
+
+go 1.22

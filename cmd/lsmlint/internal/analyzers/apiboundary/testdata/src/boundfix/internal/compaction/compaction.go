@@ -1,0 +1,4 @@
+// Package compaction is the fixture's allowed simulator-layer stub.
+package compaction
+
+func Simulate() {}

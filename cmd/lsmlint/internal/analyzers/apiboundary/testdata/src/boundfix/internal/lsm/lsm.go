@@ -1,0 +1,4 @@
+// Package lsm is the fixture's engine-internal stub.
+package lsm
+
+func Secret() {}

@@ -1,0 +1,4 @@
+// Package kv is the fixture's public façade stub.
+package kv
+
+func Open() {}

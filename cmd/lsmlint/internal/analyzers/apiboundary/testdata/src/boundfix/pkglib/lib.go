@@ -1,0 +1,7 @@
+// Package pkglib is neither a binary nor an example: the boundary does
+// not apply and its internal import is legal.
+package pkglib
+
+import "boundfix/internal/lsm"
+
+func Use() { lsm.Secret() }

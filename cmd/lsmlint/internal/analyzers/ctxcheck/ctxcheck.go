@@ -1,0 +1,194 @@
+// Package ctxcheck verifies that exported context-taking functions consult
+// their ctx inside every potentially blocking loop. The engine's contract
+// (PR 4) is that cancellation lands promptly — scans check expiry every
+// few hundred entries, probes re-check between tables — and a loop that
+// calls out per iteration without ever touching ctx is a cancellation
+// blind spot that only shows up as a wedged request in production.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/cmd/lsmlint/internal/lintcore"
+)
+
+var Analyzer = &lintcore.Analyzer{
+	Name: "ctxcheck",
+	Doc:  "exported ctx-taking functions consult ctx inside potentially blocking loops",
+	Run:  run,
+}
+
+func run(pass *lintcore.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ctxObj := ctxParam(pass, fd)
+			if ctxObj == nil {
+				continue
+			}
+			checkBody(pass, fd.Body, ctxObj)
+		}
+	}
+	return nil
+}
+
+// ctxParam returns the object of the function's context.Context parameter,
+// or nil.
+func ctxParam(pass *lintcore.Pass, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok {
+				tn := named.Obj()
+				if tn.Name() == "Context" && tn.Pkg() != nil && tn.Pkg().Path() == "context" {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkBody flags every potentially blocking loop in body that never
+// consults ctx. Nested function literals are skipped: they run on their
+// own schedule (goroutines, callbacks) and their cancellation story is
+// their own.
+func checkBody(pass *lintcore.Pass, body *ast.BlockStmt, ctx types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var loopBody *ast.BlockStmt
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			loopBody = s.Body
+		case *ast.RangeStmt:
+			loopBody = s.Body
+		default:
+			return true
+		}
+		if !mayBlock(pass, loopBody) {
+			return true
+		}
+		if usesObj(pass, n, ctx) {
+			return true
+		}
+		pass.Reportf(n.Pos(),
+			"potentially blocking loop in exported context-aware function never consults ctx; check ctx.Err (or pass ctx to the callee) each iteration so cancellation lands promptly")
+		return true
+	})
+}
+
+// mayBlock reports whether the loop body contains work that can take
+// arbitrarily long per iteration: a channel operation, a call to a
+// function that itself takes a context (its signature announces it can
+// block), a call through an interface (iterator stepping, engine ops,
+// net.Conn I/O — the implementation is unknowable here), or a call into
+// the os, net, or time packages. Loops over in-memory data calling
+// concrete cheap helpers — validation passes, fmt.Errorf, stats
+// aggregation — never need a cancellation point and are not flagged.
+func mayBlock(pass *lintcore.Pass, body *ast.BlockStmt) bool {
+	blocking := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blocking {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// Starting a goroutine does not block the loop, whatever the
+			// goroutine goes on to do.
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SendStmt:
+			blocking = true
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				blocking = true
+			}
+		case *ast.CallExpr:
+			if isBlockingCall(pass, e) {
+				blocking = true
+			}
+		}
+		return !blocking
+	})
+	return blocking
+}
+
+// isBlockingCall classifies one call per the rules on mayBlock.
+func isBlockingCall(pass *lintcore.Pass, call *ast.CallExpr) bool {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return false // conversion
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			return false
+		}
+	}
+	if sig, ok := pass.Info.Types[call.Fun].Type.(*types.Signature); ok && hasContextParam(sig) {
+		return true
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "os", "net", "time", "syscall":
+					return true
+				}
+				return false
+			}
+		}
+		if info, ok := pass.Info.Selections[sel]; ok {
+			recv := info.Recv()
+			if _, isIface := recv.Underlying().(*types.Interface); isIface {
+				return true
+			}
+			if named, ok := recv.(*types.Named); ok {
+				if pkg := named.Obj().Pkg(); pkg != nil {
+					switch pkg.Path() {
+					case "os", "net", "time", "syscall":
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func hasContextParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if named, ok := sig.Params().At(i).Type().(*types.Named); ok {
+			tn := named.Obj()
+			if tn.Name() == "Context" && tn.Pkg() != nil && tn.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// usesObj reports whether obj is referenced anywhere under n.
+func usesObj(pass *lintcore.Pass, n ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"repro/cmd/lsmlint/internal/analyzers/ctxcheck"
+	"repro/cmd/lsmlint/internal/lintcore/linttest"
+)
+
+func TestCtxCheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/ctxfix", ctxcheck.Analyzer)
+}

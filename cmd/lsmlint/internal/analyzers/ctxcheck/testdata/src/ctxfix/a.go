@@ -1,0 +1,133 @@
+// Package ctxfix exercises the ctxcheck analyzer: exported context-taking
+// functions must consult ctx inside potentially blocking loops.
+package ctxfix
+
+import "context"
+
+// prober is an interface: calls through it can do anything, including disk
+// or network I/O, so loops over it are potentially blocking.
+type prober interface {
+	probe(key string) (string, bool)
+}
+
+type memStore struct{}
+
+func (s *memStore) probe(key string) (string, bool) { return "", false }
+
+// ScanBlind loops over per-key interface probes without ever consulting
+// ctx: a cancelled caller stays wedged until the scan finishes on its own.
+func ScanBlind(ctx context.Context, s prober, keys []string) []string {
+	var out []string
+	for _, k := range keys { // want `potentially blocking loop in exported context-aware function never consults ctx`
+		if v, ok := s.probe(k); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ScanChecked consults ctx.Err each iteration: the canonical shape.
+func ScanChecked(ctx context.Context, s prober, keys []string) ([]string, error) {
+	var out []string
+	for _, k := range keys {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if v, ok := s.probe(k); ok {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// ScanForwarded passes ctx to the callee, which owns the cancellation
+// check; forwarding counts as consulting.
+func ScanForwarded(ctx context.Context, s prober, keys []string) []string {
+	var out []string
+	for _, k := range keys {
+		out = append(out, probeCtx(ctx, s, k))
+	}
+	return out
+}
+
+// ScanDetached is the tricky positive: the callee takes a context — its
+// signature announces it can block — but the loop hands it a detached
+// Background instead of the caller's ctx, severing cancellation.
+func ScanDetached(ctx context.Context, s prober, keys []string) []string {
+	var out []string
+	for _, k := range keys { // want `potentially blocking loop in exported context-aware function never consults ctx`
+		out = append(out, probeCtx(context.Background(), s, k))
+	}
+	return out
+}
+
+func probeCtx(ctx context.Context, s prober, key string) string { return key }
+
+// ValidateConcrete loops over in-memory data calling a concrete method: a
+// validation pass, not blocking work.
+func ValidateConcrete(ctx context.Context, s *memStore, keys []string) int {
+	bad := 0
+	for _, k := range keys {
+		if _, ok := s.probe(k); !ok {
+			bad++
+		}
+	}
+	_ = ctx
+	return bad
+}
+
+// SumPure is a pure in-memory loop — append and arithmetic only. It
+// terminates in microseconds and needs no cancellation point.
+func SumPure(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	_ = ctx
+	return total
+}
+
+// ConvertOnly's loop calls nothing but builtins and conversions, which are
+// not blocking work.
+func ConvertOnly(ctx context.Context, xs []int32) []int64 {
+	out := make([]int64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, int64(x))
+	}
+	_ = ctx
+	return out
+}
+
+// scanUnexported is not part of the exported surface; its caller holds the
+// cancellation responsibility.
+func scanUnexported(ctx context.Context, s prober, keys []string) []string {
+	var out []string
+	for _, k := range keys {
+		if v, ok := s.probe(k); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// WaitDrain receives from a channel per iteration without touching ctx —
+// no function calls at all, but the receive blocks.
+func WaitDrain(ctx context.Context, ch chan int) int {
+	total := 0
+	for i := 0; i < 8; i++ { // want `potentially blocking loop in exported context-aware function never consults ctx`
+		total += <-ch
+	}
+	return total
+}
+
+// SpawnWorkers only starts goroutines from inside the loop body via a
+// function literal; the literal runs on its own schedule and the loop
+// itself (the go statement) does not block.
+func SpawnWorkers(ctx context.Context, n int, ch chan int) {
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			ch <- i
+		}(i)
+	}
+	_ = ctx
+}

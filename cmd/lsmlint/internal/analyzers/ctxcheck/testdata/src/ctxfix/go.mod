@@ -1,0 +1,3 @@
+module ctxfix
+
+go 1.22

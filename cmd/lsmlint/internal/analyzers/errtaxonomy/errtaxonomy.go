@@ -1,0 +1,98 @@
+// Package errtaxonomy enforces the canonical error taxonomy on the
+// kv.Engine / kvnet wire boundary: errors returned by exported functions
+// of the boundary packages must be kverr sentinels or wrap another error
+// with %w — never a bare errors.New or a %w-less fmt.Errorf. A bare error
+// constructed at the boundary is invisible to errors.Is on the far side of
+// the wire, which is exactly how "retryable" and "permanent" failures get
+// conflated by callers.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/cmd/lsmlint/internal/lintcore"
+)
+
+// boundarySuffixes are the module packages whose exported functions form
+// the engine's error-taxonomy boundary.
+var boundarySuffixes = map[string]bool{
+	"kv":             true,
+	"internal/kvnet": true,
+}
+
+var Analyzer = &lintcore.Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "boundary packages return kverr-typed errors or wrap with %w, never bare fmt.Errorf/errors.New",
+	Run:  run,
+}
+
+func run(pass *lintcore.Pass) error {
+	if pass.Module == "" || !boundarySuffixes[strings.TrimPrefix(pass.ImportPath, pass.Module+"/")] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			// Function literals nested in an exported function (option
+			// closures, handler callbacks) surface their errors through
+			// it, so they are part of the boundary.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCall(pass, call)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkCall(pass *lintcore.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch {
+	case pn.Imported().Path() == "errors" && sel.Sel.Name == "New":
+		pass.Reportf(call.Pos(),
+			"bare errors.New on the error-taxonomy boundary; return a kverr sentinel or wrap one with %%w so errors.Is works across the wire")
+	case pn.Imported().Path() == "fmt" && sel.Sel.Name == "Errorf":
+		if len(call.Args) == 0 {
+			return
+		}
+		format, ok := constValue(pass, call.Args[0])
+		if !ok {
+			// Non-constant format: cannot prove it wraps; leave it to
+			// review rather than guess.
+			return
+		}
+		if !strings.Contains(format, "%w") {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf without %%w on the error-taxonomy boundary; wrap a kverr sentinel (or the cause) so errors.Is works across the wire")
+		}
+	}
+}
+
+func constValue(pass *lintcore.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

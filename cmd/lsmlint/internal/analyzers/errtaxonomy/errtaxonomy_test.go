@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"repro/cmd/lsmlint/internal/analyzers/errtaxonomy"
+	"repro/cmd/lsmlint/internal/lintcore/linttest"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	linttest.Run(t, "testdata/src/errfix", errtaxonomy.Analyzer)
+}

@@ -1,0 +1,3 @@
+module errfix
+
+go 1.22

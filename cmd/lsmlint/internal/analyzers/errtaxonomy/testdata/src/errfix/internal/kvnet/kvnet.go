@@ -1,0 +1,25 @@
+// Package kvnet is the wire side of the errfix boundary.
+package kvnet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrProtocol is the sentinel malformed frames wrap.
+var ErrProtocol = errors.New("kvnet: protocol error")
+
+// Decode is boundary code: the %w-less Errorf is a violation, the wrapped
+// one and the suppressed one are not.
+func Decode(frame []byte) error {
+	if len(frame) == 0 {
+		return fmt.Errorf("kvnet: empty frame: %w", ErrProtocol)
+	}
+	if frame[0] == 0xff {
+		return fmt.Errorf("kvnet: reserved opcode %d", frame[0]) // want `fmt.Errorf without %w on the error-taxonomy boundary`
+	}
+	if len(frame) < 4 {
+		return errors.New("kvnet: short frame") //lint:allow errtaxonomy fixture proves suppression works on boundary code
+	}
+	return nil
+}

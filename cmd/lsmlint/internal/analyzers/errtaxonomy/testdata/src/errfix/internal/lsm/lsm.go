@@ -1,0 +1,16 @@
+// Package lsm is NOT a boundary package: internal errors may be bare —
+// they get wrapped when they cross kv or kvnet.
+package lsm
+
+import (
+	"errors"
+	"fmt"
+)
+
+func Flush() error {
+	return errors.New("lsm: flush failed")
+}
+
+func Compact(level int) error {
+	return fmt.Errorf("lsm: compact level %d failed", level)
+}

@@ -1,0 +1,53 @@
+// Package kv is the errfix module's boundary package: exported functions
+// here must return wrapped or sentinel errors, never bare ones.
+package kv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed stands in for a kverr sentinel.
+var ErrClosed = errors.New("kv: closed") // package-level sentinel definitions are the taxonomy, not violations of it
+
+type DB struct{ closed bool }
+
+// Get is a boundary function with one of each violation.
+func (db *DB) Get(key string) (string, error) {
+	if db.closed {
+		return "", fmt.Errorf("kv: get %q: %w", key, ErrClosed)
+	}
+	if key == "" {
+		return "", errors.New("kv: empty key") // want `bare errors.New on the error-taxonomy boundary`
+	}
+	if len(key) > 64 {
+		return "", fmt.Errorf("kv: key %q too long", key) // want `fmt.Errorf without %w on the error-taxonomy boundary`
+	}
+	return "hit", nil
+}
+
+// Open's option closure surfaces its error through the exported API, so it
+// is boundary code even though the literal itself is unexported.
+func Open(opts ...func() error) (*DB, error) {
+	opts = append(opts, func() error {
+		return errors.New("kv: bad option") // want `bare errors.New on the error-taxonomy boundary`
+	})
+	for _, o := range opts {
+		if err := o(); err != nil {
+			return nil, fmt.Errorf("kv: open: %w", err)
+		}
+	}
+	return &DB{}, nil
+}
+
+// format is built at runtime: the analyzer cannot prove it lacks %w and
+// must stay silent rather than guess.
+func Describe(code int) error {
+	format := "kv: code " + "%d"
+	return fmt.Errorf(format, code)
+}
+
+// helper is unexported: its errors are wrapped by the exported callers.
+func helper() error {
+	return errors.New("kv: internal detail")
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"repro/cmd/lsmlint/internal/analyzers/lockheld"
+	"repro/cmd/lsmlint/internal/lintcore/linttest"
+)
+
+func TestLockHeld(t *testing.T) {
+	linttest.Run(t, "testdata/src/lockfix", lockheld.Analyzer)
+}

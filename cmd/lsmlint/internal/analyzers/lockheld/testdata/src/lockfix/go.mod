@@ -1,0 +1,3 @@
+module lockfix
+
+go 1.22

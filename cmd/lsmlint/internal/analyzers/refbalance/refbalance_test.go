@@ -1,0 +1,12 @@
+package refbalance_test
+
+import (
+	"testing"
+
+	"repro/cmd/lsmlint/internal/analyzers/refbalance"
+	"repro/cmd/lsmlint/internal/lintcore/linttest"
+)
+
+func TestRefBalance(t *testing.T) {
+	linttest.Run(t, "testdata/src/reffix", refbalance.Analyzer)
+}

@@ -1,0 +1,234 @@
+// Package reffix exercises the refbalance analyzer: every acquired
+// reference is released on every path.
+package reffix
+
+import "errors"
+
+var errStale = errors.New("stale")
+
+type view struct{ pins int }
+
+func (v *view) unpin()   {}
+func (v *view) seq() int { return 0 }
+
+type Snapshot struct{}
+
+func (s *Snapshot) Release()    {}
+func (s *Snapshot) stale() bool { return false }
+
+type entry struct{}
+type table struct{}
+
+type iter struct{}
+
+func (it *iter) valid() bool { return false }
+
+type db struct{ v *view }
+
+func (d *db) pinView() (*view, error)      { return d.v, nil }
+func (d *db) Snapshot() (*Snapshot, error) { return &Snapshot{}, nil }
+func (d *db) NewIterator(start, end []byte) (*iter, func(), error) {
+	return &iter{}, func() {}, nil
+}
+func (d *db) acquireSnapshot(start, end []byte) ([]entry, []*table, error) {
+	return nil, nil, nil
+}
+
+func releaseTables(tables []*table) {}
+
+func step() error { return nil }
+
+// LeakOnError releases on the happy path but not on the mid-function error
+// return — the exact bug class this analyzer exists for.
+func LeakOnError(d *db) error {
+	v, err := d.pinView() // want `view pin "v" acquired from pinView is not released on every path`
+	if err != nil {
+		return err
+	}
+	if err := step(); err != nil {
+		return err
+	}
+	v.unpin()
+	return nil
+}
+
+// DeferRelease is the canonical safe shape: the error-guard return right
+// after the acquisition is exempt (nothing was pinned), and the defer
+// covers every later path.
+func DeferRelease(d *db) error {
+	v, err := d.pinView()
+	if err != nil {
+		return err
+	}
+	defer v.unpin()
+	if err := step(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// DeferClosureRelease releases from inside a deferred function literal.
+func DeferClosureRelease(d *db) error {
+	v, err := d.pinView()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		v.unpin()
+	}()
+	return step()
+}
+
+// BranchRelease releases explicitly in both branches.
+func BranchRelease(d *db, fast bool) int {
+	v, err := d.pinView()
+	if err != nil {
+		return -1
+	}
+	if fast {
+		v.unpin()
+		return 0
+	}
+	n := v.seq()
+	v.unpin()
+	return n
+}
+
+// PinAndReturn hands the pinned view to the caller, who owns the release.
+func PinAndReturn(d *db) (*view, error) {
+	v, err := d.pinView()
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// DeferHelper is the tricky negative: the release lives inside a helper
+// that is deferred. The analyzer cannot see through the call, but a
+// deferred hand-off transfers ownership and must not be reported.
+func DeferHelper(d *db) error {
+	v, err := d.pinView()
+	if err != nil {
+		return err
+	}
+	defer cleanup(v)
+	return step()
+}
+
+func cleanup(v *view) { v.unpin() }
+
+type cache struct{ v *view }
+
+// StoreView parks the pin in a longer-lived structure; releasing becomes
+// that structure's job.
+func StoreView(d *db, c *cache) error {
+	v, err := d.pinView()
+	if err != nil {
+		return err
+	}
+	c.v = v
+	return nil
+}
+
+// SnapLeak forgets Release on the stale-check return.
+func SnapLeak(d *db) (string, error) {
+	s, err := d.Snapshot() // want `snapshot "s" acquired from Snapshot is not released on every path`
+	if err != nil {
+		return "", err
+	}
+	if s.stale() {
+		return "", errStale
+	}
+	s.Release()
+	return "ok", nil
+}
+
+// IterLeak forgets to call the release func on the invalid-iterator path.
+func IterLeak(d *db) error {
+	it, release, err := d.NewIterator(nil, nil) // want `iterator release func "release" acquired from NewIterator is not released on every path`
+	if err != nil {
+		return err
+	}
+	if !it.valid() {
+		return errStale
+	}
+	release()
+	return nil
+}
+
+// IterDefer covers every path by deferring the release func.
+func IterDefer(d *db) error {
+	it, release, err := d.NewIterator(nil, nil)
+	if err != nil {
+		return err
+	}
+	defer release()
+	if !it.valid() {
+		return errStale
+	}
+	return nil
+}
+
+// TablesLeak drops the retained table set on the empty-result return.
+func TablesLeak(d *db) error {
+	entries, tables, err := d.acquireSnapshot(nil, nil) // want `retained table set "tables" acquired from acquireSnapshot is not released on every path`
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return errStale
+	}
+	releaseTables(tables)
+	return nil
+}
+
+// TablesDefer releases the set on every path via defer.
+func TablesDefer(d *db) ([]entry, error) {
+	entries, tables, err := d.acquireSnapshot(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer releaseTables(tables)
+	if len(entries) == 0 {
+		return nil, errStale
+	}
+	return entries, nil
+}
+
+type handle struct{ refs int }
+
+func (h *handle) Ref() *handle { h.refs++; return h }
+func (h *handle) Unref()       { h.refs-- }
+func (h *handle) ok() bool     { return true }
+
+// RefLeak takes a ref and drops it on the failure return.
+func RefLeak(h *handle) error {
+	g := h.Ref() // want `ref "g" acquired from Ref is not released on every path`
+	if !g.ok() {
+		return errStale
+	}
+	g.Unref()
+	return nil
+}
+
+type counter struct{ n int }
+
+// Ref here is a name collision: it returns an int, which has no Unref, so
+// the type check keeps the analyzer quiet.
+func (c *counter) Ref() int { return c.n }
+
+func CountRef(c *counter) int {
+	n := c.Ref()
+	return n + 1
+}
+
+// SuppressedLeak shows the escape hatch: a deliberate long-lived pin with a
+// stated reason.
+func SuppressedLeak(d *db) error {
+	v, err := d.pinView() //lint:allow refbalance fixture proves suppression works on a leak report
+	if err != nil {
+		return err
+	}
+	_ = v.seq()
+	return nil
+}

@@ -1,0 +1,3 @@
+module reffix
+
+go 1.22

@@ -1,0 +1,53 @@
+// Package vfsfix exercises the vfsdirect analyzer: direct os file I/O is
+// flagged, aliased imports are still caught, shadowing locals are not, and
+// a justified //lint:allow suppresses the finding.
+package vfsfix
+
+import (
+	"fmt"
+	stdos "os"
+
+	"os"
+)
+
+func direct() error {
+	f, err := os.Open("x") // want `direct os\.Open bypasses internal/vfs`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := os.Rename("x", "y"); err != nil { // want `direct os\.Rename bypasses internal/vfs`
+		return err
+	}
+	return os.RemoveAll("dir") // want `direct os\.RemoveAll bypasses internal/vfs`
+}
+
+func aliased() error {
+	// An aliased import must not dodge the check.
+	return stdos.MkdirAll("d", 0o755) // want `direct os\.MkdirAll bypasses internal/vfs`
+}
+
+// shadow has a local whose name collides with the package; selector calls
+// on it resolve to the variable, not the os package, and must not be
+// flagged.
+type opener struct{}
+
+func (opener) Open(string) error { return nil }
+
+func shadow() error {
+	var os opener
+	return os.Open("x")
+}
+
+func allowed() error {
+	//lint:allow vfsdirect demo scratch file, never engine data
+	return os.Remove("scratch")
+}
+
+func allowedSameLine() error {
+	return os.Remove("scratch") //lint:allow vfsdirect demo scratch file, never engine data
+}
+
+func notFileIO() {
+	fmt.Println(os.Getpid()) // Getpid is not file I/O; unflagged.
+}

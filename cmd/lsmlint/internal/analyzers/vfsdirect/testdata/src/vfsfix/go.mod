@@ -1,0 +1,3 @@
+module vfsfix
+
+go 1.22

@@ -1,0 +1,73 @@
+// Package vfsdirect forbids direct os-package file I/O outside
+// internal/vfs. Every production I/O path must flow through vfs.FS so PR
+// 7's fault injection covers it: an os.Create that bypasses the VFS is an
+// fsync the chaos suite can never fail, which is exactly where silent
+// durability regressions hide. Entry points that genuinely want the host
+// OS (demo scratch directories, benchmark report files) annotate the call
+// with //lint:allow vfsdirect <reason>.
+package vfsdirect
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/cmd/lsmlint/internal/lintcore"
+)
+
+// vfsPackage is the one package allowed to touch the os file API: it is
+// the passthrough the rest of the engine injects.
+const vfsPackage = "repro/internal/vfs"
+
+// banned is the os-package surface the vfs.FS interface replaces. The set
+// is deliberately a superset of the FS methods: anything that creates,
+// opens, renames, lists, or deletes files belongs behind the injection
+// seam.
+var banned = map[string]bool{
+	"Open":      true,
+	"Create":    true,
+	"OpenFile":  true,
+	"Rename":    true,
+	"Remove":    true,
+	"RemoveAll": true,
+	"Mkdir":     true,
+	"MkdirAll":  true,
+	"ReadDir":   true,
+	"ReadFile":  true,
+	"WriteFile": true,
+	"Truncate":  true,
+	"Stat":      true,
+	"Lstat":     true,
+}
+
+var Analyzer = &lintcore.Analyzer{
+	Name: "vfsdirect",
+	Doc:  "forbid direct os.* file I/O outside internal/vfs so every production I/O path is fault-injectable",
+	Run:  run,
+}
+
+func run(pass *lintcore.Pass) error {
+	if pass.ImportPath == vfsPackage {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "os" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"direct os.%s bypasses internal/vfs; take a vfs.FS so the call is fault-injectable",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

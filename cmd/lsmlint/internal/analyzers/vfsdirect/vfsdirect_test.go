@@ -1,0 +1,12 @@
+package vfsdirect_test
+
+import (
+	"testing"
+
+	"repro/cmd/lsmlint/internal/analyzers/vfsdirect"
+	"repro/cmd/lsmlint/internal/lintcore/linttest"
+)
+
+func TestVFSDirect(t *testing.T) {
+	linttest.Run(t, "testdata/src/vfsfix", vfsdirect.Analyzer)
+}

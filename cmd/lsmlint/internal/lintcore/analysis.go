@@ -1,0 +1,241 @@
+// Package lintcore is the analysis framework under cmd/lsmlint: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// driver surface (the container has no network access to fetch x/tools, and
+// the suite deliberately keeps the module zero-dependency). It provides the
+// Analyzer/Pass/Diagnostic vocabulary, a package loader driven by
+// `go list -export` (load.go), the `go vet -vettool` unitchecker protocol
+// (vettool.go), an intra-function control-flow graph for path-sensitive
+// checks (cfg.go), and the `//lint:allow <analyzer> <reason>` suppression
+// annotation shared by every analyzer.
+package lintcore
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check. Run inspects a single package
+// through its Pass and reports findings with Pass.Reportf; returning an
+// error aborts the whole suite (reserved for internal failures, not
+// findings).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass carries one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's parsed non-test sources. The suite never
+	// analyzes _test.go files: the invariants it enforces are about
+	// production code paths (tests legitimately use os.* directly, hold
+	// locks across sleeps, and fabricate bare errors).
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// ImportPath is the package's import path with any test-variant
+	// suffix (" [pkg.test]") stripped, so path-scoped analyzers match the
+	// same way under the standalone driver and `go vet`.
+	ImportPath string
+	// Module is the path of the module the package belongs to ("" for
+	// standard-library packages). Path-scoped analyzers anchor on it
+	// rather than hardcoding the repository module name, so their fixture
+	// modules exercise the same code paths.
+	Module string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported finding, already positioned.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// AllowPrefix introduces a suppression annotation. The full form is
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either on the flagged line or on the line directly above it. The
+// reason is mandatory: an allow that does not say why it is safe is itself
+// reported as a finding.
+const AllowPrefix = "lint:allow"
+
+// allowMark is one parsed //lint:allow annotation.
+type allowMark struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	bad      string // non-empty: malformed, with the complaint
+}
+
+// collectAllows parses every //lint:allow annotation in the files,
+// returning them keyed by (filename, line). known is the set of analyzer
+// names the driver is running; an annotation naming an unknown analyzer is
+// marked malformed so typos fail loudly instead of silently suppressing
+// nothing.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) map[string][]allowMark {
+	marks := make(map[string][]allowMark)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, AllowPrefix)
+				pos := fset.Position(c.Pos())
+				m := allowMark{pos: pos}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					m.bad = "lint:allow needs an analyzer name and a reason"
+				case len(fields) == 1:
+					m.bad = fmt.Sprintf("lint:allow %s needs a reason", fields[0])
+				default:
+					m.analyzer = fields[0]
+					m.reason = strings.Join(fields[1:], " ")
+					if !known[m.analyzer] {
+						m.bad = fmt.Sprintf("lint:allow names unknown analyzer %q", m.analyzer)
+					}
+				}
+				key := allowKey(pos.Filename, pos.Line)
+				marks[key] = append(marks[key], m)
+			}
+		}
+	}
+	return marks
+}
+
+func allowKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// RunAnalyzers applies every analyzer to the package and returns the
+// findings that survive //lint:allow filtering, in file/line order.
+// Malformed annotations are returned as findings of the pseudo-analyzer
+// "lintallow".
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows := collectAllows(pkg.Fset, pkg.Files, known)
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			ImportPath: pkg.ImportPath,
+			Module:     pkg.Module,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+
+	// Filter findings the file has allowed, on the same line or the line
+	// directly above.
+	kept := diags[:0]
+	for _, d := range diags {
+		if allowedAt(allows, d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	// Malformed annotations are findings in their own right.
+	for _, ms := range allows {
+		for _, m := range ms {
+			if m.bad != "" {
+				diags = append(diags, Diagnostic{Analyzer: "lintallow", Pos: m.pos, Message: m.bad})
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+func allowedAt(allows map[string][]allowMark, d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, m := range allows[allowKey(d.Pos.Filename, line)] {
+			if m.bad == "" && m.analyzer == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Package is one loaded, type-checked compilation unit, the input both
+// drivers (standalone and vettool) hand to RunAnalyzers.
+type Package struct {
+	ImportPath string
+	Module     string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult
+// populated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// NormalizeImportPath strips the test-variant suffix `go vet` appends
+// ("repro/kv [repro/kv.test]" → "repro/kv").
+func NormalizeImportPath(ip string) string {
+	if i := strings.Index(ip, " ["); i >= 0 {
+		return ip[:i]
+	}
+	return ip
+}

@@ -1,0 +1,319 @@
+package lintcore
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is an intra-function control-flow graph, precise enough for the
+// path-sensitive checks in this suite (refbalance). Each Block carries the
+// leaf statements and control-condition expressions executed on entry to
+// its successors; Exit is the single normal-return sink and PanicExit the
+// sink for paths that end in panic or process exit (which the leak check
+// deliberately ignores: a ref held across a crash is not a correctness
+// bug).
+type CFG struct {
+	Blocks    []*Block
+	Entry     *Block
+	Exit      *Block
+	PanicExit *Block
+}
+
+// Block is one straight-line run of nodes.
+type Block struct {
+	Index int
+	// Nodes holds leaf statements (assignments, calls, defers, sends) and
+	// bare control expressions (if/for/switch conditions) in execution
+	// order.
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	cfg          *CFG
+	cur          *Block
+	frames       []loopFrame
+	fallthroughs []*Block
+	pendingLabel string
+	ok           bool
+}
+
+// BuildCFG builds the graph for one function body. It returns nil when the
+// body uses a construct the builder does not model (goto): callers must
+// then skip the function rather than risk wrong-path conclusions.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, ok: true}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cfg.PanicExit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	b.link(b.cur, b.cfg.Exit)
+	if !b.ok {
+		return nil
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// jump ends the current block with an edge to target and continues
+// building in a fresh, unreachable block (statements after return/break
+// are dead code; modeling them as predecessor-less keeps them out of every
+// path).
+func (b *cfgBuilder) jump(target *Block) {
+	b.link(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		b.link(cond, then)
+		b.cur = then
+		b.stmts(s.Body.List)
+		b.link(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.link(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.link(b.cur, join)
+		} else {
+			b.link(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.link(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.link(head, exit)
+		}
+		b.link(head, body)
+		continueTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			continueTo = post
+		}
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: exit, continueTo: continueTo})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		if post != nil {
+			b.link(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+			b.link(b.cur, head)
+		} else {
+			b.link(b.cur, head)
+		}
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.link(b.cur, head)
+		head.Nodes = append(head.Nodes, s.X)
+		b.link(head, body)
+		b.link(head, exit)
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: exit, continueTo: head})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.link(b.cur, head)
+		b.cur = exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var bodyList []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				b.stmt(sw.Init)
+			}
+			if sw.Tag != nil {
+				b.cur.Nodes = append(b.cur.Nodes, sw.Tag)
+			}
+			bodyList = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				b.stmt(sw.Init)
+			}
+			b.cur.Nodes = append(b.cur.Nodes, sw.Assign)
+			bodyList = sw.Body.List
+		}
+		entry := b.cur
+		join := b.newBlock()
+		clauses := make([]*Block, len(bodyList))
+		for i := range bodyList {
+			clauses[i] = b.newBlock()
+		}
+		hasDefault := false
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: join})
+		for i, cs := range bodyList {
+			cc := cs.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			blk := clauses[i]
+			b.link(entry, blk)
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			next := join
+			if i+1 < len(clauses) {
+				next = clauses[i+1]
+			}
+			b.fallthroughs = append(b.fallthroughs, next)
+			b.cur = blk
+			b.stmts(cc.Body)
+			b.fallthroughs = b.fallthroughs[:len(b.fallthroughs)-1]
+			b.link(b.cur, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if !hasDefault {
+			b.link(entry, join)
+		}
+		b.cur = join
+
+	case *ast.SelectStmt:
+		entry := b.cur
+		join := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: join})
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			blk := b.newBlock()
+			b.link(entry, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmts(cc.Body)
+			b.link(b.cur, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if len(s.Body.List) == 0 {
+			b.link(entry, join)
+		}
+		b.cur = join
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			b.ok = false
+		case token.FALLTHROUGH:
+			if n := len(b.fallthroughs); n > 0 {
+				b.jump(b.fallthroughs[n-1])
+			}
+		case token.BREAK, token.CONTINUE:
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				f := b.frames[i]
+				if s.Label != nil && f.label != s.Label.Name {
+					continue
+				}
+				if s.Tok == token.BREAK {
+					b.jump(f.breakTo)
+					return
+				}
+				if f.continueTo != nil { // continue skips switch/select frames
+					b.jump(f.continueTo)
+					return
+				}
+			}
+			// break/continue with no matching frame: malformed code;
+			// give up on the function.
+			b.ok = false
+		}
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isTerminalCall(s.X) {
+			b.jump(b.cfg.PanicExit)
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assignments, declarations, defers, go statements, sends,
+		// inc/dec: leaf nodes.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// isTerminalCall reports whether the expression is a call that never
+// returns: panic, os.Exit, or log.Fatal*.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok {
+			if x.Name == "os" && fn.Sel.Name == "Exit" {
+				return true
+			}
+			if x.Name == "log" && (fn.Sel.Name == "Fatal" || fn.Sel.Name == "Fatalf" || fn.Sel.Name == "Fatalln") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package lintcore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Load lists the packages matching patterns under dir with
+// `go list -deps -export -json`, then parses and type-checks each root
+// (non-dependency) package from source, resolving imports through the
+// export data the go command just produced. This is the standalone
+// driver's loader; under `go vet -vettool` the go command supplies the
+// same information through vet.cfg files instead (see vettool.go).
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// The loader must behave identically no matter which workspace the
+	// driver happens to run from.
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	goVersion := ""
+	var roots []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			if p.Module != nil && p.Module.GoVersion != "" {
+				goVersion = "go" + p.Module.GoVersion
+			}
+			roots = append(roots, p)
+		}
+	}
+
+	var pkgs []*Package
+	for _, p := range roots {
+		if len(p.CgoFiles) > 0 {
+			// No cgo in this repository; refuse rather than mis-analyze.
+			return nil, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
+		}
+		var paths []string
+		for _, f := range p.GoFiles {
+			paths = append(paths, filepath.Join(p.Dir, f))
+		}
+		module := ""
+		if p.Module != nil {
+			module = p.Module.Path
+		}
+		pkg, err := TypeCheck(p.ImportPath, module, p.Dir, paths, goVersion, func(path string) (io.ReadCloser, error) {
+			e, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			//lint:allow vfsdirect build-cache export data from the go toolchain; the linter is not engine code
+			return os.Open(e)
+		})
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// TypeCheck parses the given files (skipping _test.go sources) and
+// type-checks them as one package, resolving imports through lookup, which
+// must return gc export data for the requested (already canonical) package
+// path.
+func TypeCheck(importPath, module, dir string, files []string, goVersion string, lookup func(string) (io.ReadCloser, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, name := range files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	pkg := &Package{
+		ImportPath: NormalizeImportPath(importPath),
+		Module:     module,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      parsed,
+		Info:       NewTypesInfo(),
+	}
+	if len(parsed) == 0 {
+		// An external-test compilation unit under `go vet` is all
+		// _test.go files; there is nothing for this suite to analyze.
+		pkg.Types = types.NewPackage(pkg.ImportPath, "p")
+		return pkg, nil
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: goVersion,
+	}
+	tpkg, err := conf.Check(pkg.ImportPath, fset, parsed, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", importPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,101 @@
+// Command lsmlint is the engine's static-analysis suite: six analyzers
+// that mechanically enforce invariants the test suite can only sample —
+// vfs-mediated file I/O, balanced view pins and table refs, non-blocking
+// critical sections, the kverr error taxonomy at wire boundaries, prompt
+// context cancellation, and the public-API import boundary for binaries.
+//
+// It runs two ways:
+//
+//	go run ./cmd/lsmlint ./...                # standalone, own loader
+//	go build -o bin/lsmlint ./cmd/lsmlint
+//	go vet -vettool=$(pwd)/bin/lsmlint ./...  # as a go vet tool (CI)
+//
+// Both drivers run the same analyzers over the same non-test sources and
+// honor the same `//lint:allow <analyzer> <reason>` suppression comments
+// (same line or the line above; the reason is mandatory).
+//
+// Exit status: 0 clean, 1 findings, 2 internal error.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/cmd/lsmlint/internal/analyzers/apiboundary"
+	"repro/cmd/lsmlint/internal/analyzers/ctxcheck"
+	"repro/cmd/lsmlint/internal/analyzers/errtaxonomy"
+	"repro/cmd/lsmlint/internal/analyzers/lockheld"
+	"repro/cmd/lsmlint/internal/analyzers/refbalance"
+	"repro/cmd/lsmlint/internal/analyzers/vfsdirect"
+	"repro/cmd/lsmlint/internal/lintcore"
+)
+
+var analyzers = []*lintcore.Analyzer{
+	apiboundary.Analyzer,
+	ctxcheck.Analyzer,
+	errtaxonomy.Analyzer,
+	lockheld.Analyzer,
+	refbalance.Analyzer,
+	vfsdirect.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go vet handshake probes the tool before ever handing it work:
+	// -V=full for the cache key, -flags for the analyzer flag set.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			if err := lintcore.PrintVersion(); err != nil {
+				fmt.Fprintf(os.Stderr, "lsmlint: %v\n", err)
+				return 2
+			}
+			return 0
+		case "-flags", "--flags":
+			lintcore.PrintFlags()
+			return 0
+		}
+	}
+
+	// Under `go vet -vettool` each compilation unit arrives as a *.cfg
+	// path in the final argument.
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		return lintcore.RunVetTool(args[n-1], analyzers)
+	}
+
+	patterns := args
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(os.Stderr, "lsmlint: unknown flag %s\nusage: lsmlint [packages]\n", p)
+			return 2
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lintcore.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lsmlint: %v\n", err)
+		return 2
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := lintcore.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lsmlint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found = true
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the lsmlint binary once into a temp dir and returns
+// its absolute path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "lsmlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building lsmlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestGoVetDriver runs the suite the way CI does — through `go vet
+// -vettool` — against a fixture module with known violations and against a
+// clean package, checking both the diagnostics and the exit status.
+func TestGoVetDriver(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go command not available")
+	}
+	bin := buildTool(t)
+
+	fixture, err := filepath.Abs(filepath.Join("internal", "analyzers", "vfsdirect", "testdata", "src", "vfsfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Violating module: vet must relay the vfsdirect diagnostics and fail.
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = fixture
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet on violating fixture succeeded; want failure\n%s", out)
+	}
+	got := string(out)
+	for _, want := range []string{
+		"direct os.Open bypasses internal/vfs",
+		"direct os.Rename bypasses internal/vfs",
+		"direct os.MkdirAll bypasses internal/vfs",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("go vet output missing %q:\n%s", want, got)
+		}
+	}
+
+	// Clean module: vet must pass silently.
+	clean, err := filepath.Abs(filepath.Join("internal", "analyzers", "errtaxonomy", "testdata", "src", "errfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./internal/lsm")
+	cmd.Dir = clean
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet on clean package failed: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneDriver runs the binary directly over a fixture module and
+// checks it reports the same violations with exit status 1.
+func TestStandaloneDriver(t *testing.T) {
+	bin := buildTool(t)
+	fixture, err := filepath.Abs(filepath.Join("internal", "analyzers", "vfsdirect", "testdata", "src", "vfsfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = fixture
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("standalone run: want exit 1, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "direct os.Open bypasses internal/vfs") {
+		t.Errorf("standalone output missing vfsdirect diagnostic:\n%s", out)
+	}
+}

@@ -27,7 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //lint:allow vfsdirect vfs.FS has no RemoveAll; example scratch-dir cleanup, not engine I/O
 
 	ctx := context.Background()
 	db, err := kv.Open(dir,

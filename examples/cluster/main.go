@@ -38,7 +38,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer os.RemoveAll(dir)
+		defer os.RemoveAll(dir) //lint:allow vfsdirect vfs.FS has no RemoveAll; example scratch-dir cleanup, not engine I/O
 		db, err := kv.Open(dir,
 			kv.WithShards(shardsPerNode),
 			kv.WithMemtableBytes(64<<10),

@@ -1,3 +1,9 @@
+// The module is deliberately dependency-free: the engine, the paper's
+// simulator layer, and the static-analysis suite (cmd/lsmlint) all build
+// on the standard library alone. lsmlint in particular reimplements the
+// small slice of go/analysis it needs rather than pinning
+// golang.org/x/tools, so `go build ./...` works with nothing but the
+// toolchain.
 module repro
 
 go 1.22

@@ -33,6 +33,12 @@ var (
 	// than retry.
 	ErrCorrupt = errors.New("kv: corrupt data")
 
+	// ErrConfig reports an invalid configuration rejected before the engine
+	// touched any state: a bad option value, an option applied to the wrong
+	// entry point, a missing address. Nothing was opened and nothing needs
+	// cleanup; the call can simply be retried with a fixed configuration.
+	ErrConfig = errors.New("kv: invalid configuration")
+
 	// ErrReadOnly reports that the engine has permanently degraded to
 	// read-only after a durability failure (a failed WAL or manifest
 	// fsync). Once an fsync fails the page cache can no longer be trusted,

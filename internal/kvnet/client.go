@@ -272,7 +272,7 @@ func (c *Client) Compact(ctx context.Context, strategy string, k int) (*CompactI
 		return nil, err
 	}
 	if resp.Compact == nil {
-		return nil, fmt.Errorf("kvnet: malformed compact response")
+		return nil, fmt.Errorf("kvnet: malformed compact response: %w", ErrProtocol)
 	}
 	return resp.Compact, nil
 }
@@ -284,7 +284,7 @@ func (c *Client) Stats(ctx context.Context) (*StatsInfo, error) {
 		return nil, err
 	}
 	if resp.Stats == nil {
-		return nil, fmt.Errorf("kvnet: malformed stats response")
+		return nil, fmt.Errorf("kvnet: malformed stats response: %w", ErrProtocol)
 	}
 	return resp.Stats, nil
 }

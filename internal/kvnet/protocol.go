@@ -18,6 +18,12 @@ import (
 	"io"
 )
 
+// ErrProtocol reports a malformed or truncated frame — wire bytes that do
+// not decode as the protocol this package speaks. Every decode failure
+// wraps it, so transports can distinguish "the peer speaks garbage" (drop
+// the connection) from typed engine errors with errors.Is.
+var ErrProtocol = errors.New("kvnet: protocol error")
+
 // Op identifies a request type.
 type Op byte
 
@@ -192,7 +198,7 @@ func appendBytes(dst, b []byte) []byte {
 func readBytes(buf []byte) ([]byte, []byte, error) {
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 || uint64(len(buf[sz:])) < n {
-		return nil, nil, fmt.Errorf("kvnet: truncated field")
+		return nil, nil, fmt.Errorf("kvnet: truncated field: %w", ErrProtocol)
 	}
 	buf = buf[sz:]
 	return buf[:n:n], buf[n:], nil
@@ -201,7 +207,7 @@ func readBytes(buf []byte) ([]byte, []byte, error) {
 func readUvarint(buf []byte) (uint64, []byte, error) {
 	v, sz := binary.Uvarint(buf)
 	if sz <= 0 {
-		return 0, nil, fmt.Errorf("kvnet: truncated uvarint")
+		return 0, nil, fmt.Errorf("kvnet: truncated uvarint: %w", ErrProtocol)
 	}
 	return v, buf[sz:], nil
 }
@@ -251,7 +257,7 @@ func EncodeRequest(req Request) []byte {
 func DecodeRequest(buf []byte) (Request, error) {
 	var req Request
 	if len(buf) < 1 {
-		return req, fmt.Errorf("kvnet: empty request")
+		return req, fmt.Errorf("kvnet: empty request: %w", ErrProtocol)
 	}
 	req.Op = Op(buf[0])
 	buf = buf[1:]
@@ -280,12 +286,12 @@ func DecodeRequest(buf []byte) (Request, error) {
 			return req, err
 		}
 		if len(buf) < 1 {
-			return req, fmt.Errorf("kvnet: truncated range bound")
+			return req, fmt.Errorf("kvnet: truncated range bound: %w", ErrProtocol)
 		}
 		bounded := buf[0]
 		buf = buf[1:]
 		if bounded > 1 {
-			return req, fmt.Errorf("kvnet: bad range bound flag %d", bounded)
+			return req, fmt.Errorf("kvnet: bad range bound flag %d: %w", bounded, ErrProtocol)
 		}
 		if bounded == 1 {
 			if req.End, buf, err = readBytes(buf); err != nil {
@@ -314,17 +320,17 @@ func DecodeRequest(buf []byte) (Request, error) {
 		// pre-allocation is capped regardless, so a hostile count can never
 		// force a large allocation — the slice grows only as ops decode.
 		if n > uint64(len(buf))/2 {
-			return req, fmt.Errorf("kvnet: batch count %d exceeds payload", n)
+			return req, fmt.Errorf("kvnet: batch count %d exceeds payload: %w", n, ErrProtocol)
 		}
 		req.Batch = make([]BatchOp, 0, min(n, 1024))
 		for i := uint64(0); i < n; i++ {
 			if len(buf) < 1 {
-				return req, fmt.Errorf("kvnet: truncated batch op")
+				return req, fmt.Errorf("kvnet: truncated batch op: %w", ErrProtocol)
 			}
 			kind := buf[0]
 			buf = buf[1:]
 			if kind > 1 {
-				return req, fmt.Errorf("kvnet: unknown batch op kind %d", kind)
+				return req, fmt.Errorf("kvnet: unknown batch op kind %d: %w", kind, ErrProtocol)
 			}
 			op := BatchOp{Delete: kind == 1}
 			if op.Key, buf, err = readBytes(buf); err != nil {
@@ -339,7 +345,7 @@ func DecodeRequest(buf []byte) (Request, error) {
 		}
 	case OpFlush, OpStats:
 	default:
-		return req, fmt.Errorf("kvnet: unknown op %d", req.Op)
+		return req, fmt.Errorf("kvnet: unknown op %d: %w", req.Op, ErrProtocol)
 	}
 	return req, nil
 }
@@ -388,7 +394,7 @@ func EncodeResponse(resp Response) []byte {
 func DecodeResponse(buf []byte) (Response, error) {
 	var resp Response
 	if len(buf) < 1 {
-		return resp, fmt.Errorf("kvnet: empty response")
+		return resp, fmt.Errorf("kvnet: empty response: %w", ErrProtocol)
 	}
 	resp.Status = Status(buf[0])
 	buf = buf[1:]
@@ -398,7 +404,7 @@ func DecodeResponse(buf []byte) (Response, error) {
 		return resp, nil
 	case StatusError:
 		if len(buf) < 1 {
-			return resp, fmt.Errorf("kvnet: truncated error response")
+			return resp, fmt.Errorf("kvnet: truncated error response: %w", ErrProtocol)
 		}
 		resp.Code = ErrCode(buf[0])
 		buf = buf[1:]
@@ -410,10 +416,10 @@ func DecodeResponse(buf []byte) (Response, error) {
 		return resp, nil
 	case StatusOK:
 	default:
-		return resp, fmt.Errorf("kvnet: unknown status %d", resp.Status)
+		return resp, fmt.Errorf("kvnet: unknown status %d: %w", resp.Status, ErrProtocol)
 	}
 	if len(buf) < 1 {
-		return resp, fmt.Errorf("kvnet: truncated OK response")
+		return resp, fmt.Errorf("kvnet: truncated OK response: %w", ErrProtocol)
 	}
 	kind := buf[0]
 	buf = buf[1:]
@@ -457,7 +463,7 @@ func DecodeResponse(buf []byte) (Response, error) {
 		}
 		resp.Stats = s
 	default:
-		return resp, fmt.Errorf("kvnet: unknown response kind %q", kind)
+		return resp, fmt.Errorf("kvnet: unknown response kind %q: %w", kind, ErrProtocol)
 	}
 	return resp, nil
 }

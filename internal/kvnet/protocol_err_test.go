@@ -1,0 +1,34 @@
+package kvnet
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDecodeErrorsWrapProtocolSentinel pins every decode failure to the
+// ErrProtocol sentinel: a server (or client) that receives garbage must be
+// able to classify it with errors.Is rather than string matching.
+func TestDecodeErrorsWrapProtocolSentinel(t *testing.T) {
+	badRequests := map[string][]byte{
+		"empty request":   nil,
+		"unknown op":      {99},
+		"truncated field": {byte(OpPut), 200},
+		"truncated batch": {byte(OpWrite), 5, 0},
+	}
+	for name, buf := range badRequests {
+		if _, err := DecodeRequest(buf); !errors.Is(err, ErrProtocol) {
+			t.Errorf("DecodeRequest(%s): err = %v, want errors.Is(err, ErrProtocol)", name, err)
+		}
+	}
+
+	badResponses := map[string][]byte{
+		"empty response": nil,
+		"unknown kind":   {byte(StatusOK), 'Z'},
+		"unknown status": {77},
+	}
+	for name, buf := range badResponses {
+		if _, err := DecodeResponse(buf); !errors.Is(err, ErrProtocol) {
+			t.Errorf("DecodeResponse(%s): err = %v, want errors.Is(err, ErrProtocol)", name, err)
+		}
+	}
+}

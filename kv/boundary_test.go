@@ -11,8 +11,9 @@ import (
 
 // TestPublicAPIBoundary enforces the façade: binaries and examples build
 // against the public kv package only, never against the engine internals
-// it wraps. (CI runs the same check as a grep step; this test keeps it
-// enforced locally too.)
+// it wraps. CI runs the stronger allowlist-based apiboundary analyzer in
+// cmd/lsmlint; this banlist twin keeps the core rule enforced by plain
+// `go test` with no vettool involved.
 func TestPublicAPIBoundary(t *testing.T) {
 	banned := map[string]bool{
 		"repro/internal/lsm":   true,

@@ -55,6 +55,11 @@ var (
 	// serving what remains.
 	ErrCorrupt = kverr.ErrCorrupt
 
+	// ErrConfig reports an Open or Dial rejected for an invalid
+	// configuration — a bad option value, an option applied to the wrong
+	// entry point, a missing address — before any state was touched.
+	ErrConfig = kverr.ErrConfig
+
 	// ErrReadOnly reports a write rejected because the engine permanently
 	// degraded to read-only after a durability failure (a failed WAL or
 	// manifest fsync). Reads keep working; the error wraps the original

@@ -75,7 +75,7 @@ func Dial(addr string, opts ...Option) (Engine, error) {
 		}
 	}
 	if addr == "" {
-		return nil, fmt.Errorf("kv: empty address")
+		return nil, fmt.Errorf("kv: empty address: %w", ErrConfig)
 	}
 	eng, err := newRemoteEngine(cfg, addr)
 	if err != nil {

@@ -84,7 +84,7 @@ type Option func(*config) error
 func openOnly(name string, f func(*config) error) Option {
 	return func(c *config) error {
 		if c.entry != entryOpen {
-			return fmt.Errorf("kv: %s applies only to Open", name)
+			return fmt.Errorf("kv: %s applies only to Open: %w", name, ErrConfig)
 		}
 		return f(c)
 	}
@@ -99,7 +99,7 @@ func openOnly(name string, f func(*config) error) Option {
 func WithShards(n int) Option {
 	return openOnly("WithShards", func(c *config) error {
 		if n < 0 {
-			return fmt.Errorf("kv: negative shard count %d", n)
+			return fmt.Errorf("kv: negative shard count %d: %w", n, ErrConfig)
 		}
 		c.shards = n
 		return nil
@@ -236,7 +236,7 @@ func WithCompactionStrategy(strategy string, k int) Option {
 func WithStatsHandler(addr string) Option {
 	return func(c *config) error {
 		if addr == "" {
-			return fmt.Errorf("kv: WithStatsHandler requires an address")
+			return fmt.Errorf("kv: WithStatsHandler requires an address: %w", ErrConfig)
 		}
 		c.statsAddr = addr
 		return nil
@@ -248,10 +248,10 @@ func WithStatsHandler(addr string) Option {
 func WithDialTimeout(d time.Duration) Option {
 	return func(c *config) error {
 		if c.entry != entryDial {
-			return fmt.Errorf("kv: WithDialTimeout applies only to Dial")
+			return fmt.Errorf("kv: WithDialTimeout applies only to Dial: %w", ErrConfig)
 		}
 		if d <= 0 {
-			return fmt.Errorf("kv: non-positive dial timeout %v", d)
+			return fmt.Errorf("kv: non-positive dial timeout %v: %w", d, ErrConfig)
 		}
 		c.dialTimeout = d
 		return nil

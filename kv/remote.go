@@ -42,22 +42,45 @@ func newRemoteEngine(cfg config, addr string) (*remoteEngine, error) {
 }
 
 // client returns the live connection, re-dialing if the previous one was
-// closed or poisoned by a cancelled request.
+// closed or poisoned by a cancelled request. The dial happens outside
+// e.mu: a slow or timing-out dial must not hold the lock and queue every
+// other operation on the engine behind it for up to the dial timeout.
+// Concurrent re-dials may race; the losers close their connections and
+// adopt the winner's.
 func (e *remoteEngine) client() (*kvnet.Client, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.c != nil && e.c.Healthy() {
-		return e.c, nil
+		c := e.c
+		e.mu.Unlock()
+		return c, nil
 	}
+	e.mu.Unlock()
+
 	conn, err := net.DialTimeout("tcp", e.addr, e.cfg.dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("kv: dial %s: %w", e.addr, err)
 	}
-	e.c = kvnet.NewClient(conn)
-	return e.c, nil
+	c := kvnet.NewClient(conn)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed.Load() {
+		// Close raced in while the dial was in flight: don't leak the
+		// fresh connection and don't resurrect a closed engine.
+		c.Close()
+		return nil, ErrClosed
+	}
+	if e.c != nil && e.c.Healthy() {
+		// Another goroutine finished its re-dial first; adopt its
+		// connection so requests keep serializing over one conn.
+		c.Close()
+		return e.c, nil
+	}
+	e.c = c
+	return c, nil
 }
 
 func (e *remoteEngine) Put(ctx context.Context, key, value []byte) error {
