@@ -8,6 +8,12 @@
 // Usage:
 //
 //	lsmdb -dir /tmp/db [-shards 4]
+//	lsmdb -cluster host1:4650,host2:4650,host3:4650 [-rf 3 -w 2 -r 2]
+//
+// With -cluster the shell speaks to a replicated cluster of lsmserver
+// nodes through the quorum client instead of opening a local directory:
+// every put fans out to rf replicas and acks at w, every get resolves
+// the newest version from r answers (r+w > rf).
 //
 // Commands (stdin, one per line):
 //
@@ -41,23 +47,38 @@ func main() {
 	sync := flag.Bool("sync", false, "fsync the WAL on every write")
 	shards := flag.Int("shards", 0, "engine shard count (0 = adopt existing store, 1 for a new one)")
 	auto := flag.String("auto", "none", "auto minor compaction: size-tiered, threshold, leveled, a paper strategy (SI, SO, BT, BT(I), BT(O), CHAIN, RANDOM), or none")
+	clusterAddrs := flag.String("cluster", "", "comma-separated server addresses; connect as a quorum client instead of opening -dir")
+	rf := flag.Int("rf", 3, "cluster replication factor N (with -cluster)")
+	w := flag.Int("w", 2, "cluster write quorum W (with -cluster)")
+	r := flag.Int("r", 2, "cluster read quorum R (with -cluster)")
 	flag.Parse()
-	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "lsmdb: -dir is required")
-		os.Exit(2)
+
+	var db kv.Engine
+	var err error
+	var at string
+	if *clusterAddrs != "" {
+		addrs := strings.Split(*clusterAddrs, ",")
+		db, err = kv.DialCluster(addrs, kv.WithReplication(*rf, *w, *r))
+		at = fmt.Sprintf("cluster %v (N=%d W=%d R=%d)", addrs, *rf, *w, *r)
+	} else {
+		if *dir == "" {
+			fmt.Fprintln(os.Stderr, "lsmdb: -dir or -cluster is required")
+			os.Exit(2)
+		}
+		opts := []kv.Option{kv.WithShards(*shards), kv.WithAutoCompact(*auto)}
+		if *sync {
+			opts = append(opts, kv.WithSyncWAL())
+		}
+		db, err = kv.Open(*dir, opts...)
+		at = *dir
 	}
-	opts := []kv.Option{kv.WithShards(*shards), kv.WithAutoCompact(*auto)}
-	if *sync {
-		opts = append(opts, kv.WithSyncWAL())
-	}
-	db, err := kv.Open(*dir, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmdb:", err)
 		os.Exit(1)
 	}
 	defer db.Close()
 
-	fmt.Printf("lsmdb at %s — strategies: %s\n", *dir, strings.Join(compaction.StrategyNames(), ", "))
+	fmt.Printf("lsmdb at %s — strategies: %s\n", at, strings.Join(compaction.StrategyNames(), ", "))
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -169,6 +190,11 @@ func execute(db kv.Engine, line string) error {
 		}
 		fmt.Printf("shards=%d tables=%d table_bytes=%d memtable_keys=%d flushes=%d filter_neg=%d\n",
 			st.Shards, st.Tables, st.TableBytes, st.MemtableKeys, st.Flushes, st.FilterNegatives)
+		if c := st.Cluster; c != nil {
+			fmt.Printf("  cluster: nodes=%d down=%d n=%d w=%d r=%d hints_parked=%d hints_replayed=%d read_repairs=%d\n",
+				c.Nodes, c.DownNodes, c.ReplicationFactor, c.WriteQuorum, c.ReadQuorum,
+				c.HintsParked, c.HintsReplayed, c.ReadRepairs)
+		}
 		for i, ss := range st.PerShard {
 			fmt.Printf("  shard %03d: tables=%d table_bytes=%d memtable_keys=%d flushes=%d\n",
 				i, ss.Tables, ss.TableBytes, ss.MemtableKeys, ss.Flushes)

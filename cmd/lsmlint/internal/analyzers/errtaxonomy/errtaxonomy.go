@@ -19,8 +19,9 @@ import (
 // boundarySuffixes are the module packages whose exported functions form
 // the engine's error-taxonomy boundary.
 var boundarySuffixes = map[string]bool{
-	"kv":             true,
-	"internal/kvnet": true,
+	"kv":               true,
+	"internal/kvnet":   true,
+	"internal/cluster": true,
 }
 
 var Analyzer = &lintcore.Analyzer{

@@ -1,0 +1,27 @@
+// Package cluster is the quorum-client side of the errfix boundary: the
+// errors a Router returns cross the same taxonomy line as the wire
+// packages, because callers route on them (retryable vs terminal).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrQuorum is the sentinel quorum failures wrap.
+var ErrQuorum = errors.New("cluster: quorum not met")
+
+// Write is boundary code: quorum failures must wrap a sentinel or the
+// replica errors so callers can errors.Is across the façade.
+func Write(acks, w int, replicaErr error) error {
+	if acks >= w {
+		return nil
+	}
+	if replicaErr != nil {
+		return fmt.Errorf("cluster: write quorum failed: %w", replicaErr)
+	}
+	if acks == 0 {
+		return errors.New("cluster: no replica answered") // want `bare errors.New on the error-taxonomy boundary`
+	}
+	return fmt.Errorf("cluster: %d/%d acks", acks, w) // want `fmt.Errorf without %w on the error-taxonomy boundary`
+}

@@ -15,6 +15,12 @@
 // stalling writers at -bg-stall (backpressure); reads and writes keep
 // being served while the merge runs.
 //
+// A replicated deployment is just several of these processes: the servers
+// hold no replication state — clients connect to all of them at once with
+// kv.DialCluster (or `lsmdb -cluster addr1,addr2,addr3`), which replicates
+// every key across N nodes with quorum writes/reads, failure detection,
+// hinted handoff and read repair.
+//
 // Usage:
 //
 //	lsmserver -dir /var/lib/lsm -listen 127.0.0.1:7700 -auto size-tiered

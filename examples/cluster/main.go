@@ -1,12 +1,16 @@
-// cluster: a three-node NoSQL cluster in one process — the paper's
-// deployment picture. Keys shard over the nodes with consistent hashing,
-// and each node is itself a two-shard store (the same cluster.KeyHash
-// partitions the key space at both layers): writes buffer in per-shard
-// memtables, sstables accumulate per shard, and major compaction runs
-// locally per shard. The router fans cluster-wide maintenance — flush,
-// then major compaction — out to every node and reports each node's cost,
-// showing compaction is a purely local decision exactly as the paper
-// treats it.
+// cluster: a replicated three-node NoSQL cluster in one process — the
+// paper's deployment picture with fault tolerance. Every key lives on
+// N=3 distinct nodes chosen by consistent hashing; writes fan out to all
+// replicas and acknowledge at W=2, reads resolve the newest version from
+// R=2 answers (R+W > N, so every read sees every acknowledged write).
+// Each node is itself a two-shard LSM store: writes buffer in per-shard
+// memtables, sstables accumulate per shard, and major compaction remains
+// a purely local decision exactly as the paper treats it.
+//
+// The script then kills a node mid-workload: writes keep succeeding at
+// quorum, the writes the dead node missed park as hints on its peers,
+// and when the node restarts, hinted handoff replays them — the demo
+// waits for the hint backlog to drain and prints the failover metrics.
 package main
 
 import (
@@ -16,61 +20,111 @@ import (
 	"log"
 	"net"
 	"os"
-	"sort"
+	"time"
 
-	"repro/internal/cluster"
 	"repro/internal/ycsb"
 	"repro/kv"
 )
+
+// node is one restartable cluster member: an embedded store served over
+// the wire protocol on a fixed address.
+type node struct {
+	dir  string
+	addr string
+	db   kv.Engine
+	srv  *kv.Server
+}
+
+func startNode(i int) (*node, error) {
+	dir, err := os.MkdirTemp("", fmt.Sprintf("cluster-node%d-", i))
+	if err != nil {
+		return nil, err
+	}
+	n := &node{dir: dir}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	n.addr = ln.Addr().String()
+	return n, n.serve(ln)
+}
+
+func (n *node) serve(ln net.Listener) error {
+	db, err := kv.Open(n.dir,
+		kv.WithShards(2),
+		kv.WithMemtableBytes(64<<10),
+	)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	srv, err := kv.NewServer(db)
+	if err != nil {
+		ln.Close()
+		db.Close()
+		return err
+	}
+	go srv.Serve(ln)
+	n.db, n.srv = db, srv
+	return nil
+}
+
+// kill crashes the node: connections die mid-request, the address stops
+// answering, anything not flushed is recovered from the WAL on restart.
+func (n *node) kill() {
+	n.srv.Close()
+	n.db.Close()
+}
+
+// restart reopens the node's directory and rebinds its original address.
+func (n *node) restart() error {
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		ln, err = net.Listen("tcp", n.addr)
+		if err == nil {
+			return n.serve(ln)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("rebind %s: %w", n.addr, err)
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cluster: ")
 	ctx := context.Background()
 
-	const (
-		nodes         = 3
-		shardsPerNode = 2
-	)
-	addrs := make([]string, 0, nodes)
-	for i := 0; i < nodes; i++ {
-		dir, err := os.MkdirTemp("", fmt.Sprintf("cluster-node%d-", i))
+	nodes := make([]*node, 3)
+	addrs := make([]string, len(nodes))
+	for i := range nodes {
+		n, err := startNode(i)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer os.RemoveAll(dir) //lint:allow vfsdirect vfs.FS has no RemoveAll; example scratch-dir cleanup, not engine I/O
-		db, err := kv.Open(dir,
-			kv.WithShards(shardsPerNode),
-			kv.WithMemtableBytes(64<<10),
-		)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer db.Close()
-		srv, err := kv.NewServer(db)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		go srv.Serve(ln)
-		defer srv.Close()
-		addrs = append(addrs, ln.Addr().String())
+		defer os.RemoveAll(n.dir) //lint:allow vfsdirect vfs.FS has no RemoveAll; example scratch-dir cleanup, not engine I/O
+		defer n.kill()
+		nodes[i] = n
+		addrs[i] = n.addr
 	}
-	fmt.Printf("started %d nodes x %d shards: %v\n", nodes, shardsPerNode, addrs)
+	fmt.Printf("started %d nodes x 2 shards: %v\n", len(nodes), addrs)
 
-	rt, err := cluster.DialCluster(addrs, 64)
+	// One quorum client over all three nodes. Defaults are N=3, W=2,
+	// R=2 — spelled out here so the failure math below is visible.
+	eng, err := kv.DialCluster(addrs,
+		kv.WithReplication(3, 2, 2),
+		kv.WithRequestTimeout(2*time.Second),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer rt.Close()
+	defer eng.Close()
 
-	// Drive a YCSB workload through the router.
+	// Phase 1: load a YCSB write-heavy workload through the quorum
+	// client with all nodes healthy.
 	gen, err := ycsb.NewGenerator(ycsb.Config{
-		RecordCount:      3000,
-		OperationCount:   12000,
+		RecordCount:      2000,
+		OperationCount:   8000,
 		UpdateProportion: 0.7,
 		InsertProportion: 0.3,
 		Distribution:     ycsb.Zipfian,
@@ -79,83 +133,107 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	writes := 0
-	emit := func(op ycsb.Op) {
-		if !op.Mutates() {
-			return
-		}
-		key := []byte(fmt.Sprintf("user%016x", op.Key))
-		if err := rt.Put(ctx, key, []byte("profile-data")); err != nil {
-			log.Fatal(err)
-		}
-		writes++
-	}
+	ops := make([]ycsb.Op, 0, 10000)
 	for {
 		op, ok := gen.NextLoad()
 		if !ok {
 			break
 		}
-		emit(op)
+		ops = append(ops, op)
 	}
 	for {
 		op, ok := gen.NextRun()
 		if !ok {
 			break
 		}
-		emit(op)
+		ops = append(ops, op)
 	}
-	if err := rt.FlushAll(ctx); err != nil {
-		log.Fatal(err)
-	}
-
-	stats, err := rt.StatsAll(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	names := make([]string, 0, len(stats))
-	for n := range stats {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	fmt.Printf("\nafter %d writes:\n", writes)
-	for _, n := range names {
-		st := stats[n]
-		fmt.Printf("  %s: %d sstables, %d bytes, %d flushes\n", n, st.Tables, st.TableBytes, st.Flushes)
-	}
-
-	// Cluster-wide major compaction, fanned out by the router and scheduled
-	// per shard on every node by BT(I).
-	infos, err := rt.CompactAll(ctx, "BT(I)", 2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\nper-node BT(I) major compaction (each node compacts its shards locally):")
-	for _, n := range names {
-		info := infos[n]
-		fmt.Printf("  %s: %d tables in %d merges, cost %d keys, %d bytes moved\n",
-			n, info.TablesBefore, info.Merges, info.CostActual, info.BytesRead+info.BytesWritten)
-	}
-	stats, err = rt.StatsAll(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, n := range names {
-		if got := stats[n].Tables; got > shardsPerNode {
-			log.Fatalf("node %s still has %d tables after fan-out compaction", n, got)
+	put := func(op ycsb.Op) {
+		key := []byte(fmt.Sprintf("user%016x", op.Key))
+		if err := eng.Put(ctx, key, []byte("profile-data")); err != nil {
+			log.Fatal(err)
 		}
 	}
-
-	// The router still resolves every key after compaction.
-	probe := []byte(fmt.Sprintf("user%016x", uint64(0)))
-	if _, err := rt.Get(ctx, probe); err != nil && !errors.Is(err, kv.ErrNotFound) {
-		log.Fatal(err)
+	healthy := 0
+	for _, op := range ops[:len(ops)/2] {
+		if op.Mutates() {
+			put(op)
+			healthy++
+		}
 	}
-	entries, err := rt.Scan(ctx, []byte("user"), 3)
+	fmt.Printf("\nphase 1: %d writes replicated at W=2 across healthy cluster\n", healthy)
+
+	// Phase 2: kill node 1 and keep writing. Every write still reaches
+	// quorum on the two survivors; the dead node's copies park as hints.
+	victim := nodes[1]
+	victim.kill()
+	fmt.Printf("\nphase 2: killed %s mid-workload\n", victim.addr)
+	failover := 0
+	for _, op := range ops[len(ops)/2:] {
+		if op.Mutates() {
+			put(op)
+			failover++
+		}
+	}
+	st, err := eng.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nglobal scan sample (%d keys):\n", len(entries))
-	for _, e := range entries {
-		fmt.Printf("  %s (owned by %s)\n", e.Key, rt.Owner(e.Key))
+	fmt.Printf("  %d writes acked with one node down (down nodes: %d, hints parked: %d)\n",
+		failover, st.Cluster.DownNodes, st.Cluster.HintsParked)
+
+	// Phase 3: restart the node. The failure detector re-admits it and
+	// hinted handoff replays everything it missed.
+	if err := victim.restart(); err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("\nphase 3: restarted %s, waiting for handoff to drain\n", victim.addr)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err = eng.Stats(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.Cluster.DownNodes == 0 && st.Cluster.HintsParked == st.Cluster.HintsReplayed+st.Cluster.HintsDropped {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("hints never drained: %d parked, %d replayed", st.Cluster.HintsParked, st.Cluster.HintsReplayed)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("  hints replayed: %d (down events: %d, up events: %d, read repairs: %d)\n",
+		st.Cluster.HintsReplayed, st.Cluster.NodeDownEvents, st.Cluster.NodeUpEvents, st.Cluster.ReadRepairs)
+
+	// The recovered cluster still answers everything: spot-check reads
+	// and a short iterator pass over the merged keyspace.
+	probe := []byte(fmt.Sprintf("user%016x", uint64(0)))
+	if _, err := eng.Get(ctx, probe); err != nil && !errors.Is(err, kv.ErrNotFound) {
+		log.Fatal(err)
+	}
+	it, err := eng.NewIterator(ctx, []byte("user"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample := 0
+	for ; it.Valid() && sample < 3; it.Next() {
+		fmt.Printf("  %s\n", it.Key())
+		sample++
+	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
+	it.Close()
+
+	// Cluster-wide maintenance still fans out to every node: flush, then
+	// a BT(I)-scheduled major compaction, both purely local per node.
+	if err := eng.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
+	info, err := eng.Compact(ctx, &kv.CompactOptions{Strategy: "BT(I)", K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncluster-wide BT(I) compaction: %d tables in %d merges, %d bytes moved\n",
+		info.TablesBefore, info.Merges, info.BytesRead+info.BytesWritten)
 }

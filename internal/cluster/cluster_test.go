@@ -127,7 +127,7 @@ func startCluster(t *testing.T, n int) *Router {
 		})
 		addrs = append(addrs, ln.Addr().String())
 	}
-	rt, err := DialCluster(addrs, 64)
+	rt, err := DialCluster(addrs, Options{VNodes: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,11 +263,53 @@ func TestRouterScanMergesSorted(t *testing.T) {
 }
 
 func TestDialClusterErrors(t *testing.T) {
-	if _, err := DialCluster(nil, 8); err == nil {
+	if _, err := DialCluster(nil, Options{}); err == nil {
 		t.Errorf("empty cluster accepted")
 	}
-	if _, err := DialCluster([]string{"127.0.0.1:1"}, 8); err == nil {
-		t.Errorf("unreachable node accepted")
+	if _, err := DialCluster([]string{"127.0.0.1:1"}, Options{}); err == nil {
+		t.Errorf("cluster with no reachable node accepted")
+	}
+}
+
+// TestDialClusterToleratesDownNode: dialing a cluster while one replica
+// is down must succeed — availability under node failure is the point of
+// the quorum client — with the dead node demoted so the health loop
+// re-admits it when it returns.
+func TestDialClusterToleratesDownNode(t *testing.T) {
+	addrs := []string{"127.0.0.1:1"} // the permanently-down replica
+	for i := 0; i < 2; i++ {
+		db, err := lsm.Open(t.TempDir(), lsm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		srv := kvnet.NewServer(db)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		addrs = append(addrs, ln.Addr().String())
+	}
+
+	rt, err := DialCluster(addrs, Options{
+		ReplicationFactor: 3, WriteQuorum: 2, ReadQuorum: 2,
+	})
+	if err != nil {
+		t.Fatalf("dial with one node down: %v", err)
+	}
+	defer rt.Close()
+	if down := rt.DownNodes(); len(down) != 1 || down[0] != "127.0.0.1:1" {
+		t.Fatalf("down nodes = %v, want the unreachable one", down)
+	}
+	ctx := context.Background()
+	if err := rt.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put through degraded cluster: %v", err)
+	}
+	got, err := rt.Get(ctx, []byte("k"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("get through degraded cluster = %q, %v", got, err)
 	}
 }
 
@@ -289,7 +331,7 @@ func TestRouterRedialsReapedConnection(t *testing.T) {
 	go srv.Serve(ln)
 	defer srv.Close()
 
-	rt, err := DialCluster([]string{ln.Addr().String()}, 8)
+	rt, err := DialCluster([]string{ln.Addr().String()}, Options{VNodes: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/retry"
+)
+
+// health is the router's failure detector state: one record per node,
+// flipped down by failed probes or failed user requests and back up by a
+// successful probe. Down nodes are probed on a jittered exponential
+// backoff — a crashed peer is retried gently, not hammered — while up
+// nodes are probed every ping interval. The state machine is
+// deliberately pessimistic-fast, optimistic-slow: one transport failure
+// demotes a node immediately (so user requests stop paying its timeout),
+// and only a successful ping promotes it back.
+type health struct {
+	backoff retry.Backoff
+
+	mu    sync.Mutex
+	nodes map[string]*nodeHealth
+}
+
+type nodeHealth struct {
+	down bool
+	// failures counts consecutive failed probes while down; it indexes
+	// the backoff schedule for nextProbe.
+	failures  int
+	nextProbe time.Time
+	// gen is the node's up-epoch: it advances every time the node is
+	// promoted. A demotion verdict carries the epoch it observed and is
+	// discarded if the node has been promoted since — otherwise a slow
+	// goroutine delivering a failure from before a restart would re-demote
+	// a recovered node (and with it, fail quorums that were healthy).
+	gen uint64
+	// lastErr is the failure that caused the most recent demotion, kept
+	// for diagnostics (operators asking "why is this node down?").
+	lastErr error
+}
+
+func newHealth(probeBackoff retry.Backoff) *health {
+	return &health{backoff: probeBackoff, nodes: make(map[string]*nodeHealth)}
+}
+
+func (h *health) state(node string) *nodeHealth {
+	s, ok := h.nodes[node]
+	if !ok {
+		s = &nodeHealth{}
+		h.nodes[node] = s
+	}
+	return s
+}
+
+// generation returns node's current up-epoch. Callers snapshot it
+// before attempting a request and hand it back to markDown with the
+// verdict, so that a failure observed before a promotion cannot demote
+// the node after it.
+func (h *health) generation(node string) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state(node).gen
+}
+
+// markDown records a failed probe or request against node, remembering
+// the error for diagnostics. gen must be the node's generation from
+// when the failing attempt began; a stale verdict (the node was
+// promoted since) is discarded. It reports whether this call
+// transitioned the node up → down.
+func (h *health) markDown(node string, gen uint64, err error) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.state(node)
+	if s.gen != gen {
+		return false
+	}
+	transition := !s.down
+	s.down = true
+	s.failures++
+	s.nextProbe = time.Now().Add(h.backoff.Delay(s.failures - 1))
+	s.lastErr = err
+	return transition
+}
+
+// downReasons returns, for each currently-down node, the error that
+// demoted it.
+func (h *health) downReasons() map[string]error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]error)
+	for n, s := range h.nodes {
+		if s.down {
+			out[n] = s.lastErr
+		}
+	}
+	return out
+}
+
+// markUp records a successful probe against node. It reports whether
+// this call transitioned the node down → up.
+func (h *health) markUp(node string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.state(node)
+	transition := s.down
+	s.down = false
+	s.failures = 0
+	s.nextProbe = time.Time{}
+	s.gen++
+	return transition
+}
+
+// isDown reports node's current state.
+func (h *health) isDown(node string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.nodes[node]
+	return ok && s.down
+}
+
+// downNodes returns the currently-down node names, sorted order not
+// guaranteed.
+func (h *health) downNodes() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	for n, s := range h.nodes {
+		if s.down {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// dueProbes partitions nodes into the ones worth pinging right now: every
+// up node (the steady-state liveness check) plus the down nodes whose
+// backoff window has elapsed.
+func (h *health) dueProbes(nodes []string, now time.Time) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		s, ok := h.nodes[n]
+		if !ok || !s.down || !now.Before(s.nextProbe) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,9 +1,16 @@
-// Package cluster shards a key space over multiple kvnet servers with
-// consistent hashing — the deployment shape the paper assumes: "A given
-// server stores multiple keys" and runs compaction locally over its own
-// sstables (Section 1). The Router forwards CRUD operations to the owning
-// node and can fan out maintenance operations (flush, major compaction)
-// cluster-wide, so the compaction strategies can be exercised per node.
+// Package cluster replicates a key space over multiple kvnet servers —
+// the deployment shape the paper assumes: "A given server stores multiple
+// keys" and runs compaction locally over its own sstables (Section 1).
+// Consistent hashing places every key on a replica set of N distinct
+// nodes, and the Router is a quorum client over those sets: writes fan
+// out to all N replicas and acknowledge at W, reads resolve the newest
+// version from R answers (R+W > N so read and write quorums always
+// overlap). A ping-based failure detector routes requests away from dead
+// peers, writes a down replica misses park as hints on live nodes and
+// replay when it returns (hinted handoff), and divergent replicas are
+// repaired on read. Maintenance operations (flush, major compaction) fan
+// out cluster-wide, so the compaction strategies can be exercised per
+// node — compaction stays a purely local decision on every replica.
 package cluster
 
 import (
@@ -95,15 +102,43 @@ func (r *Ring) Nodes() []string {
 	return out
 }
 
-// Lookup returns the node owning key, or "" on an empty ring.
+// Lookup returns the node owning key — the first member of its replica
+// set — or "" on an empty ring.
 func (r *Ring) Lookup(key []byte) string {
-	if len(r.vnodes) == 0 {
+	rs := r.ReplicaSet(key, 1)
+	if len(rs) == 0 {
 		return ""
+	}
+	return rs[0]
+}
+
+// ReplicaSet returns the n distinct nodes replicating key: the ring walk
+// clockwise from the key's position, skipping virtual nodes of already
+// chosen physical nodes. The first member is the key's primary owner.
+// Fewer than n nodes in the ring yields all of them (a degenerate set the
+// caller's quorums clamp to); an empty ring yields nil.
+//
+// The walk order gives replication the same minimal-movement property as
+// single-owner consistent hashing: adding or removing a node changes a
+// key's replica set only where that node enters or leaves the walk — the
+// surviving members keep their positions.
+func (r *Ring) ReplicaSet(key []byte, n int) []string {
+	if len(r.vnodes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
 	}
 	h := KeyHash(key)
 	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
-	if i == len(r.vnodes) {
-		i = 0
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for j := 0; j < len(r.vnodes) && len(out) < n; j++ {
+		v := r.vnodes[(i+j)%len(r.vnodes)]
+		if !seen[v.node] {
+			seen[v.node] = true
+			out = append(out, v.node)
+		}
 	}
-	return r.vnodes[i].node
+	return out
 }

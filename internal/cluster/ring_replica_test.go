@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWith(nodes ...string) *Ring {
+	r := NewRing(64)
+	for _, n := range nodes {
+		r.AddNode(n)
+	}
+	return r
+}
+
+func TestReplicaSetDistinctAndStable(t *testing.T) {
+	r := ringWith("a", "b", "c", "d", "e")
+	for i := 0; i < 2000; i++ {
+		key := []byte(fmt.Sprintf("key-%05d", i))
+		set := r.ReplicaSet(key, 3)
+		if len(set) != 3 {
+			t.Fatalf("ReplicaSet(%s) = %v, want 3 members", key, set)
+		}
+		seen := map[string]bool{}
+		for _, n := range set {
+			if seen[n] {
+				t.Fatalf("ReplicaSet(%s) repeats node %s: %v", key, n, set)
+			}
+			seen[n] = true
+		}
+		if set[0] != r.Lookup(key) {
+			t.Fatalf("primary %s != Lookup %s", set[0], r.Lookup(key))
+		}
+		again := r.ReplicaSet(key, 3)
+		for j := range set {
+			if set[j] != again[j] {
+				t.Fatalf("ReplicaSet(%s) not deterministic: %v vs %v", key, set, again)
+			}
+		}
+	}
+}
+
+func TestReplicaSetDegenerateRings(t *testing.T) {
+	empty := NewRing(8)
+	if got := empty.ReplicaSet([]byte("k"), 3); got != nil {
+		t.Errorf("empty ring ReplicaSet = %v", got)
+	}
+	single := ringWith("only")
+	if got := single.ReplicaSet([]byte("k"), 3); len(got) != 1 || got[0] != "only" {
+		t.Errorf("single-node ReplicaSet = %v", got)
+	}
+	two := ringWith("a", "b")
+	got := two.ReplicaSet([]byte("k"), 3)
+	if len(got) != 2 || got[0] == got[1] {
+		t.Errorf("N>nodes ReplicaSet = %v, want both nodes once", got)
+	}
+	if got := two.ReplicaSet([]byte("k"), 0); got != nil {
+		t.Errorf("n=0 ReplicaSet = %v", got)
+	}
+}
+
+// TestReplicaSetMinimalMovementOnRemove: removing a node only touches
+// replica sets that contained it, and surviving members keep their
+// positions — the replication analogue of consistent hashing's minimal
+// movement.
+func TestReplicaSetMinimalMovementOnRemove(t *testing.T) {
+	r := ringWith("a", "b", "c", "d", "e")
+	const keys = 3000
+	before := map[string][]string{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		before[k] = r.ReplicaSet([]byte(k), 3)
+	}
+	r.RemoveNode("e")
+	hadE := 0
+	for k, old := range before {
+		now := r.ReplicaSet([]byte(k), 3)
+		if len(now) != 3 {
+			t.Fatalf("replica set shrank to %v", now)
+		}
+		contained := false
+		for _, n := range old {
+			if n == "e" {
+				contained = true
+			}
+		}
+		if !contained {
+			for j := range old {
+				if now[j] != old[j] {
+					t.Fatalf("key %s never replicated on e but moved: %v -> %v", k, old, now)
+				}
+			}
+			continue
+		}
+		hadE++
+		// Survivors keep their relative order; exactly one new member
+		// joins.
+		var oldSurvivors, nowKept []string
+		for _, n := range old {
+			if n != "e" {
+				oldSurvivors = append(oldSurvivors, n)
+			}
+		}
+		inOld := map[string]bool{}
+		for _, n := range old {
+			inOld[n] = true
+		}
+		newcomers := 0
+		for _, n := range now {
+			if n == "e" {
+				t.Fatalf("key %s still replicated on removed node: %v", k, now)
+			}
+			if inOld[n] {
+				nowKept = append(nowKept, n)
+			} else {
+				newcomers++
+			}
+		}
+		if newcomers != 1 {
+			t.Fatalf("key %s gained %d new replicas, want exactly 1: %v -> %v", k, newcomers, old, now)
+		}
+		if len(nowKept) != len(oldSurvivors) {
+			t.Fatalf("key %s lost survivors: %v -> %v", k, old, now)
+		}
+		for j := range oldSurvivors {
+			if nowKept[j] != oldSurvivors[j] {
+				t.Fatalf("key %s survivors reordered: %v -> %v", k, old, now)
+			}
+		}
+	}
+	if hadE == 0 {
+		t.Fatal("no key was replicated on the removed node; test proves nothing")
+	}
+}
+
+// TestReplicaSetMinimalMovementOnAdd: adding a node either leaves a
+// key's replica set untouched or inserts the new node, displacing
+// exactly the set's last walk member.
+func TestReplicaSetMinimalMovementOnAdd(t *testing.T) {
+	r := ringWith("a", "b", "c", "d")
+	const keys = 3000
+	before := map[string][]string{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		before[k] = r.ReplicaSet([]byte(k), 3)
+	}
+	r.AddNode("f")
+	gained := 0
+	for k, old := range before {
+		now := r.ReplicaSet([]byte(k), 3)
+		hasF := false
+		for _, n := range now {
+			if n == "f" {
+				hasF = true
+			}
+		}
+		if !hasF {
+			for j := range old {
+				if now[j] != old[j] {
+					t.Fatalf("key %s moved without involving the new node: %v -> %v", k, old, now)
+				}
+			}
+			continue
+		}
+		gained++
+		// Removing f from the new set must reproduce a prefix of the old
+		// set: the new node displaced exactly the last member.
+		var rest []string
+		for _, n := range now {
+			if n != "f" {
+				rest = append(rest, n)
+			}
+		}
+		if len(rest) != len(old)-1 {
+			t.Fatalf("key %s: new node displaced %d members: %v -> %v", k, len(old)-len(rest), old, now)
+		}
+		for j := range rest {
+			if rest[j] != old[j] {
+				t.Fatalf("key %s: surviving members reordered: %v -> %v", k, old, now)
+			}
+		}
+	}
+	if gained == 0 {
+		t.Fatal("new node joined no replica set; test proves nothing")
+	}
+}

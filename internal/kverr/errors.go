@@ -39,6 +39,14 @@ var (
 	// cleanup; the call can simply be retried with a fixed configuration.
 	ErrConfig = errors.New("kv: invalid configuration")
 
+	// ErrUnavailable reports a cluster operation that could not reach its
+	// quorum: fewer than W replicas acknowledged a write, or fewer than R
+	// replicas answered a read, after failover and retries. The operation
+	// may have partially applied on the replicas that did respond — a
+	// retried write converges via last-writer-wins versioning — and it is
+	// always wrapped together with a per-replica cause.
+	ErrUnavailable = errors.New("kv: quorum unavailable")
+
 	// ErrReadOnly reports that the engine has permanently degraded to
 	// read-only after a durability failure (a failed WAL or manifest
 	// fsync). Once an fsync fails the page cache can no longer be trusted,

@@ -122,6 +122,15 @@ func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 	if c.closed.Load() {
 		return Response{}, ErrClientClosed
 	}
+	if err := ctx.Err(); err != nil {
+		// The context expired while this request was queued behind others
+		// on the shared connection. Nothing has touched the wire, so the
+		// frame stream is still synchronized: fail the request but leave
+		// the connection healthy for the requests behind it. Poisoning
+		// here would cascade one slow burst into a redial storm and
+		// false-positive down verdicts for a perfectly live node.
+		return Response{}, fmt.Errorf("kvnet: request aborted: %w", err)
+	}
 	stop := c.armDeadline(ctx)
 	defer stop()
 	payload, err := c.exchange(req)
@@ -257,6 +266,15 @@ func (c *Client) Range(ctx context.Context, start, end []byte, limit int) ([]Sca
 		return nil, err
 	}
 	return resp.Entries, nil
+}
+
+// Ping probes the server for liveness without touching the engine. A nil
+// return means the peer decoded a frame and answered: the connection is
+// live end to end. Health checkers call it on an interval so dead peers
+// are demoted before user requests hit them.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, Request{Op: OpPing})
+	return err
 }
 
 // Flush forces a memtable flush on the server.

@@ -45,6 +45,12 @@ const (
 	// range by re-issuing OpRange with Start just past the last key of the
 	// previous page.
 	OpRange
+	// OpPing is a no-op liveness probe: the server answers StatusOK
+	// without touching the engine. Failure detectors use it to notice a
+	// reaped or dead peer before a user request has to — a poisoned
+	// connection is otherwise only discovered by the next real request
+	// failing on it.
+	OpPing
 )
 
 // Status is the first byte of every response.
@@ -343,7 +349,7 @@ func DecodeRequest(buf []byte) (Request, error) {
 			}
 			req.Batch = append(req.Batch, op)
 		}
-	case OpFlush, OpStats:
+	case OpFlush, OpStats, OpPing:
 	default:
 		return req, fmt.Errorf("kvnet: unknown op %d: %w", req.Op, ErrProtocol)
 	}

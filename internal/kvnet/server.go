@@ -254,6 +254,11 @@ func (s *Server) execute(ctx context.Context, req Request) Response {
 			start = req.Start
 		}
 		return s.scanRange(ctx, start, req.End, req.Limit)
+	case OpPing:
+		// Liveness only: answer without touching the engine, so a ping
+		// stays cheap and meaningful even while the engine is degraded
+		// (read-only, compacting, stalled).
+		return Response{Status: StatusOK}
 	case OpFlush:
 		if err := s.db.Flush(); err != nil {
 			return errResponse(err)

@@ -31,6 +31,7 @@ import (
 	"repro/internal/iterator"
 	"repro/internal/kverr"
 	"repro/internal/memtable"
+	"repro/internal/retry"
 	"repro/internal/sstable"
 	"repro/internal/vfs"
 	"repro/internal/wal"
@@ -767,11 +768,10 @@ func (db *DB) quarantineTable(th *tableHandle, cause error) {
 // table count is back under the trigger threshold.
 // bgMaxRetries bounds how many times the background compactor retries a
 // failing compaction before giving up and surfacing the error; retries
-// back off exponentially from bgRetryBase.
-const (
-	bgMaxRetries = 3
-	bgRetryBase  = 10 * time.Millisecond
-)
+// back off on bgBackoff's jittered exponential schedule.
+const bgMaxRetries = 3
+
+var bgBackoff = retry.Backoff{Base: 10 * time.Millisecond, Max: 2 * time.Second}
 
 func (db *DB) backgroundCompactor() {
 	defer db.bgWG.Done()
@@ -807,7 +807,7 @@ func (db *DB) backgroundCompactor() {
 				select {
 				case <-db.bgQuit:
 					return
-				case <-time.After(bgRetryBase << (retries - 1)):
+				case <-time.After(bgBackoff.Delay(retries - 1)):
 				}
 				continue
 			}

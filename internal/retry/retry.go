@@ -1,0 +1,132 @@
+// Package retry is the engine's one implementation of jittered
+// exponential backoff. It exists because backoff keeps being needed at
+// every layer that talks to something that can transiently fail — the
+// background compactor retrying after an injected I/O error, the cluster
+// router retrying a replica write, the failure detector probing a down
+// node — and each ad-hoc copy picks different constants and a different
+// jitter story. The package is a leaf (it imports only the standard
+// library) so any layer can depend on it without cycles.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes per-attempt delays: Base doubling each attempt, capped
+// at Max, with a uniformly random jitter fraction subtracted so that many
+// independent retriers (replica writes fanned out together, N routers
+// probing the same dead node) do not synchronize into retry storms. The
+// zero value is usable and selects the defaults below.
+type Backoff struct {
+	// Base is the delay before the first retry. Zero selects 10ms.
+	Base time.Duration
+	// Max caps the exponential growth. Zero selects 2s.
+	Max time.Duration
+	// Jitter is the fraction of the computed delay randomly shaved off:
+	// the actual delay is uniform in [d*(1-Jitter), d]. Zero selects 0.5;
+	// negative disables jitter (deterministic delays, for tests).
+	Jitter float64
+}
+
+const (
+	defaultBase   = 10 * time.Millisecond
+	defaultMax    = 2 * time.Second
+	defaultJitter = 0.5
+)
+
+// jitterRand is the shared jitter source. math/rand's global functions
+// would do, but a dedicated locked source keeps this package independent
+// of global seeding and makes the lock scope explicit.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// Delay returns the backoff delay for the given retry attempt, counted
+// from 0 (the delay before the first retry). Delays grow Base·2^attempt up
+// to Max, then jitter shaves off a random fraction.
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max, jitter := b.Base, b.Max, b.Jitter
+	if base <= 0 {
+		base = defaultBase
+	}
+	if max <= 0 {
+		max = defaultMax
+	}
+	switch {
+	case jitter == 0:
+		jitter = defaultJitter
+	case jitter < 0:
+		jitter = 0
+	case jitter > 1:
+		jitter = 1
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if jitter > 0 {
+		jitterMu.Lock()
+		f := jitterRand.Float64()
+		jitterMu.Unlock()
+		d = d - time.Duration(f*jitter*float64(d))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Sleep blocks for the attempt's delay or until ctx expires, returning
+// ctx's error in the latter case. The timer is torn down on early exit.
+func (b Backoff) Sleep(ctx context.Context, attempt int) error {
+	d := b.Delay(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs fn up to attempts times, sleeping the backoff delay between
+// tries. It returns nil on the first success; the last failure when every
+// attempt errored; and ctx's error immediately if the context expires
+// while waiting (the in-flight fn is never interrupted — bound it with its
+// own deadline if it can block). fn receives the attempt number, counted
+// from 0.
+func Do(ctx context.Context, attempts int, b Backoff, fn func(attempt int) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last error
+	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if last = fn(i); last == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		if err := b.Sleep(ctx, i); err != nil {
+			return err
+		}
+	}
+	return last
+}

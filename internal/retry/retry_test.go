@@ -1,0 +1,128 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := b.Delay(i); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	if got := b.Delay(-3); got != 10*time.Millisecond {
+		t.Errorf("Delay(negative) = %v", got)
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		d := b.Delay(1) // nominal 200ms
+		if d < 100*time.Millisecond || d > 200*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [100ms, 200ms]", d)
+		}
+	}
+	// Jitter actually varies.
+	first := b.Delay(1)
+	varied := false
+	for i := 0; i < 50 && !varied; i++ {
+		varied = b.Delay(1) != first
+	}
+	if !varied {
+		t.Error("jittered delays never varied")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	var b Backoff // all zero: Base 10ms, Max 2s, Jitter 0.5
+	if d := b.Delay(0); d <= 0 || d > defaultBase {
+		t.Errorf("zero-value Delay(0) = %v", d)
+	}
+	if d := b.Delay(40); d > defaultMax {
+		t.Errorf("zero-value Delay(40) = %v exceeds default max", d)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	b := Backoff{Base: time.Hour, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Sleep(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Sleep = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after cancellation")
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Jitter: -1}
+	calls := 0
+	err := Do(context.Background(), 5, b, func(attempt int) error {
+		if attempt != calls {
+			t.Errorf("attempt = %d on call %d", attempt, calls)
+		}
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls", err, calls)
+	}
+}
+
+func TestDoReturnsLastError(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Jitter: -1}
+	boom := errors.New("boom")
+	calls := 0
+	err := Do(context.Background(), 3, b, func(int) error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want boom after 3", err, calls)
+	}
+}
+
+func TestDoStopsOnContextExpiry(t *testing.T) {
+	b := Backoff{Base: time.Hour, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, 10, b, func(int) error { calls.Add(1); return errors.New("x") })
+	}()
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Do = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fn ran %d times after cancellation mid-backoff", n)
+	}
+}
+
+func TestDoPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Do(ctx, 3, Backoff{}, func(int) error { t.Fatal("fn ran"); return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do on cancelled ctx = %v", err)
+	}
+}

@@ -1,0 +1,344 @@
+package kv
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/kvnet"
+)
+
+// DialCluster connects to a replicated cluster of servers and returns an
+// Engine that survives node failure. Every key is stored on N distinct
+// nodes (consistent hashing with per-key replica sets); writes fan out
+// to all N replicas and acknowledge at W, reads resolve the newest
+// version from R answers, with R+W > N so every read quorum overlaps
+// every write quorum. A node going down costs no availability while
+// N−W (writes) and N−R (reads) tolerate it: missed writes park as hints
+// on live nodes and replay when the node returns, divergent replicas
+// are repaired on read, and a ping-based failure detector routes
+// requests away from dead peers. Defaults: N=3, W=2, R=2 — see
+// WithReplication.
+//
+// The cluster is operated by the clients: any number of DialCluster
+// engines may point at the same servers, and the servers themselves
+// need no replication configuration (they are plain Dial/NewServer
+// nodes).
+func DialCluster(addrs []string, opts ...Option) (Engine, error) {
+	cfg := defaultConfig(entryCluster)
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("kv: no cluster addresses: %w", ErrConfig)
+	}
+	rt, err := cluster.DialCluster(addrs, cluster.Options{
+		ReplicationFactor: cfg.replicationN,
+		WriteQuorum:       cfg.replicationW,
+		ReadQuorum:        cfg.replicationR,
+		RequestTimeout:    cfg.requestTimeout,
+		DialTimeout:       cfg.dialTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng := &clusterEngine{cfg: cfg, rt: rt}
+	if cfg.statsAddr != "" {
+		stats, err := startStatsServer(cfg.statsAddr, eng)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		eng.stats = stats
+	}
+	return eng, nil
+}
+
+// clusterEngine adapts the quorum router to the Engine interface.
+type clusterEngine struct {
+	cfg    config
+	rt     *cluster.Router
+	closed atomic.Bool
+	stats  *statsServer // nil unless WithStatsHandler
+}
+
+func (e *clusterEngine) Put(ctx context.Context, key, value []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.rt.Put(ctx, key, value)
+}
+
+func (e *clusterEngine) Get(ctx context.Context, key []byte) ([]byte, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	return e.rt.Get(ctx, key)
+}
+
+func (e *clusterEngine) Delete(ctx context.Context, key []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.rt.Delete(ctx, key)
+}
+
+func (e *clusterEngine) Write(ctx context.Context, b *Batch) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if b == nil || b.Len() == 0 {
+		return nil
+	}
+	if b.SizeBytes() > MaxBatchBytes {
+		return fmt.Errorf("%w: %d bytes > %d", ErrBatchTooLarge, b.SizeBytes(), MaxBatchBytes)
+	}
+	ops := make([]kvnet.BatchOp, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		key, value, del := b.wb.Op(i)
+		ops[i] = kvnet.BatchOp{Delete: del, Key: key, Value: value}
+	}
+	return e.rt.Write(ctx, ops)
+}
+
+func (e *clusterEngine) NewIterator(ctx context.Context, start, end []byte) (Iterator, error) {
+	start, end = normBound(start), normBound(end)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if start != nil && end != nil && bytes.Compare(start, end) >= 0 {
+		return emptyIterator{}, nil
+	}
+	it := &clusterIterator{e: e, ctx: ctx, end: end, next: start, more: true}
+	it.fill()
+	return it, nil
+}
+
+func (e *clusterEngine) Snapshot(ctx context.Context) (Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	// Materialize the merged, version-resolved keyspace client-side, page
+	// by page — the same trade the single-node remote backend makes.
+	var entries []kvnet.ScanEntry
+	var next []byte
+	for {
+		page, cont, err := e.rt.RangePage(ctx, next, nil, remotePageSize)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, page...)
+		if cont == nil {
+			break
+		}
+		next = cont
+	}
+	return &remoteSnapshot{engineClosed: &e.closed, entries: entries}, nil
+}
+
+func (e *clusterEngine) Flush(ctx context.Context) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.rt.FlushAll(ctx)
+}
+
+func (e *clusterEngine) Compact(ctx context.Context, opts *CompactOptions) (*CompactionInfo, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	strategy, k := e.cfg.compactStrategy, e.cfg.compactK
+	if opts != nil {
+		if opts.Strategy != "" {
+			strategy = opts.Strategy
+		}
+		if opts.K >= 2 {
+			k = opts.K
+		}
+	}
+	infos, err := e.rt.CompactAll(ctx, strategy, k)
+	if err != nil {
+		return nil, err
+	}
+	out := &CompactionInfo{Strategy: strategy}
+	for _, info := range infos {
+		out.TablesBefore += int(info.TablesBefore)
+		out.Merges += int(info.Merges)
+		out.BytesRead += info.BytesRead
+		out.BytesWritten += info.BytesWritten
+		out.CostActual += int(info.CostActual)
+		if d := time.Duration(info.DurationMicro) * time.Microsecond; d > out.Duration {
+			// Nodes compact concurrently: wall time is the slowest node.
+			out.Duration = d
+		}
+	}
+	return out, nil
+}
+
+func (e *clusterEngine) Stats(ctx context.Context) (Stats, error) {
+	if e.closed.Load() {
+		return Stats{}, ErrClosed
+	}
+	infos, err := e.rt.StatsAll(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	m := e.rt.Metrics()
+	out := Stats{
+		Backend: "cluster",
+		Cluster: &ClusterStats{
+			Nodes:             m.Nodes,
+			DownNodes:         m.DownNodes,
+			ReplicationFactor: m.ReplicationFactor,
+			WriteQuorum:       m.WriteQuorum,
+			ReadQuorum:        m.ReadQuorum,
+			HintsParked:       m.HintsParked,
+			HintsReplayed:     m.HintsReplayed,
+			HintsDropped:      m.HintsDropped,
+			ReadRepairs:       m.ReadRepairs,
+			NodeDownEvents:    m.NodeDownEvents,
+			NodeUpEvents:      m.NodeUpEvents,
+		},
+	}
+	for _, st := range infos {
+		out.Tables += int(st.Tables)
+		out.TableBytes += st.TableBytes
+		out.MemtableKeys += int(st.MemtableKeys)
+		out.Flushes += int(st.Flushes)
+		out.MinorCompactions += int(st.MinorCompactions)
+		out.MajorCompactions += int(st.MajorCompactions)
+		out.WriteStalls += int(st.WriteStalls)
+		out.GroupCommits += st.GroupCommits
+		out.GroupedWrites += st.GroupedWrites
+		out.WALSyncs += st.WALSyncs
+		out.ReadOnly = out.ReadOnly || st.ReadOnly != 0
+		out.QuarantinedTables += int(st.QuarantinedTables)
+		out.CleanupFailures += st.CleanupFailures
+	}
+	return out, nil
+}
+
+// Close shuts down the router: background convergence work stops and
+// every node connection closes. Like the single-node remote backend it
+// does not close the servers, and it is idempotent.
+func (e *clusterEngine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if e.stats != nil {
+		e.stats.Close()
+	}
+	return e.rt.Close()
+}
+
+func (e *clusterEngine) statsListenAddr() string {
+	if e.stats == nil {
+		return ""
+	}
+	return e.stats.Addr()
+}
+
+// clusterIterator pages through the cluster's merged key range one
+// quorum RangePage at a time. Pages are independent quorum views: a
+// concurrent writer may be visible in one page and not the previous —
+// the same contract as the single-node remote iterator.
+type clusterIterator struct {
+	e    *clusterEngine
+	ctx  context.Context
+	end  []byte
+	next []byte // continuation key for the next page
+	more bool   // cluster may have more entries past next
+
+	buf    []kvnet.ScanEntry
+	pos    int
+	err    error
+	closed bool
+}
+
+// fill pulls pages until one yields entries, the range is exhausted, or
+// an error lands. A page can be empty while more remain — tombstones
+// and replication bookkeeping consume page budget without producing
+// entries — so exhaustion is signalled by the continuation key, not by
+// page size.
+func (it *clusterIterator) fill() {
+	it.buf, it.pos = nil, 0
+	for it.more && it.err == nil {
+		if it.e.closed.Load() {
+			it.err = ErrClosed
+			return
+		}
+		page, cont, err := it.e.rt.RangePage(it.ctx, it.next, it.end, remotePageSize)
+		if err != nil {
+			it.err = err
+			return
+		}
+		if cont == nil {
+			it.more = false
+		} else {
+			it.next = cont
+		}
+		if len(page) > 0 {
+			it.buf = page
+			return
+		}
+	}
+}
+
+func (it *clusterIterator) Valid() bool {
+	return it.err == nil && !it.closed && it.pos < len(it.buf)
+}
+
+func (it *clusterIterator) Key() []byte {
+	if !it.Valid() {
+		return nil
+	}
+	return it.buf[it.pos].Key
+}
+
+func (it *clusterIterator) Value() []byte {
+	if !it.Valid() {
+		return nil
+	}
+	return it.buf[it.pos].Value
+}
+
+func (it *clusterIterator) Next() {
+	if it.closed {
+		if it.err == nil {
+			it.err = ErrClosed
+		}
+		return
+	}
+	if it.err != nil {
+		return
+	}
+	if it.e.closed.Load() {
+		it.err = ErrClosed
+		return
+	}
+	it.pos++
+	if it.pos >= len(it.buf) {
+		it.fill()
+	}
+}
+
+func (it *clusterIterator) Err() error { return it.err }
+
+func (it *clusterIterator) Close() error {
+	it.closed = true
+	it.buf = nil
+	return nil
+}
+
+var _ Engine = (*clusterEngine)(nil)

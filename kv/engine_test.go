@@ -50,11 +50,40 @@ func openRemote(t *testing.T, opts ...Option) Engine {
 	return eng
 }
 
+// openClusterEngine stands up three loopback nodes and a quorum cluster
+// engine over them (N=3, W=2, R=2 defaults). Opts configure the node
+// engines, mirroring openRemote.
+func openClusterEngine(t *testing.T, opts ...Option) Engine {
+	t.Helper()
+	addrs := make([]string, 3)
+	for i := range addrs {
+		backing := openLocal(t, 1, opts...)
+		srv, err := NewServer(backing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = ln.Addr().String()
+	}
+	eng, err := DialCluster(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
 func backendCases() []backendCase {
 	return []backendCase{
 		{"lsm", func(t *testing.T, opts ...Option) Engine { return openLocal(t, 1, opts...) }},
 		{"store", func(t *testing.T, opts ...Option) Engine { return openLocal(t, 4, opts...) }},
 		{"remote", openRemote},
+		{"cluster", openClusterEngine},
 	}
 }
 

@@ -65,6 +65,14 @@ var (
 	// manifest fsync). Reads keep working; the error wraps the original
 	// cause. Recovery is reopening the engine.
 	ErrReadOnly = kverr.ErrReadOnly
+
+	// ErrUnavailable reports a replicated-cluster operation that could not
+	// reach its quorum: fewer than W replicas acknowledged a write, or
+	// fewer than R replicas answered a read, after failover and retries.
+	// A failed write may still have applied on some replicas — retrying
+	// it converges via last-writer-wins versioning. Only the DialCluster
+	// backend returns it.
+	ErrUnavailable = kverr.ErrUnavailable
 )
 
 // MaxBatchBytes bounds a single Batch (keys + values + per-op overhead);
@@ -214,7 +222,8 @@ type CompactionInfo struct {
 // the wire protocol carries, and per-shard breakdowns exist only on the
 // sharded store.
 type Stats struct {
-	// Backend identifies the engine flavor: "lsm", "store" or "remote".
+	// Backend identifies the engine flavor: "lsm", "store", "remote" or
+	// "cluster".
 	Backend string `json:"backend"`
 	// Shards is the partition count (1 for a single embedded engine, 0
 	// when unknown on the remote backend).
@@ -287,6 +296,38 @@ type Stats struct {
 
 	// PerShard is the per-shard breakdown on a sharded store.
 	PerShard []Stats `json:"per_shard,omitempty"`
+
+	// Cluster is the replication health of a DialCluster engine (nil on
+	// every other backend). The storage counters above are sums across
+	// the cluster's live nodes.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats describes a replicated cluster's health: membership,
+// quorum configuration, and the counters behind its convergence
+// machinery (hinted handoff and read repair).
+type ClusterStats struct {
+	// Nodes is the cluster size; DownNodes is how many of them the
+	// failure detector currently considers unreachable.
+	Nodes     int `json:"nodes"`
+	DownNodes int `json:"down_nodes"`
+
+	ReplicationFactor int `json:"replication_factor"`
+	WriteQuorum       int `json:"write_quorum"`
+	ReadQuorum        int `json:"read_quorum"`
+
+	// HintsParked counts writes parked for an unreachable replica,
+	// HintsReplayed hints delivered after the replica returned, and
+	// HintsDropped hints lost because no live node could hold them.
+	// ReadRepairs counts stale replicas rewritten after divergent quorum
+	// reads. NodeDownEvents and NodeUpEvents count failure-detector
+	// transitions.
+	HintsParked    uint64 `json:"hints_parked"`
+	HintsReplayed  uint64 `json:"hints_replayed"`
+	HintsDropped   uint64 `json:"hints_dropped"`
+	ReadRepairs    uint64 `json:"read_repairs"`
+	NodeDownEvents uint64 `json:"node_down_events"`
+	NodeUpEvents   uint64 `json:"node_up_events"`
 }
 
 // statsFromLSM maps an engine-internal stats snapshot into the public

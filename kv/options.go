@@ -13,8 +13,9 @@ import (
 type entryPoint string
 
 const (
-	entryOpen entryPoint = "Open"
-	entryDial entryPoint = "Dial"
+	entryOpen    entryPoint = "Open"
+	entryDial    entryPoint = "Dial"
+	entryCluster entryPoint = "DialCluster"
 )
 
 // config collects everything the constructors need; options mutate it.
@@ -37,8 +38,14 @@ type config struct {
 	compactK        int
 	statsAddr       string
 
-	// Dial.
+	// Dial and DialCluster.
 	dialTimeout time.Duration
+
+	// DialCluster.
+	replicationN   int
+	replicationW   int
+	replicationR   int
+	requestTimeout time.Duration
 }
 
 func defaultConfig(entry entryPoint) config {
@@ -243,12 +250,13 @@ func WithStatsHandler(addr string) Option {
 	}
 }
 
-// WithDialTimeout bounds how long Dial (and any transparent re-dial after
-// a cancelled request poisoned the connection) waits for the TCP connect.
+// WithDialTimeout bounds how long Dial and DialCluster (and any
+// transparent re-dial after a cancelled request poisoned a connection)
+// wait for the TCP connect.
 func WithDialTimeout(d time.Duration) Option {
 	return func(c *config) error {
-		if c.entry != entryDial {
-			return fmt.Errorf("kv: WithDialTimeout applies only to Dial: %w", ErrConfig)
+		if c.entry != entryDial && c.entry != entryCluster {
+			return fmt.Errorf("kv: WithDialTimeout applies only to Dial and DialCluster: %w", ErrConfig)
 		}
 		if d <= 0 {
 			return fmt.Errorf("kv: non-positive dial timeout %v: %w", d, ErrConfig)
@@ -256,4 +264,45 @@ func WithDialTimeout(d time.Duration) Option {
 		c.dialTimeout = d
 		return nil
 	}
+}
+
+// clusterOnly wraps an option body with an entry-point check.
+func clusterOnly(name string, f func(*config) error) Option {
+	return func(c *config) error {
+		if c.entry != entryCluster {
+			return fmt.Errorf("kv: %s applies only to DialCluster: %w", name, ErrConfig)
+		}
+		return f(c)
+	}
+}
+
+// WithReplication sets the cluster's replication factor and quorums:
+// every key is stored on n distinct nodes, writes acknowledge after w
+// replicas accept, reads after r replicas answer. r+w must exceed n so
+// read and write quorums overlap. The default is n=3, w=2, r=2 —
+// tolerating one unreachable node with no loss of availability or acked
+// data. Rings smaller than n clamp gracefully (a single-node cluster
+// behaves like a plain client).
+func WithReplication(n, w, r int) Option {
+	return clusterOnly("WithReplication", func(c *config) error {
+		if n < 1 || w < 1 || r < 1 || w > n || r > n || r+w <= n {
+			return fmt.Errorf("kv: invalid replication n=%d w=%d r=%d (need 1 <= w,r <= n and r+w > n): %w", n, w, r, ErrConfig)
+		}
+		c.replicationN, c.replicationW, c.replicationR = n, w, r
+		return nil
+	})
+}
+
+// WithRequestTimeout bounds each per-replica request attempt on a
+// cluster engine; a dead-but-routable replica costs at most this before
+// the router fails over to the remaining quorum. Zero selects the
+// default (2s).
+func WithRequestTimeout(d time.Duration) Option {
+	return clusterOnly("WithRequestTimeout", func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("kv: non-positive request timeout %v: %w", d, ErrConfig)
+		}
+		c.requestTimeout = d
+		return nil
+	})
 }
